@@ -1,0 +1,58 @@
+//===- bench/fig1_scaling.cpp - Figure 1 reproduction ----------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 1(b): runtime of the array-increment microbenchmark versus its
+/// linear-speedup expectation at 1/2/4/8 threads, plus the padded variant.
+/// The paper reports ~13x degradation at 8 threads; the expected *shape* is
+/// reality >> expectation once two or more threads share a line, with a gap
+/// that grows with the thread count, and a padded run tracking expectation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/ProfileSession.h"
+#include "support/StringUtils.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace cheetah;
+
+int main() {
+  auto Workload = workloads::createWorkload("fig1_array");
+
+  auto Runtime = [&](uint32_t Threads, bool Fix) {
+    driver::SessionConfig Config;
+    Config.Workload.Threads = Threads;
+    Config.Workload.FixFalseSharing = Fix;
+    Config.EnableProfiler = false;
+    return driver::runWorkload(*Workload, Config).Run.TotalCycles;
+  };
+
+  uint64_t SingleThread = Runtime(1, false);
+
+  std::printf("Figure 1: false-sharing microbenchmark, reality vs "
+              "linear-speedup expectation\n\n");
+  TextTable Table;
+  Table.setHeader({"threads", "expectation (cycles)", "reality (cycles)",
+                   "padded (cycles)", "reality/expectation",
+                   "padded/expectation"});
+  for (uint32_t Threads : {1u, 2u, 4u, 8u}) {
+    uint64_t Expectation = SingleThread / Threads;
+    uint64_t Reality = Runtime(Threads, false);
+    uint64_t Padded = Runtime(Threads, true);
+    Table.addRow({std::to_string(Threads), formatWithCommas(Expectation),
+                  formatWithCommas(Reality), formatWithCommas(Padded),
+                  formatString("%.1fx", static_cast<double>(Reality) /
+                                            static_cast<double>(Expectation)),
+                  formatString("%.1fx", static_cast<double>(Padded) /
+                                            static_cast<double>(Expectation))});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\npaper shape: ~13x degradation at 8 threads; padded stays "
+              "near the expectation\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- bench/fig7_missed.cpp - Figure 7 reproduction -----------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Figure 7: the false-sharing instances Cheetah misses (histogram,
+/// reverse_index, word_count) are worth almost nothing: runtime with the
+/// instance present, normalized to the padded run, stays within a fraction
+/// of a percent (the paper reports <0.2%). The harness also confirms the
+/// two-sided story: sampling at the deployment period reports nothing,
+/// while the every-access baseline still finds the (insignificant) lines.
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/ProfileSession.h"
+#include "support/StringUtils.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+
+using namespace cheetah;
+
+int main() {
+  std::printf("Figure 7: impact of the false-sharing instances sampling "
+              "misses (16 threads)\n\n");
+  TextTable Table;
+  Table.setHeader({"application", "with-FS (cycles)", "no-FS (cycles)",
+                   "normalized", "cheetah reports", "full-tracker finds FS"});
+
+  for (const char *Name : {"histogram", "reverse_index", "word_count"}) {
+    auto Workload = workloads::createWorkload(Name);
+    driver::SessionConfig Config;
+    Config.Workload.Threads = 16;
+    Config.Workload.Scale = 2.0;
+    Config.Profiler.Pmu.SamplingPeriod = 65536;
+
+    driver::SessionConfig Native = Config;
+    Native.EnableProfiler = false;
+    uint64_t WithFs = driver::runWorkload(*Workload, Native).Run.TotalCycles;
+    Native.Workload.FixFalseSharing = true;
+    uint64_t NoFs = driver::runWorkload(*Workload, Native).Run.TotalCycles;
+
+    driver::SessionResult Profiled = driver::runWorkload(*Workload, Config);
+
+    baseline::FullTrackerConfig Tracker;
+    driver::FullTrackResult Full =
+        driver::runFullTracking(*Workload, Config, Tracker);
+    bool FullFinds = false;
+    for (const auto &Finding : Full.Findings)
+      FullFinds |= Finding.Kind == core::SharingKind::FalseSharing &&
+                   Finding.Threads >= 2;
+
+    Table.addRow({Name, formatWithCommas(WithFs), formatWithCommas(NoFs),
+                  formatString("%.4f", static_cast<double>(WithFs) /
+                                           static_cast<double>(NoFs)),
+                  std::to_string(Profiled.Profile.Reports.size()),
+                  FullFinds ? "yes" : "no"});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\npaper shape: normalized ratio ~1.000 (<0.2%% impact); "
+              "Cheetah reports none of them\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+//===- bench/micro_hotpath.cpp - Hot-path micro-costs ----------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// google-benchmark micro-costs of the operations on Cheetah's per-sample
+/// hot path (shadow lookup, two-entry table update, detailed line record,
+/// heap allocation, coherence step). These bound the constant behind the
+/// "handling of each sampled memory access" overhead the paper discusses in
+/// Section 4.1.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/detect/CacheLineTable.h"
+#include "core/detect/Detector.h"
+#include "core/detect/ShadowMemory.h"
+#include "runtime/HeapAllocator.h"
+#include "sim/CoherenceModel.h"
+#include "support/Random.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace cheetah;
+
+namespace {
+
+void BM_TwoEntryTableUpdate(benchmark::State &State) {
+  core::CacheLineTable Table;
+  SplitMix64 Rng(1);
+  for (auto _ : State) {
+    bool Invalidation = Table.recordAccess(
+        static_cast<ThreadId>(Rng.nextBelow(8)),
+        Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read);
+    benchmark::DoNotOptimize(Invalidation);
+  }
+}
+BENCHMARK(BM_TwoEntryTableUpdate);
+
+void BM_ShadowWriteCount(benchmark::State &State) {
+  CacheGeometry Geometry(64);
+  core::ShadowMemory Shadow(Geometry, {{0x40000000, 16 << 20}});
+  SplitMix64 Rng(2);
+  for (auto _ : State) {
+    uint64_t Address = 0x40000000 + Rng.nextBelow(16 << 20);
+    benchmark::DoNotOptimize(Shadow.noteWrite(Address));
+  }
+}
+BENCHMARK(BM_ShadowWriteCount);
+
+void BM_DetectorHandleSample(benchmark::State &State) {
+  CacheGeometry Geometry(64);
+  core::ShadowMemory Shadow(Geometry, {{0x40000000, 1 << 20}});
+  core::DetectorConfig Config;
+  core::Detector Detect(Geometry, Shadow, Config);
+  SplitMix64 Rng(3);
+  pmu::Sample Sample;
+  for (auto _ : State) {
+    Sample.Address = 0x40000000 + (Rng.nextBelow(256) * 8);
+    Sample.Tid = static_cast<ThreadId>(Rng.nextBelow(16));
+    Sample.IsWrite = Rng.nextBool(0.7);
+    Sample.LatencyCycles = 40;
+    benchmark::DoNotOptimize(Detect.handleSample(Sample, true));
+  }
+}
+BENCHMARK(BM_DetectorHandleSample);
+
+void BM_HeapAllocateFree(benchmark::State &State) {
+  CacheGeometry Geometry(64);
+  runtime::HeapAllocator Heap(0x40000000, 256 << 20, Geometry);
+  for (auto _ : State) {
+    uint64_t Address = Heap.allocate(64, 0, 0);
+    benchmark::DoNotOptimize(Address);
+    Heap.deallocate(Address, 0);
+  }
+}
+BENCHMARK(BM_HeapAllocateFree);
+
+void BM_HeapObjectLookup(benchmark::State &State) {
+  CacheGeometry Geometry(64);
+  runtime::HeapAllocator Heap(0x40000000, 64 << 20, Geometry);
+  std::vector<uint64_t> Objects;
+  for (int I = 0; I < 4096; ++I)
+    Objects.push_back(Heap.allocate(64, 0, 0));
+  SplitMix64 Rng(4);
+  for (auto _ : State) {
+    uint64_t Address = Objects[Rng.nextBelow(Objects.size())] + 13;
+    benchmark::DoNotOptimize(Heap.objectAt(Address));
+  }
+}
+BENCHMARK(BM_HeapObjectLookup);
+
+void BM_CoherenceAccess(benchmark::State &State) {
+  CacheGeometry Geometry(64);
+  sim::LatencyModel Latency;
+  sim::CoherenceModel Model(Geometry, Latency);
+  SplitMix64 Rng(5);
+  uint64_t Now = 0;
+  for (auto _ : State) {
+    MemoryAccess Access =
+        Rng.nextBool(0.5)
+            ? MemoryAccess::write(0x1000 + Rng.nextBelow(64) * 64)
+            : MemoryAccess::read(0x1000 + Rng.nextBelow(64) * 64);
+    benchmark::DoNotOptimize(
+        Model.access(static_cast<ThreadId>(Rng.nextBelow(8)), Access, Now));
+    Now += 7;
+  }
+}
+BENCHMARK(BM_CoherenceAccess);
+
+} // namespace
+
+BENCHMARK_MAIN();

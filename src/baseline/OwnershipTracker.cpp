@@ -1,0 +1,74 @@
+//===- baseline/OwnershipTracker.cpp - Zhao-style ownership bits ----------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/OwnershipTracker.h"
+
+#include "support/Assert.h"
+
+using namespace cheetah;
+using namespace cheetah::baseline;
+
+OwnershipTracker::LineOwnership &
+OwnershipTracker::lineFor(uint64_t Address) {
+  LineOwnership &Line = Lines[Geometry.lineIndex(Address)];
+  if (Line.Bits.empty())
+    Line.Bits.assign(WordsPerLine, 0);
+  return Line;
+}
+
+bool OwnershipTracker::recordAccess(uint64_t Address, ThreadId Tid,
+                                    AccessKind Kind) {
+  CHEETAH_ASSERT(Tid < MaxThreads, "thread id exceeds bitmap capacity");
+  LineOwnership &Line = lineFor(Address);
+  size_t Word = Tid / 64;
+  uint64_t Bit = 1ull << (Tid % 64);
+
+  if (Kind == AccessKind::Read) {
+    Line.Bits[Word] |= Bit;
+    return false;
+  }
+
+  // Write: does any *other* thread own the line?
+  bool OthersOwn = false;
+  for (size_t I = 0; I < Line.Bits.size(); ++I) {
+    uint64_t Mask = Line.Bits[I];
+    if (I == Word)
+      Mask &= ~Bit;
+    if (Mask) {
+      OthersOwn = true;
+      break;
+    }
+  }
+  // "When a thread updates a cache line owned by others, this access incurs
+  // a cache invalidation, and then resets the ownership to the current
+  // thread." A first write to an unowned line also resets ownership and —
+  // to stay comparable with the two-entry table's convention — counts as an
+  // invalidation unless the writer already solely owned it.
+  bool SelfOwned = (Line.Bits[Word] & Bit) != 0;
+  bool Invalidation = OthersOwn || !SelfOwned;
+  for (uint64_t &W : Line.Bits)
+    W = 0;
+  Line.Bits[Word] = Bit;
+  if (Invalidation) {
+    ++Line.Invalidations;
+    ++Invalidations;
+  }
+  return Invalidation;
+}
+
+uint64_t OwnershipTracker::invalidationsAt(uint64_t Address) const {
+  auto It = Lines.find(Geometry.lineIndex(Address));
+  return It == Lines.end() ? 0 : It->second.Invalidations;
+}
+
+size_t OwnershipTracker::metadataBytes() const {
+  size_t Bytes = 0;
+  for (const auto &[Index, Line] : Lines) {
+    (void)Index;
+    Bytes += Line.Bits.size() * sizeof(uint64_t) + sizeof(LineOwnership);
+  }
+  return Bytes;
+}

@@ -1,0 +1,60 @@
+//===- baseline/ReferenceModel.h - Full-set invalidation model -*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately naive reference implementation of the paper's invalidation
+/// rule: track the *complete set* of threads that accessed a line since the
+/// last invalidation. A write invalidates iff the set is empty, contains a
+/// different thread, or contains two or more threads — exactly the states
+/// the two-entry table encodes. Property tests assert that CacheLineTable
+/// matches this model invalidation-for-invalidation on arbitrary access
+/// streams, which is the formal content of the paper's "at most two entries
+/// suffice" claim.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_BASELINE_REFERENCEMODEL_H
+#define CHEETAH_BASELINE_REFERENCEMODEL_H
+
+#include "mem/MemoryAccess.h"
+
+#include <set>
+
+namespace cheetah {
+namespace baseline {
+
+/// Full recent-accessor-set model for one cache line.
+class ReferenceLineModel {
+public:
+  /// Applies the paper's rule with an unbounded accessor set.
+  /// \returns true when the (write) access incurs an invalidation.
+  bool recordAccess(ThreadId Tid, AccessKind Kind) {
+    if (Kind == AccessKind::Read) {
+      Accessors.insert(Tid);
+      return false;
+    }
+    // Write by Tid: invalidation unless Tid is the sole recent accessor.
+    bool SoleSelf = Accessors.size() == 1 && *Accessors.begin() == Tid;
+    if (SoleSelf)
+      return false;
+    Accessors.clear();
+    Accessors.insert(Tid);
+    ++Invalidations;
+    return true;
+  }
+
+  uint64_t invalidations() const { return Invalidations; }
+  const std::set<ThreadId> &accessors() const { return Accessors; }
+
+private:
+  std::set<ThreadId> Accessors;
+  uint64_t Invalidations = 0;
+};
+
+} // namespace baseline
+} // namespace cheetah
+
+#endif // CHEETAH_BASELINE_REFERENCEMODEL_H

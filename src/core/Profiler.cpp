@@ -1,0 +1,297 @@
+//===- core/Profiler.cpp - The Cheetah profiler facade --------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+const FalseSharingReport *
+ProfileResult::findReport(const std::string &Needle) const {
+  for (const FalseSharingReport &Report : Reports) {
+    if (!Report.Object.IsHeap &&
+        Report.Object.GlobalName.find(Needle) != std::string::npos)
+      return &Report;
+    for (const std::string &Frame : Report.Object.CallsiteFrames)
+      if (Frame.find(Needle) != std::string::npos)
+        return &Report;
+  }
+  return nullptr;
+}
+
+Profiler::Profiler(const ProfilerConfig &Config)
+    : Config(Config),
+      Heap(Config.HeapArenaBase, Config.HeapArenaSize, Config.Geometry),
+      Globals(Config.GlobalSegmentBase, Config.GlobalSegmentSize,
+              Config.Geometry),
+      Shadow(Config.Geometry,
+             {{Config.HeapArenaBase, Config.HeapArenaSize},
+              {Config.GlobalSegmentBase, Config.GlobalSegmentSize}}),
+      Detect(Config.Geometry, Shadow, Config.Detect),
+      Classifier(Config.Classify), Pmu(Config.Pmu) {
+  Pmu.setHandler([this](const pmu::Sample &Sample) { handleSample(Sample); });
+}
+
+runtime::CallsiteId Profiler::internCallsite(const std::string &File,
+                                             unsigned Line) {
+  return Callsites.intern(File, Line);
+}
+
+runtime::CallsiteId Profiler::internCallsite(runtime::Callsite Site) {
+  return Callsites.intern(std::move(Site));
+}
+
+uint64_t Profiler::onThreadStart(ThreadId Tid, bool IsMain, uint64_t Now) {
+  Threads.threadStarted(Tid, IsMain, Now);
+  if (IsMain) {
+    CHEETAH_ASSERT(!MainSeen, "second main thread");
+    MainSeen = true;
+    Phases.programBegin(Tid, Now);
+  } else {
+    // In the simulator every child is created by the main thread; real-mode
+    // interposition would pass the true creator.
+    Phases.threadCreated(Tid, /*Creator=*/0, Now);
+  }
+  // Per-thread PMU programming cost (six pfmon APIs + six syscalls).
+  return Pmu.onThreadStart(Tid, IsMain, Now);
+}
+
+void Profiler::onThreadEnd(const sim::ThreadRecord &Record) {
+  Threads.threadFinished(Record.Tid, Record.EndCycle);
+  if (Record.IsMain)
+    Phases.programEnd(Record.EndCycle);
+  else
+    Phases.threadFinished(Record.Tid, Record.EndCycle);
+}
+
+uint64_t Profiler::onMemoryAccess(ThreadId Tid, const MemoryAccess &Access,
+                                  const sim::CoherenceResult &Result,
+                                  uint64_t Now) {
+  return Pmu.onMemoryAccess(Tid, Access, Result, Now);
+}
+
+void Profiler::onInstructions(ThreadId Tid, uint64_t Count) {
+  Pmu.onInstructions(Tid, Count);
+}
+
+void Profiler::handleSample(const pmu::Sample &Sample) {
+  // Every thread records its own samples (F_SETOWN_EX-style dispatch).
+  if (Threads.known(Sample.Tid))
+    Threads.recordSample(Sample.Tid, Sample.LatencyCycles);
+
+  bool InParallel = Phases.inParallelPhase();
+  if (!InParallel && Shadow.covers(Sample.Address)) {
+    // Serial-phase samples have no false sharing: their latencies
+    // approximate AverCycles_nofs for EQ.1.
+    SerialLatency.add(Sample.LatencyCycles);
+    ++SerialSampleCount;
+  }
+  Detect.handleSample(Sample, InParallel);
+}
+
+/// Aggregation bucket: one reportable object (heap object or global) plus
+/// everything observed on its cache lines.
+struct Profiler::ObjectAggregate {
+  ReportedObject Object;
+  ObjectAccessProfile Profile;
+  uint32_t Lines = 0;
+  uint64_t SharedWordAccesses = 0;
+  uint64_t TotalWordAccesses = 0;
+  uint32_t FalseLines = 0, TrueLines = 0, MixedLines = 0, SharedLines = 0;
+  std::vector<WordReportEntry> Words;
+  uint32_t MaxThreadsOnLine = 0;
+};
+
+FalseSharingReport Profiler::buildReport(const ObjectAggregate &Aggregate,
+                                         const Assessor &Assess,
+                                         uint64_t AppRuntime) const {
+  FalseSharingReport Report;
+  Report.Object = Aggregate.Object;
+  Report.LinesTracked = Aggregate.Lines;
+  Report.SampledAccesses = Aggregate.Profile.SampledAccesses;
+  Report.SampledWrites = Aggregate.Profile.SampledWrites;
+  Report.Invalidations = Aggregate.Profile.Invalidations;
+  Report.LatencyCycles = Aggregate.Profile.SampledCycles;
+  Report.ThreadsObserved =
+      static_cast<uint32_t>(Aggregate.Profile.PerThread.size());
+  Report.SharedWordFraction =
+      Aggregate.TotalWordAccesses
+          ? static_cast<double>(Aggregate.SharedWordAccesses) /
+                static_cast<double>(Aggregate.TotalWordAccesses)
+          : 0.0;
+
+  // Object-level sharing verdict from the per-line verdicts.
+  if (Aggregate.SharedLines == 0)
+    Report.Kind = SharingKind::NotShared;
+  else if (Aggregate.FalseLines > 0 && Aggregate.TrueLines == 0 &&
+           Aggregate.MixedLines == 0)
+    Report.Kind = SharingKind::FalseSharing;
+  else if (Aggregate.TrueLines > 0 && Aggregate.FalseLines == 0 &&
+           Aggregate.MixedLines == 0)
+    Report.Kind = SharingKind::TrueSharing;
+  else
+    Report.Kind = SharingKind::Mixed;
+
+  Report.Impact = Assess.assess(Aggregate.Profile, AppRuntime);
+
+  // Hottest words first for the padding-guidance table.
+  Report.Words = Aggregate.Words;
+  std::sort(Report.Words.begin(), Report.Words.end(),
+            [](const WordReportEntry &A, const WordReportEntry &B) {
+              return A.Reads + A.Writes > B.Reads + B.Writes;
+            });
+  return Report;
+}
+
+ProfileResult Profiler::finish(const sim::SimulationResult &Run) {
+  ProfileResult Result;
+  Result.AppRuntime = Run.TotalCycles;
+  Result.Detection = Detect.stats();
+  Result.SamplesDelivered = Pmu.samplesDelivered();
+  Result.SerialSamples = SerialSampleCount;
+  Result.SerialAverageLatency = SerialLatency.mean();
+  Result.ForkJoinVerified = Phases.isForkJoin();
+
+  Assessor Assess(Threads, Phases, Config.Assess);
+  Assess.setSerialLatencyStats(SerialLatency);
+
+  // Group every materialized line by its containing object. Key: heap
+  // object start (tag 0) or global start (tag 1) or raw line base (tag 2)
+  // for unattributed heap-range lines.
+  std::map<std::pair<int, uint64_t>, ObjectAggregate> Aggregates;
+
+  Shadow.forEachDetail([&](uint64_t LineBase, const CacheLineInfo &Info) {
+    if (Info.accesses() == 0)
+      return;
+    std::pair<int, uint64_t> Key;
+    ObjectAggregate *Aggregate = nullptr;
+
+    if (const runtime::HeapObject *Object = Heap.objectAt(LineBase)) {
+      Key = {0, Object->Start};
+      Aggregate = &Aggregates[Key];
+      if (Aggregate->Lines == 0) {
+        Aggregate->Object.IsHeap = true;
+        Aggregate->Object.Start = Object->Start;
+        Aggregate->Object.Size = Object->Size;
+        Aggregate->Object.RequestedSize = Object->RequestedSize;
+        Aggregate->Object.AllocatedBy = Object->Owner;
+        Aggregate->Object.CallsiteFrames =
+            Callsites.get(Object->Site).Frames;
+      }
+    } else if (const runtime::GlobalVariable *Var =
+                   Globals.globalAt(LineBase)) {
+      Key = {1, Var->Start};
+      Aggregate = &Aggregates[Key];
+      if (Aggregate->Lines == 0) {
+        Aggregate->Object.IsHeap = false;
+        Aggregate->Object.GlobalName = Var->Name;
+        Aggregate->Object.Start = Var->Start;
+        Aggregate->Object.Size = Var->Size;
+      }
+    } else {
+      // Line inside the arena but before any object (allocator metadata or
+      // a freed region): report it as an anonymous range.
+      Key = {2, LineBase};
+      Aggregate = &Aggregates[Key];
+      if (Aggregate->Lines == 0) {
+        Aggregate->Object.IsHeap = Heap.covers(LineBase);
+        Aggregate->Object.Start = LineBase;
+        Aggregate->Object.Size = Config.Geometry.lineSize();
+      }
+    }
+
+    ++Aggregate->Lines;
+    Aggregate->Profile.SampledAccesses += Info.accesses();
+    Aggregate->Profile.SampledWrites += Info.writes();
+    Aggregate->Profile.SampledCycles += Info.cycles();
+    Aggregate->Profile.Invalidations += Info.invalidations();
+
+    for (const ThreadLineStats &Stats : Info.threads()) {
+      auto &PerThread = Aggregate->Profile.PerThread;
+      auto It = std::lower_bound(PerThread.begin(), PerThread.end(),
+                                 Stats.Tid,
+                                 [](const ThreadLineStats &S, ThreadId T) {
+                                   return S.Tid < T;
+                                 });
+      if (It != PerThread.end() && It->Tid == Stats.Tid) {
+        It->Accesses += Stats.Accesses;
+        It->Cycles += Stats.Cycles;
+      } else {
+        PerThread.insert(It, Stats);
+      }
+    }
+
+    LineClassification Verdict = Classifier.classify(Info);
+    Aggregate->SharedWordAccesses += Verdict.SharedWordAccesses;
+    Aggregate->TotalWordAccesses +=
+        Verdict.SharedWordAccesses + Verdict.PrivateWordAccesses;
+    Aggregate->MaxThreadsOnLine =
+        std::max(Aggregate->MaxThreadsOnLine, Verdict.Threads);
+    switch (Verdict.Kind) {
+    case SharingKind::FalseSharing:
+      ++Aggregate->FalseLines;
+      ++Aggregate->SharedLines;
+      break;
+    case SharingKind::TrueSharing:
+      ++Aggregate->TrueLines;
+      ++Aggregate->SharedLines;
+      break;
+    case SharingKind::Mixed:
+      ++Aggregate->MixedLines;
+      ++Aggregate->SharedLines;
+      break;
+    case SharingKind::NotShared:
+      break;
+    }
+
+    // Per-word entries, offsets relative to the object.
+    const auto &Words = Info.words();
+    for (size_t W = 0; W < Words.size(); ++W) {
+      if (Words[W].accesses() == 0)
+        continue;
+      WordReportEntry Entry;
+      uint64_t WordAddress = LineBase + W * WordSize;
+      Entry.Offset = WordAddress >= Aggregate->Object.Start
+                         ? WordAddress - Aggregate->Object.Start
+                         : 0;
+      Entry.Reads = Words[W].Reads;
+      Entry.Writes = Words[W].Writes;
+      Entry.Cycles = Words[W].Cycles;
+      Entry.FirstThread = Words[W].FirstThread;
+      Entry.MultiThread = Words[W].MultiThread;
+      Aggregate->Words.push_back(Entry);
+    }
+  });
+
+  for (const auto &[Key, Aggregate] : Aggregates) {
+    FalseSharingReport Report =
+        buildReport(Aggregate, Assess, Run.TotalCycles);
+    bool Reportable =
+        (Report.Kind == SharingKind::FalseSharing ||
+         (Config.ReportMixedSharing && Report.Kind == SharingKind::Mixed)) &&
+        Report.Invalidations >= Config.MinInvalidations &&
+        Report.Impact.ImprovementFactor >= Config.MinImprovementFactor;
+    if (Reportable)
+      Result.Reports.push_back(Report);
+    Result.AllInstances.push_back(std::move(Report));
+  }
+
+  auto ByImprovement = [](const FalseSharingReport &A,
+                          const FalseSharingReport &B) {
+    if (A.Impact.ImprovementFactor != B.Impact.ImprovementFactor)
+      return A.Impact.ImprovementFactor > B.Impact.ImprovementFactor;
+    return A.Object.Start < B.Object.Start;
+  };
+  std::sort(Result.Reports.begin(), Result.Reports.end(), ByImprovement);
+  std::sort(Result.AllInstances.begin(), Result.AllInstances.end(),
+            ByImprovement);
+  return Result;
+}

@@ -1,0 +1,160 @@
+//===- core/Profiler.h - The Cheetah profiler facade ------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Cheetah runtime assembled (Figure 2): data collection via a PMU
+/// backend, the FS detection module over shadow memory, the FS assessment
+/// module over the fork-join phase model, and report generation. Exposed as
+/// a SimObserver so attaching it to the multicore simulator is the moral
+/// equivalent of LD_PRELOADing the Cheetah runtime library under a real
+/// application.
+///
+/// Typical use:
+/// \code
+///   core::ProfilerConfig Config;
+///   core::Profiler Profiler(Config);
+///   // ... allocate workload objects from Profiler.heap()/globals() ...
+///   sim::Simulator Sim(Config.Geometry, Latency);
+///   Sim.addObserver(&Profiler);
+///   sim::SimulationResult Run = Sim.run(Program);
+///   core::ProfileResult Result = Profiler.finish(Run);
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_PROFILER_H
+#define CHEETAH_CORE_PROFILER_H
+
+#include "core/assess/Assessor.h"
+#include "core/detect/Detector.h"
+#include "core/detect/SharingClassifier.h"
+#include "core/report/Report.h"
+#include "pmu/PmuConfig.h"
+#include "pmu/SimPmu.h"
+#include "runtime/GlobalRegistry.h"
+#include "runtime/HeapAllocator.h"
+#include "runtime/PhaseTracker.h"
+#include "runtime/ThreadRegistry.h"
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// All profiler tunables in one place.
+struct ProfilerConfig {
+  CacheGeometry Geometry{64};
+  pmu::PmuConfig Pmu;
+  DetectorConfig Detect;
+  ClassifierConfig Classify;
+  AssessorConfig Assess;
+
+  /// Simulated heap arena (the paper's pre-allocated mmap block). The base
+  /// mirrors the 0x40000000-ish addresses in Figure 5.
+  uint64_t HeapArenaBase = 0x4000'0000;
+  uint64_t HeapArenaSize = 64ull << 20;
+  /// Simulated global data segment.
+  uint64_t GlobalSegmentBase = 0x1000'0000;
+  uint64_t GlobalSegmentSize = 16ull << 20;
+
+  /// Report gating: minimum invalidations for an instance to be considered
+  /// at all, and minimum predicted improvement for it to be *reported*
+  /// ("Cheetah only reports false sharing instances with a significant
+  /// performance impact").
+  uint64_t MinInvalidations = 16;
+  double MinImprovementFactor = 1.005;
+  /// Include Mixed-sharing objects among reportable instances.
+  bool ReportMixedSharing = true;
+};
+
+/// Output of one profiled execution.
+struct ProfileResult {
+  /// Significant false-sharing instances, highest predicted improvement
+  /// first. This is what Cheetah prints.
+  std::vector<FalseSharingReport> Reports;
+  /// Every object with detailed tracking (including true sharing and
+  /// insignificant instances) for tests and ablations.
+  std::vector<FalseSharingReport> AllInstances;
+
+  DetectorStats Detection;
+  uint64_t SamplesDelivered = 0;
+  uint64_t SerialSamples = 0;
+  double SerialAverageLatency = 0.0;
+  uint64_t AppRuntime = 0;
+  bool ForkJoinVerified = true;
+
+  /// \returns the report whose callsite or global name contains \p Needle,
+  /// or nullptr (search over significant reports).
+  const FalseSharingReport *findReport(const std::string &Needle) const;
+};
+
+/// The assembled Cheetah profiler.
+class Profiler : public sim::SimObserver {
+public:
+  explicit Profiler(const ProfilerConfig &Config);
+
+  /// The custom heap: workloads allocate their objects here so reports can
+  /// name allocation sites.
+  runtime::HeapAllocator &heap() { return Heap; }
+
+  /// The global-variable registry (simulated .data segment).
+  runtime::GlobalRegistry &globals() { return Globals; }
+
+  /// Interns an allocation callsite for use with heap().allocate().
+  runtime::CallsiteId internCallsite(const std::string &File, unsigned Line);
+  runtime::CallsiteId internCallsite(runtime::Callsite Site);
+
+  /// Finalizes detection + assessment after the simulation completed.
+  ProfileResult finish(const sim::SimulationResult &Run);
+
+  /// Feeds one sample directly (used by the real perf_event path and by
+  /// tests; the simulator path goes through the observer hooks).
+  void handleSample(const pmu::Sample &Sample);
+
+  /// Current phase state (exposed for tests).
+  const runtime::PhaseTracker &phases() const { return Phases; }
+  const runtime::ThreadRegistry &threadRegistry() const { return Threads; }
+  const ShadowMemory &shadow() const { return Shadow; }
+  const pmu::SimPmu &pmu() const { return Pmu; }
+
+  // SimObserver implementation.
+  uint64_t onThreadStart(ThreadId Tid, bool IsMain, uint64_t Now) override;
+  void onThreadEnd(const sim::ThreadRecord &Record) override;
+  uint64_t onMemoryAccess(ThreadId Tid, const MemoryAccess &Access,
+                          const sim::CoherenceResult &Result,
+                          uint64_t Now) override;
+  void onInstructions(ThreadId Tid, uint64_t Count) override;
+
+private:
+  struct ObjectAggregate;
+
+  /// Builds a report for one aggregated object.
+  FalseSharingReport buildReport(const ObjectAggregate &Aggregate,
+                                 const Assessor &Assess,
+                                 uint64_t AppRuntime) const;
+
+  ProfilerConfig Config;
+  runtime::HeapAllocator Heap;
+  runtime::GlobalRegistry Globals;
+  runtime::CallsiteTable Callsites;
+  runtime::ThreadRegistry Threads;
+  runtime::PhaseTracker Phases;
+  ShadowMemory Shadow;
+  Detector Detect;
+  SharingClassifier Classifier;
+  pmu::SimPmu Pmu;
+  OnlineStats SerialLatency;
+  uint64_t SerialSampleCount = 0;
+  bool MainSeen = false;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_PROFILER_H

@@ -1,0 +1,122 @@
+//===- core/assess/Assessor.h - Performance-impact prediction --*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's headline contribution (Section 3): predicting the speedup of
+/// fixing a false-sharing instance without fixing it. Three steps:
+///
+///   1. Object level (3.1): replace the sampled cycles of accesses to the
+///      object O with the average no-false-sharing latency, approximated by
+///      the average latency observed in serial phases:
+///        PredCycles_O = AverCycles_nofs * Accesses_O            (EQ.1)
+///   2. Thread level (3.2): propagate into each related thread:
+///        PredCycles_t = Cycles_t - Cycles_O(t) + PredCycles_O(t) (EQ.2)
+///        PredRT_t     = (PredCycles_t / Cycles_t) * RT_t         (EQ.3)
+///      assuming execution time proportional to sampled access cycles.
+///   3. Application level (3.3): for fork-join programs, recompute each
+///      parallel phase's length as the longest member thread's predicted
+///      runtime, sum phases, and report
+///        PerfImprove = RT_App / PredRT_App                       (EQ.4)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_ASSESS_ASSESSOR_H
+#define CHEETAH_CORE_ASSESS_ASSESSOR_H
+
+#include "core/detect/CacheLineInfo.h"
+#include "runtime/PhaseTracker.h"
+#include "runtime/ThreadRegistry.h"
+#include "support/Statistics.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// Per-object access evidence aggregated over the object's cache lines.
+struct ObjectAccessProfile {
+  uint64_t SampledAccesses = 0;
+  uint64_t SampledWrites = 0;
+  uint64_t SampledCycles = 0;
+  uint64_t Invalidations = 0;
+  /// Per-thread accesses/cycles on this object (sorted by thread id).
+  std::vector<ThreadLineStats> PerThread;
+
+  const ThreadLineStats *threadStats(ThreadId Tid) const;
+};
+
+/// Assessment tunables.
+struct AssessorConfig {
+  /// Fallback AverCycles_nofs when serial phases produced too few samples
+  /// ("a default value learned from experience").
+  double DefaultSerialLatency = 6.0;
+  /// Minimum serial-phase samples to trust the measured average.
+  uint64_t MinSerialSamples = 32;
+};
+
+/// EQ.2/EQ.3 outcome for one thread.
+struct ThreadPrediction {
+  ThreadId Tid = 0;
+  uint64_t RealRuntime = 0;       // RT_t
+  double PredictedRuntime = 0.0;  // PredRT_t
+  uint64_t SampledCycles = 0;     // Cycles_t
+  double PredictedCycles = 0.0;   // PredCycles_t
+  uint64_t CyclesOnObject = 0;    // Cycles_O restricted to t
+  uint64_t AccessesOnObject = 0;  // Accesses_O restricted to t
+};
+
+/// Full assessment of one false-sharing instance.
+struct Assessment {
+  /// AverCycles_nofs used in EQ.1.
+  double AverageNoFsLatency = 0.0;
+  /// True when the fallback default was used instead of measured serial
+  /// latency.
+  bool UsedDefaultLatency = false;
+  /// RT_App (cycles).
+  uint64_t RealAppRuntime = 0;
+  /// PredRT_App (cycles).
+  double PredictedAppRuntime = 0.0;
+  /// EQ.4: RT_App / PredRT_App; > 1 means fixing helps.
+  double ImprovementFactor = 1.0;
+  /// Whole-program recomposition only happens for fork-join programs.
+  bool ForkJoinModel = true;
+  std::vector<ThreadPrediction> Threads;
+
+  /// Improvement as the percentage the paper prints (e.g. 576.17%).
+  double improvementPercent() const { return ImprovementFactor * 100.0; }
+};
+
+/// Computes assessments from the runtime's collected state.
+class Assessor {
+public:
+  Assessor(const runtime::ThreadRegistry &Registry,
+           const runtime::PhaseTracker &Phases, const AssessorConfig &Config)
+      : Registry(Registry), Phases(Phases), Config(Config) {}
+
+  /// Installs the latency statistics of serial-phase samples (no false
+  /// sharing there, so their mean approximates AverCycles_nofs).
+  void setSerialLatencyStats(const OnlineStats &Stats) { SerialStats = Stats; }
+
+  /// Assesses fixing the object described by \p Profile.
+  /// \param AppRuntime measured whole-program runtime RT_App.
+  Assessment assess(const ObjectAccessProfile &Profile,
+                    uint64_t AppRuntime) const;
+
+  /// The AverCycles_nofs the next assessment would use.
+  double averageNoFsLatency(bool *UsedDefault = nullptr) const;
+
+private:
+  const runtime::ThreadRegistry &Registry;
+  const runtime::PhaseTracker &Phases;
+  AssessorConfig Config;
+  OnlineStats SerialStats;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_ASSESS_ASSESSOR_H

@@ -1,0 +1,51 @@
+//===- core/detect/CacheLineInfo.cpp - Per-line detailed tracking --------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/detect/CacheLineInfo.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+ThreadLineStats &CacheLineInfo::threadStats(ThreadId Tid) {
+  auto It = std::lower_bound(Threads.begin(), Threads.end(), Tid,
+                             [](const ThreadLineStats &S, ThreadId T) {
+                               return S.Tid < T;
+                             });
+  if (It != Threads.end() && It->Tid == Tid)
+    return *It;
+  return *Threads.insert(It, ThreadLineStats{Tid, 0, 0});
+}
+
+bool CacheLineInfo::recordAccess(ThreadId Tid, AccessKind Kind,
+                                 uint64_t WordIndex, uint64_t WordSpan,
+                                 uint64_t LatencyCycles) {
+  CHEETAH_ASSERT(WordIndex < Words.size(), "word index outside line");
+  CHEETAH_ASSERT(WordSpan >= 1, "access must cover at least one word");
+
+  bool Invalidation = Table.recordAccess(Tid, Kind);
+  if (Invalidation)
+    ++Invalidations;
+
+  ++Accesses;
+  if (Kind == AccessKind::Write)
+    ++Writes;
+  Cycles += LatencyCycles;
+
+  // An access wider than a word (e.g. a 64-bit store) marks every covered
+  // word; latency attributes to the first word to avoid double counting.
+  uint64_t End = std::min<uint64_t>(WordIndex + WordSpan, Words.size());
+  for (uint64_t W = WordIndex; W < End; ++W)
+    Words[W].record(Tid, Kind, W == WordIndex ? LatencyCycles : 0);
+
+  ThreadLineStats &Stats = threadStats(Tid);
+  ++Stats.Accesses;
+  Stats.Cycles += LatencyCycles;
+  return Invalidation;
+}

@@ -1,0 +1,115 @@
+//===- core/detect/CacheLineInfo.h - Per-line detailed tracking -*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detailed per-cache-line state, allocated lazily for "susceptible" lines
+/// only (those with more than a threshold of sampled writes — the paper's
+/// filter that avoids tracking write-once memory). Holds the two-entry
+/// invalidation table, per-word access tracking for true/false-sharing
+/// differentiation and padding guidance, and per-thread access/cycle
+/// accumulators that feed the assessment equations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_DETECT_CACHELINEINFO_H
+#define CHEETAH_CORE_DETECT_CACHELINEINFO_H
+
+#include "core/detect/CacheLineTable.h"
+#include "mem/CacheGeometry.h"
+#include "mem/MemoryAccess.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// Sentinel for "no thread recorded yet" in WordStats.
+inline constexpr ThreadId NoThread = ~static_cast<ThreadId>(0);
+
+/// Per 4-byte-word access statistics (paper Section 2.4: "the amount of
+/// reads or writes issued by a particular thread on each word").
+struct WordStats {
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  /// First thread seen touching this word.
+  ThreadId FirstThread = NoThread;
+  /// Set once a second distinct thread touches the word: the word is truly
+  /// shared (true sharing indicator).
+  bool MultiThread = false;
+
+  uint64_t accesses() const { return Reads + Writes; }
+
+  /// Accumulates one access by \p Tid.
+  void record(ThreadId Tid, AccessKind Kind, uint64_t LatencyCycles) {
+    if (Kind == AccessKind::Read)
+      ++Reads;
+    else
+      ++Writes;
+    Cycles += LatencyCycles;
+    if (FirstThread == NoThread)
+      FirstThread = Tid;
+    else if (FirstThread != Tid)
+      MultiThread = true;
+  }
+};
+
+/// Per-thread access/cycle accumulator on one line (and, aggregated, on one
+/// object) — the Accesses_O and Cycles_O of the assessment equations,
+/// broken down per thread for EQ.2.
+struct ThreadLineStats {
+  ThreadId Tid = 0;
+  uint64_t Accesses = 0;
+  uint64_t Cycles = 0;
+};
+
+/// Everything Cheetah tracks about one susceptible cache line.
+class CacheLineInfo {
+public:
+  explicit CacheLineInfo(uint64_t WordsPerLine) : Words(WordsPerLine) {}
+
+  /// Records one sampled access landing on this line.
+  /// \returns true if it incurred a cache invalidation.
+  bool recordAccess(ThreadId Tid, AccessKind Kind, uint64_t WordIndex,
+                    uint64_t WordSpan, uint64_t LatencyCycles);
+
+  /// Cache-invalidation count (the significance signal).
+  uint64_t invalidations() const { return Invalidations; }
+
+  /// Total sampled accesses / writes / cycles on the line.
+  uint64_t accesses() const { return Accesses; }
+  uint64_t writes() const { return Writes; }
+  uint64_t cycles() const { return Cycles; }
+
+  /// Per-word statistics.
+  const std::vector<WordStats> &words() const { return Words; }
+
+  /// Per-thread accumulators, ordered by thread id.
+  const std::vector<ThreadLineStats> &threads() const { return Threads; }
+
+  /// Number of distinct threads that accessed the line.
+  size_t threadCount() const { return Threads.size(); }
+
+  /// Access to the invalidation table (tests).
+  const CacheLineTable &table() const { return Table; }
+
+private:
+  ThreadLineStats &threadStats(ThreadId Tid);
+
+  CacheLineTable Table;
+  uint64_t Invalidations = 0;
+  uint64_t Accesses = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  std::vector<WordStats> Words;
+  std::vector<ThreadLineStats> Threads; // sorted by Tid, expected tiny
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_DETECT_CACHELINEINFO_H

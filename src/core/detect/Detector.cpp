@@ -1,0 +1,54 @@
+//===- core/detect/Detector.cpp - FS detection over samples ---------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/detect/Detector.h"
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,
+                            uint8_t AccessBytes) {
+  ++Stats.SamplesSeen;
+  if (!Shadow.covers(Sample.Address)) {
+    // Kernel, libraries, stack: Cheetah filters these out (Section 4.1).
+    ++Stats.SamplesFiltered;
+    return false;
+  }
+
+  // Stage 1: cheap write counting on every covered sample. This is what
+  // makes write-once memory never pay for detailed tracking.
+  uint32_t LineWrites = 0;
+  if (Sample.IsWrite)
+    LineWrites = Shadow.noteWrite(Sample.Address);
+  else
+    LineWrites = Shadow.writeCount(Sample.Address);
+
+  if (Config.OnlyParallelPhases && !InParallelPhase)
+    return false;
+
+  // Stage 2: detailed tracking only for susceptible lines.
+  CacheLineInfo *Info = Shadow.detail(Sample.Address);
+  if (!Info) {
+    if (LineWrites <= Config.WriteThreshold)
+      return false;
+    Info = &Shadow.materializeDetail(Sample.Address);
+  }
+
+  uint64_t WordIndex = Geometry.wordInLine(Sample.Address);
+  uint64_t LastByte = Geometry.offsetInLine(Sample.Address) +
+                      (AccessBytes ? AccessBytes : 1) - 1;
+  if (LastByte >= Geometry.lineSize())
+    LastByte = Geometry.lineSize() - 1; // clamp straddling accesses
+  uint64_t WordSpan = LastByte / WordSize - WordIndex + 1;
+
+  bool Invalidation = Info->recordAccess(
+      Sample.Tid, Sample.IsWrite ? AccessKind::Write : AccessKind::Read,
+      WordIndex, WordSpan, Sample.LatencyCycles);
+  if (Invalidation)
+    ++Stats.Invalidations;
+  ++Stats.SamplesRecorded;
+  return true;
+}

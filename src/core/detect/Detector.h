@@ -1,0 +1,77 @@
+//===- core/detect/Detector.h - FS detection over samples ------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "FS detection" module of Figure 2: consumes the PMU sample stream,
+/// filters it to the monitored heap/global regions, maintains the per-line
+/// write counters, materializes detailed tracking for susceptible lines
+/// (write count above threshold), and applies the two-entry invalidation
+/// rule. Detailed tracking is gated to parallel phases to avoid reporting
+/// initialize-then-share objects as shared (Section 2.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_DETECT_DETECTOR_H
+#define CHEETAH_CORE_DETECT_DETECTOR_H
+
+#include "core/detect/ShadowMemory.h"
+#include "mem/CacheGeometry.h"
+#include "pmu/Sample.h"
+
+#include <cstdint>
+
+namespace cheetah {
+namespace core {
+
+/// Detection tunables.
+struct DetectorConfig {
+  /// Lines with at most this many sampled writes never get detailed
+  /// tracking ("only tracks detailed information for cache lines with more
+  /// than two writes").
+  uint32_t WriteThreshold = 2;
+  /// Record detailed accesses only while child threads are live.
+  bool OnlyParallelPhases = true;
+};
+
+/// Counters describing what the detector has seen.
+struct DetectorStats {
+  uint64_t SamplesSeen = 0;
+  uint64_t SamplesFiltered = 0; // outside monitored regions
+  uint64_t SamplesRecorded = 0; // reached detailed tracking
+  uint64_t Invalidations = 0;
+};
+
+/// Sample-driven false-sharing detection state machine.
+class Detector {
+public:
+  Detector(const CacheGeometry &Geometry, ShadowMemory &Shadow,
+           const DetectorConfig &Config)
+      : Geometry(Geometry), Shadow(Shadow), Config(Config) {}
+
+  /// Processes one PMU sample. \p InParallelPhase reflects the phase
+  /// tracker's state at delivery time. \p AccessBytes is the access width
+  /// for word marking.
+  /// \returns true if the sample was recorded in detailed tracking.
+  bool handleSample(const pmu::Sample &Sample, bool InParallelPhase,
+                    uint8_t AccessBytes = 4);
+
+  const DetectorStats &stats() const { return Stats; }
+
+  /// The shadow memory the detector writes into.
+  ShadowMemory &shadow() { return Shadow; }
+  const ShadowMemory &shadow() const { return Shadow; }
+
+private:
+  CacheGeometry Geometry;
+  ShadowMemory &Shadow;
+  DetectorConfig Config;
+  DetectorStats Stats;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_DETECT_DETECTOR_H

@@ -1,0 +1,106 @@
+//===- core/detect/ShadowMemory.cpp - Address-to-line metadata ------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/detect/ShadowMemory.h"
+
+#include "support/Assert.h"
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+ShadowMemory::ShadowMemory(const CacheGeometry &Geometry,
+                           std::vector<ShadowRegion> Regions)
+    : Geometry(Geometry) {
+  for (const ShadowRegion &Region : Regions) {
+    CHEETAH_ASSERT(Region.Size > 0, "empty shadow region");
+    CHEETAH_ASSERT((Region.Base & (Geometry.lineSize() - 1)) == 0,
+                   "shadow region must be line-aligned");
+    Slab NewSlab;
+    NewSlab.Base = Region.Base;
+    NewSlab.Size = Region.Size;
+    size_t Lines = static_cast<size_t>(
+        (Region.Size + Geometry.lineSize() - 1) >> Geometry.lineShift());
+    NewSlab.WriteCounts.assign(Lines, 0);
+    NewSlab.Details.resize(Lines);
+    Slabs.push_back(std::move(NewSlab));
+  }
+}
+
+const ShadowMemory::Slab *ShadowMemory::slabFor(uint64_t Address) const {
+  for (const Slab &Region : Slabs)
+    if (Address >= Region.Base && Address < Region.Base + Region.Size)
+      return &Region;
+  return nullptr;
+}
+
+ShadowMemory::Slab *ShadowMemory::slabFor(uint64_t Address) {
+  return const_cast<Slab *>(
+      static_cast<const ShadowMemory *>(this)->slabFor(Address));
+}
+
+size_t ShadowMemory::lineIndexIn(const Slab &Region, uint64_t Address) const {
+  return static_cast<size_t>((Address - Region.Base) >> Geometry.lineShift());
+}
+
+bool ShadowMemory::covers(uint64_t Address) const {
+  return slabFor(Address) != nullptr;
+}
+
+uint32_t ShadowMemory::noteWrite(uint64_t Address) {
+  Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "noteWrite outside monitored regions");
+  return ++Region->WriteCounts[lineIndexIn(*Region, Address)];
+}
+
+uint32_t ShadowMemory::writeCount(uint64_t Address) const {
+  const Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "writeCount outside monitored regions");
+  return Region->WriteCounts[lineIndexIn(*Region, Address)];
+}
+
+CacheLineInfo *ShadowMemory::detail(uint64_t Address) {
+  Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
+  return Region->Details[lineIndexIn(*Region, Address)].get();
+}
+
+const CacheLineInfo *ShadowMemory::detail(uint64_t Address) const {
+  const Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
+  return Region->Details[lineIndexIn(*Region, Address)].get();
+}
+
+CacheLineInfo &ShadowMemory::materializeDetail(uint64_t Address) {
+  Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "materialize outside monitored regions");
+  auto &Slot = Region->Details[lineIndexIn(*Region, Address)];
+  if (!Slot)
+    Slot = std::make_unique<CacheLineInfo>(Geometry.wordsPerLine());
+  return *Slot;
+}
+
+size_t ShadowMemory::materializedLines() const {
+  size_t Count = 0;
+  for (const Slab &Region : Slabs)
+    for (const auto &Slot : Region.Details)
+      if (Slot)
+        ++Count;
+  return Count;
+}
+
+size_t ShadowMemory::shadowBytes() const {
+  size_t Bytes = 0;
+  for (const Slab &Region : Slabs) {
+    Bytes += Region.WriteCounts.size() * sizeof(uint32_t);
+    Bytes += Region.Details.size() * sizeof(void *);
+    for (const auto &Slot : Region.Details)
+      if (Slot)
+        Bytes += sizeof(CacheLineInfo) +
+                 Slot->words().size() * sizeof(WordStats) +
+                 Slot->threads().size() * sizeof(ThreadLineStats);
+  }
+  return Bytes;
+}

@@ -1,0 +1,104 @@
+//===- core/detect/ShadowMemory.h - Address-to-line metadata ----*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shadow memory (paper Section 2.2): constant-time mapping from an address
+/// to its cache line's metadata via bit shifting, possible because the heap
+/// arena and global segment ranges are known up front. Two flat arrays per
+/// monitored region, exactly as the paper describes: one per-line write
+/// counter, and one per-line pointer to detailed tracking state that is
+/// only materialized for lines whose write count crosses the susceptibility
+/// threshold.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_DETECT_SHADOWMEMORY_H
+#define CHEETAH_CORE_DETECT_SHADOWMEMORY_H
+
+#include "core/detect/CacheLineInfo.h"
+#include "mem/CacheGeometry.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// One contiguous monitored address range (heap arena or global segment).
+struct ShadowRegion {
+  uint64_t Base = 0;
+  uint64_t Size = 0;
+};
+
+/// Flat-array shadow metadata over a set of monitored regions.
+class ShadowMemory {
+public:
+  ShadowMemory(const CacheGeometry &Geometry,
+               std::vector<ShadowRegion> Regions);
+
+  /// \returns true if \p Address falls inside a monitored region. Accesses
+  /// elsewhere (stack, kernel, libraries) are filtered out (Section 4.1).
+  bool covers(uint64_t Address) const;
+
+  /// Increments the write counter of \p Address's line.
+  /// \returns the new count. \p Address must be covered.
+  uint32_t noteWrite(uint64_t Address);
+
+  /// Current write count of \p Address's line (0 if never written).
+  uint32_t writeCount(uint64_t Address) const;
+
+  /// \returns the detailed info for \p Address's line, or nullptr if it was
+  /// never materialized. \p Address must be covered.
+  CacheLineInfo *detail(uint64_t Address);
+  const CacheLineInfo *detail(uint64_t Address) const;
+
+  /// Materializes (if needed) and returns the detailed info for the line.
+  CacheLineInfo &materializeDetail(uint64_t Address);
+
+  /// First byte address of the line containing \p Address.
+  uint64_t lineBase(uint64_t Address) const {
+    return Geometry.lineBase(Address);
+  }
+
+  /// Invokes \p Fn(lineBaseAddress, info) for every materialized line.
+  template <typename Function> void forEachDetail(Function Fn) const {
+    for (const Slab &Region : Slabs)
+      for (size_t I = 0; I < Region.Details.size(); ++I)
+        if (Region.Details[I])
+          Fn(Region.Base + (static_cast<uint64_t>(I) << Geometry.lineShift()),
+             *Region.Details[I]);
+  }
+
+  /// Number of lines with materialized detail.
+  size_t materializedLines() const;
+
+  /// Approximate bytes of shadow metadata currently allocated (for the
+  /// memory ablation).
+  size_t shadowBytes() const;
+
+  const CacheGeometry &geometry() const { return Geometry; }
+
+private:
+  struct Slab {
+    uint64_t Base = 0;
+    uint64_t Size = 0;
+    std::vector<uint32_t> WriteCounts;                  // one per line
+    std::vector<std::unique_ptr<CacheLineInfo>> Details; // one per line
+  };
+
+  const Slab *slabFor(uint64_t Address) const;
+  Slab *slabFor(uint64_t Address);
+  size_t lineIndexIn(const Slab &Region, uint64_t Address) const;
+
+  CacheGeometry Geometry;
+  std::vector<Slab> Slabs;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_DETECT_SHADOWMEMORY_H

@@ -1,0 +1,52 @@
+//===- core/detect/SharingClassifier.cpp - FS vs TS classification --------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/detect/SharingClassifier.h"
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+const char *cheetah::core::sharingKindName(SharingKind Kind) {
+  switch (Kind) {
+  case SharingKind::NotShared:
+    return "not-shared";
+  case SharingKind::FalseSharing:
+    return "false-sharing";
+  case SharingKind::TrueSharing:
+    return "true-sharing";
+  case SharingKind::Mixed:
+    return "mixed-sharing";
+  }
+  return "unknown";
+}
+
+LineClassification SharingClassifier::classify(const CacheLineInfo &Info) const {
+  LineClassification Result;
+  Result.Threads = static_cast<uint32_t>(Info.threadCount());
+
+  for (const WordStats &Word : Info.words()) {
+    if (Word.accesses() == 0)
+      continue;
+    if (Word.MultiThread)
+      Result.SharedWordAccesses += Word.accesses();
+    else
+      Result.PrivateWordAccesses += Word.accesses();
+  }
+
+  if (Result.Threads < 2) {
+    Result.Kind = SharingKind::NotShared;
+    return Result;
+  }
+
+  double Shared = Result.sharedFraction();
+  if (Shared <= Config.FalseSharingMaxSharedFraction)
+    Result.Kind = SharingKind::FalseSharing;
+  else if (Shared >= Config.TrueSharingMinSharedFraction)
+    Result.Kind = SharingKind::TrueSharing;
+  else
+    Result.Kind = SharingKind::Mixed;
+  return Result;
+}

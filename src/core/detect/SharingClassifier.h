@@ -1,0 +1,85 @@
+//===- core/detect/SharingClassifier.h - FS vs TS classification -*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differentiates false sharing from true sharing using the per-word access
+/// information (paper Section 2.4): in true sharing multiple threads access
+/// the *same* words, in false sharing they access logically independent
+/// words of the same line. The classifier scores each line by the fraction
+/// of accesses landing on multi-thread words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_DETECT_SHARINGCLASSIFIER_H
+#define CHEETAH_CORE_DETECT_SHARINGCLASSIFIER_H
+
+#include "core/detect/CacheLineInfo.h"
+
+#include <cstdint>
+
+namespace cheetah {
+namespace core {
+
+/// The sharing verdict for one line (or one object, by aggregation).
+enum class SharingKind : uint8_t {
+  /// Fewer than two threads observed: no sharing at all.
+  NotShared,
+  /// Threads access disjoint words: the fixable case.
+  FalseSharing,
+  /// Threads access the same words: unavoidable communication.
+  TrueSharing,
+  /// Both patterns present on the same line.
+  Mixed,
+};
+
+/// \returns a stable display name for \p Kind.
+const char *sharingKindName(SharingKind Kind);
+
+/// Classification thresholds.
+struct ClassifierConfig {
+  /// A line is false sharing when at most this fraction of its accesses
+  /// land on words touched by multiple threads.
+  double FalseSharingMaxSharedFraction = 0.3;
+  /// A line is true sharing when at least this fraction of its accesses
+  /// land on multi-thread words.
+  double TrueSharingMinSharedFraction = 0.7;
+};
+
+/// Per-line classification result with its evidence.
+struct LineClassification {
+  SharingKind Kind = SharingKind::NotShared;
+  /// Accesses to words touched by >= 2 threads.
+  uint64_t SharedWordAccesses = 0;
+  /// Accesses to single-thread words.
+  uint64_t PrivateWordAccesses = 0;
+  /// Distinct threads on the line.
+  uint32_t Threads = 0;
+
+  double sharedFraction() const {
+    uint64_t Total = SharedWordAccesses + PrivateWordAccesses;
+    return Total ? static_cast<double>(SharedWordAccesses) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
+};
+
+/// Stateless classifier over CacheLineInfo.
+class SharingClassifier {
+public:
+  explicit SharingClassifier(const ClassifierConfig &Config = {})
+      : Config(Config) {}
+
+  /// Classifies one line from its word-level evidence.
+  LineClassification classify(const CacheLineInfo &Info) const;
+
+private:
+  ClassifierConfig Config;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_DETECT_SHARINGCLASSIFIER_H

@@ -1,0 +1,96 @@
+//===- core/report/Report.h - False sharing reports -------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "FS report" module of Figure 2: structured per-object findings and a
+/// text formatter that mirrors the paper's Figure 5 output, including the
+/// heap-callsite / global-symbol identification and the word-level access
+/// breakdown programmers use to decide how to pad.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_REPORT_REPORT_H
+#define CHEETAH_CORE_REPORT_REPORT_H
+
+#include "core/assess/Assessor.h"
+#include "core/detect/SharingClassifier.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// Identity of a reported object.
+struct ReportedObject {
+  /// Heap object (reported by callsite) or global (reported by name).
+  bool IsHeap = true;
+  /// Global symbol name; empty for heap objects.
+  std::string GlobalName;
+  /// Allocation call stack, innermost first ("file.c:139").
+  std::vector<std::string> CallsiteFrames;
+  uint64_t Start = 0;
+  uint64_t Size = 0;
+  /// Size the program requested (heap objects; 0 when unknown).
+  uint64_t RequestedSize = 0;
+  /// Thread that allocated the object.
+  ThreadId AllocatedBy = 0;
+
+  uint64_t end() const { return Start + Size; }
+};
+
+/// One word of the per-word breakdown.
+struct WordReportEntry {
+  /// Byte offset of the word from the object start.
+  uint64_t Offset = 0;
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  ThreadId FirstThread = 0;
+  bool MultiThread = false;
+};
+
+/// A full per-object finding.
+struct FalseSharingReport {
+  ReportedObject Object;
+  SharingKind Kind = SharingKind::FalseSharing;
+  /// Number of this object's cache lines with detailed tracking.
+  uint32_t LinesTracked = 0;
+  uint64_t SampledAccesses = 0;
+  uint64_t SampledWrites = 0;
+  uint64_t Invalidations = 0;
+  uint64_t LatencyCycles = 0;
+  uint32_t ThreadsObserved = 0;
+  /// Fraction of accesses on words shared by multiple threads.
+  double SharedWordFraction = 0.0;
+  Assessment Impact;
+  /// Hottest words (by access count), for padding guidance.
+  std::vector<WordReportEntry> Words;
+};
+
+/// Formatting options for the text report.
+struct ReportFormatOptions {
+  /// Include the per-word table.
+  bool ShowWords = true;
+  /// Maximum words listed (hottest first); 0 = all.
+  size_t MaxWords = 16;
+  /// Mirror the paper's hexadecimal counters (Figure 5 prints
+  /// "invalidations 27f ... totalThreadsAccesses 12e1").
+  bool HexCounters = false;
+};
+
+/// Renders one report in the paper's Figure 5 style.
+std::string formatReport(const FalseSharingReport &Report,
+                         const ReportFormatOptions &Options = {});
+
+/// Renders a one-line-per-object summary table for a set of reports.
+std::string formatSummaryTable(const std::vector<FalseSharingReport> &Reports);
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_REPORT_REPORT_H

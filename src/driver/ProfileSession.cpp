@@ -1,0 +1,79 @@
+//===- driver/ProfileSession.cpp - Workload-under-profiler driver ---------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ProfileSession.h"
+
+#include "support/Assert.h"
+
+using namespace cheetah;
+using namespace cheetah::driver;
+
+sim::ForkJoinProgram
+cheetah::driver::buildProgram(const workloads::Workload &Workload,
+                              core::Profiler &Profiler,
+                              const SessionConfig &Config) {
+  workloads::WorkloadContext Ctx;
+  Ctx.Geometry = Config.Profiler.Geometry;
+  Ctx.Allocate = [&Profiler](uint64_t Size, const std::string &File,
+                             unsigned Line) {
+    runtime::CallsiteId Site = Profiler.internCallsite(File, Line);
+    uint64_t Address = Profiler.heap().allocate(Size, /*Tid=*/0, Site);
+    CHEETAH_ASSERT(Address != 0, "workload exhausted the heap arena");
+    return Address;
+  };
+  Ctx.DefineGlobal = [&Profiler](const std::string &Name, uint64_t Size,
+                                 bool LineAligned) {
+    uint64_t Address = LineAligned
+                           ? Profiler.globals().defineAligned(Name, Size)
+                           : Profiler.globals().define(Name, Size);
+    CHEETAH_ASSERT(Address != 0, "workload exhausted the global segment");
+    return Address;
+  };
+  return Workload.build(Ctx, Config.Workload);
+}
+
+SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,
+                                           const SessionConfig &Config) {
+  SessionResult Result;
+  Result.ProfilerEnabled = Config.EnableProfiler;
+
+  core::Profiler Profiler(Config.Profiler);
+  sim::ForkJoinProgram Program = buildProgram(Workload, Profiler, Config);
+
+  sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
+  if (Config.EnableProfiler)
+    Sim.addObserver(&Profiler);
+  Result.Run = Sim.run(Program);
+  if (Config.EnableProfiler)
+    Result.Profile = Profiler.finish(Result.Run);
+  return Result;
+}
+
+FullTrackResult
+cheetah::driver::runFullTracking(const workloads::Workload &Workload,
+                                 const SessionConfig &Config,
+                                 const baseline::FullTrackerConfig &Tracker) {
+  FullTrackResult Result;
+
+  // The profiler instance only provides the heap/global layout; it is not
+  // attached as an observer.
+  core::Profiler Profiler(Config.Profiler);
+  sim::ForkJoinProgram Program = buildProgram(Workload, Profiler, Config);
+
+  baseline::FullTracker Full(
+      Config.Profiler.Geometry,
+      {{Config.Profiler.HeapArenaBase, Config.Profiler.HeapArenaSize},
+       {Config.Profiler.GlobalSegmentBase, Config.Profiler.GlobalSegmentSize}},
+      Tracker);
+
+  sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
+  Sim.addObserver(&Full);
+  Result.Run = Sim.run(Program);
+  Result.Findings = Full.findings();
+  Result.AccessesInstrumented = Full.accessesInstrumented();
+  Result.Invalidations = Full.invalidations();
+  return Result;
+}

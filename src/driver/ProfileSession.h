@@ -1,0 +1,72 @@
+//===- driver/ProfileSession.h - Workload-under-profiler driver -*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience driver gluing a workload model, the multicore simulator, and
+/// the Cheetah profiler (or a baseline observer) into one call. Everything
+/// the tools, examples, and benchmark harnesses do goes through these
+/// functions, so an experiment is: configure, run, read the result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_DRIVER_PROFILESESSION_H
+#define CHEETAH_DRIVER_PROFILESESSION_H
+
+#include "baseline/FullTracker.h"
+#include "core/Profiler.h"
+#include "sim/LatencyModel.h"
+#include "sim/Simulator.h"
+#include "workloads/Workload.h"
+
+#include <memory>
+
+namespace cheetah {
+namespace driver {
+
+/// Everything one run needs.
+struct SessionConfig {
+  core::ProfilerConfig Profiler;
+  sim::LatencyModel Latency;
+  workloads::WorkloadConfig Workload;
+  /// Attach the Cheetah profiler (false = native baseline run: same heap
+  /// layout, no observer, no overhead).
+  bool EnableProfiler = true;
+};
+
+/// Result of a profiled (or native) run.
+struct SessionResult {
+  sim::SimulationResult Run;
+  core::ProfileResult Profile;
+  bool ProfilerEnabled = false;
+};
+
+/// Builds \p Workload's program against \p Profiler's heap/globals.
+sim::ForkJoinProgram buildProgram(const workloads::Workload &Workload,
+                                  core::Profiler &Profiler,
+                                  const SessionConfig &Config);
+
+/// Runs \p Workload under the Cheetah profiler (or natively when
+/// EnableProfiler is false).
+SessionResult runWorkload(const workloads::Workload &Workload,
+                          const SessionConfig &Config);
+
+/// Result of a Predator-style full-instrumentation run.
+struct FullTrackResult {
+  sim::SimulationResult Run;
+  std::vector<baseline::FullTrackerFinding> Findings;
+  uint64_t AccessesInstrumented = 0;
+  uint64_t Invalidations = 0;
+};
+
+/// Runs \p Workload under the every-access baseline tracker.
+FullTrackResult runFullTracking(const workloads::Workload &Workload,
+                                const SessionConfig &Config,
+                                const baseline::FullTrackerConfig &Tracker);
+
+} // namespace driver
+} // namespace cheetah
+
+#endif // CHEETAH_DRIVER_PROFILESESSION_H

@@ -1,0 +1,82 @@
+//===- mem/CacheGeometry.h - Cache line geometry ----------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line and word geometry. Cheetah tracks invalidations per cache line
+/// and differentiates false/true sharing per 4-byte word (paper Section 2.4),
+/// so both granularities live here. The line size is a runtime parameter
+/// because one of the paper's findings (streamcluster) is precisely a bug in
+/// an assumed-32-byte line size.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_MEM_CACHEGEOMETRY_H
+#define CHEETAH_MEM_CACHEGEOMETRY_H
+
+#include "support/Assert.h"
+
+#include <cstdint>
+
+namespace cheetah {
+
+/// Byte width of the word granularity used for true/false-sharing
+/// differentiation (paper Section 2.4: "word-based (four byte)").
+inline constexpr uint64_t WordSize = 4;
+
+/// Describes the cache-line geometry used for shadow-memory indexing.
+class CacheGeometry {
+public:
+  /// \param LineSize cache line size in bytes; must be a power of two >= 8.
+  explicit CacheGeometry(uint64_t LineSize = 64) : LineBytes(LineSize) {
+    CHEETAH_ASSERT(LineSize >= 8 && (LineSize & (LineSize - 1)) == 0,
+                   "cache line size must be a power of two >= 8");
+    LineShift = 0;
+    for (uint64_t S = LineSize; S > 1; S >>= 1)
+      ++LineShift;
+  }
+
+  /// Cache line size in bytes.
+  uint64_t lineSize() const { return LineBytes; }
+
+  /// Number of 4-byte words per line.
+  uint64_t wordsPerLine() const { return LineBytes / WordSize; }
+
+  /// log2(lineSize()); Cheetah's shadow memory uses bit shifting to map an
+  /// address to its line index (paper Section 2.2).
+  unsigned lineShift() const { return LineShift; }
+
+  /// \returns the global line index of \p Address.
+  uint64_t lineIndex(uint64_t Address) const { return Address >> LineShift; }
+
+  /// \returns the first byte address of the line containing \p Address.
+  uint64_t lineBase(uint64_t Address) const {
+    return Address & ~(LineBytes - 1);
+  }
+
+  /// \returns the byte offset of \p Address within its line.
+  uint64_t offsetInLine(uint64_t Address) const {
+    return Address & (LineBytes - 1);
+  }
+
+  /// \returns the index of the 4-byte word within the line.
+  uint64_t wordInLine(uint64_t Address) const {
+    return offsetInLine(Address) / WordSize;
+  }
+
+  /// \returns true if [AddressA, AddressA+SizeA) and [AddressB, ...) touch a
+  /// common cache line.
+  bool sharesLine(uint64_t AddressA, uint64_t AddressB) const {
+    return lineIndex(AddressA) == lineIndex(AddressB);
+  }
+
+private:
+  uint64_t LineBytes;
+  unsigned LineShift;
+};
+
+} // namespace cheetah
+
+#endif // CHEETAH_MEM_CACHEGEOMETRY_H

@@ -1,0 +1,90 @@
+//===- mem/MemoryAccess.h - Memory access events ----------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory-access event vocabulary shared by the workload generators, the
+/// multicore simulator, and the PMU layer. A workload thread is a coroutine
+/// that yields `ThreadEvent`s: mostly loads/stores, occasionally pure compute
+/// (to model instructions between memory operations, which matters for
+/// instruction-based sampling periods).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_MEM_MEMORYACCESS_H
+#define CHEETAH_MEM_MEMORYACCESS_H
+
+#include <cstdint>
+
+namespace cheetah {
+
+/// Thread identifier within one profiled execution. Thread 0 is the main
+/// thread.
+using ThreadId = uint32_t;
+
+/// Whether an access reads or writes memory.
+enum class AccessKind : uint8_t { Read, Write };
+
+/// One memory access: address + kind + size in bytes.
+struct MemoryAccess {
+  uint64_t Address = 0;
+  AccessKind Kind = AccessKind::Read;
+  uint8_t Size = WordBytes;
+
+  static constexpr uint8_t WordBytes = 4;
+
+  static MemoryAccess read(uint64_t Address, uint8_t Size = WordBytes) {
+    return {Address, AccessKind::Read, Size};
+  }
+  static MemoryAccess write(uint64_t Address, uint8_t Size = WordBytes) {
+    return {Address, AccessKind::Write, Size};
+  }
+
+  bool isWrite() const { return Kind == AccessKind::Write; }
+};
+
+/// What a workload coroutine yields on each step.
+enum class ThreadEventKind : uint8_t {
+  /// A memory load or store described by `Access`.
+  Memory,
+  /// `ComputeInstructions` non-memory instructions (advance clocks only).
+  Compute,
+};
+
+/// One event in a simulated thread's instruction stream.
+struct ThreadEvent {
+  ThreadEventKind Kind = ThreadEventKind::Compute;
+  MemoryAccess Access;
+  uint32_t ComputeInstructions = 0;
+
+  static ThreadEvent memory(MemoryAccess A) {
+    ThreadEvent E;
+    E.Kind = ThreadEventKind::Memory;
+    E.Access = A;
+    return E;
+  }
+
+  static ThreadEvent read(uint64_t Address, uint8_t Size = 4) {
+    return memory(MemoryAccess::read(Address, Size));
+  }
+
+  static ThreadEvent write(uint64_t Address, uint8_t Size = 4) {
+    return memory(MemoryAccess::write(Address, Size));
+  }
+
+  /// \p N instructions of pure compute (no memory traffic).
+  static ThreadEvent compute(uint32_t N) {
+    ThreadEvent E;
+    E.Kind = ThreadEventKind::Compute;
+    E.ComputeInstructions = N;
+    return E;
+  }
+
+  bool isMemory() const { return Kind == ThreadEventKind::Memory; }
+};
+
+} // namespace cheetah
+
+#endif // CHEETAH_MEM_MEMORYACCESS_H

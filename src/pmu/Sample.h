@@ -1,0 +1,48 @@
+//===- pmu/Sample.h - PMU memory-access samples -----------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sample record contract between any PMU backend (simulated or real
+/// perf_event) and the Cheetah analysis pipeline. This is exactly the
+/// information the paper's data-collection module gleans per sample
+/// (Section 2.1): address, thread id, read/write, and access latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_PMU_SAMPLE_H
+#define CHEETAH_PMU_SAMPLE_H
+
+#include "mem/MemoryAccess.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace cheetah {
+namespace pmu {
+
+/// One sampled memory access.
+struct Sample {
+  /// Effective (data) address of the access.
+  uint64_t Address = 0;
+  /// Thread that issued the access.
+  ThreadId Tid = 0;
+  /// True for stores.
+  bool IsWrite = false;
+  /// Access latency in cycles as the PMU measured it.
+  uint32_t LatencyCycles = 0;
+  /// Timestamp (virtual cycles in simulation, TSC for perf_event).
+  uint64_t Timestamp = 0;
+};
+
+/// Callback invoked for every delivered sample. In the real system this runs
+/// inside the per-thread signal handler (paper Section 2.1); in simulation it
+/// runs synchronously at the sampled access.
+using SampleHandler = std::function<void(const Sample &)>;
+
+} // namespace pmu
+} // namespace cheetah
+
+#endif // CHEETAH_PMU_SAMPLE_H

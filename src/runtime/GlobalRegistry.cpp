@@ -1,0 +1,60 @@
+//===- runtime/GlobalRegistry.cpp - Named global variables ---------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/GlobalRegistry.h"
+
+#include "support/Assert.h"
+
+using namespace cheetah;
+using namespace cheetah::runtime;
+
+GlobalRegistry::GlobalRegistry(uint64_t SegmentBase, uint64_t SegmentSize,
+                               const CacheGeometry &Geometry)
+    : SegmentBase(SegmentBase), SegmentSize(SegmentSize), Cursor(SegmentBase),
+      Geometry(Geometry) {
+  CHEETAH_ASSERT((SegmentBase & (Geometry.lineSize() - 1)) == 0,
+                 "segment base must be line-aligned");
+}
+
+uint64_t GlobalRegistry::defineImpl(const std::string &Name, uint64_t Size,
+                                    uint64_t Alignment) {
+  CHEETAH_ASSERT(Size > 0, "zero-sized global");
+  uint64_t Mask = Alignment - 1;
+  uint64_t Base = (Cursor + Mask) & ~Mask;
+  if (Base + Size > SegmentBase + SegmentSize)
+    return 0;
+  Cursor = Base + Size;
+
+  GlobalVariable Var;
+  Var.Name = Name;
+  Var.Start = Base;
+  Var.Size = Size;
+  Globals.push_back(std::move(Var));
+  ByAddress[Base] = Globals.size() - 1;
+  return Base;
+}
+
+uint64_t GlobalRegistry::define(const std::string &Name, uint64_t Size) {
+  return defineImpl(Name, Size, /*Alignment=*/8);
+}
+
+uint64_t GlobalRegistry::defineAligned(const std::string &Name,
+                                       uint64_t Size) {
+  return defineImpl(Name, Size, Geometry.lineSize());
+}
+
+const GlobalVariable *GlobalRegistry::globalAt(uint64_t Address) const {
+  if (!covers(Address) || ByAddress.empty())
+    return nullptr;
+  auto It = ByAddress.upper_bound(Address);
+  if (It == ByAddress.begin())
+    return nullptr;
+  --It;
+  const GlobalVariable &Var = Globals[It->second];
+  if (!Var.contains(Address))
+    return nullptr;
+  return &Var;
+}

@@ -1,0 +1,122 @@
+//===- runtime/HeapAllocator.cpp - Hoard-style per-thread heap -----------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/HeapAllocator.h"
+
+#include "support/Assert.h"
+
+using namespace cheetah;
+using namespace cheetah::runtime;
+
+namespace {
+/// Smallest size class; everything below rounds up to this.
+constexpr uint64_t MinClassSize = 8;
+} // namespace
+
+HeapAllocator::HeapAllocator(uint64_t ArenaBase, uint64_t ArenaSize,
+                             const CacheGeometry &Geometry)
+    : ArenaBase(ArenaBase), ArenaSize(ArenaSize), ArenaCursor(ArenaBase),
+      Geometry(Geometry) {
+  CHEETAH_ASSERT(ArenaSize >= Geometry.lineSize(), "arena too small");
+  CHEETAH_ASSERT((ArenaBase & (Geometry.lineSize() - 1)) == 0,
+                 "arena base must be line-aligned");
+  // Superblocks are 64 KiB or 16 lines, whichever is larger; each belongs
+  // to exactly one (thread, size class) pair.
+  SuperblockBytes = std::max<uint64_t>(64 * 1024, Geometry.lineSize() * 16);
+}
+
+uint64_t HeapAllocator::sizeClassFor(uint64_t Size) {
+  uint64_t Class = MinClassSize;
+  while (Class < Size)
+    Class <<= 1;
+  return Class;
+}
+
+bool HeapAllocator::refill(ClassHeap &Heap, uint64_t ClassSize) {
+  uint64_t Bytes = std::max(SuperblockBytes, ClassSize);
+  // Keep superblocks line-aligned so size classes >= a line are themselves
+  // line-aligned and classes < a line never straddle superblocks.
+  uint64_t LineMask = Geometry.lineSize() - 1;
+  uint64_t Base = (ArenaCursor + LineMask) & ~LineMask;
+  if (Base + Bytes > ArenaBase + ArenaSize)
+    return false;
+  ArenaCursor = Base + Bytes;
+  Heap.BumpCursor = Base;
+  Heap.BumpEnd = Base + Bytes;
+  ++Stats.SuperblocksCarved;
+  Stats.ArenaBytesUsed = ArenaCursor - ArenaBase;
+  return true;
+}
+
+uint64_t HeapAllocator::allocate(uint64_t Size, ThreadId Tid,
+                                 CallsiteId Site) {
+  if (Size == 0)
+    Size = 1;
+  uint64_t ClassSize = sizeClassFor(Size);
+  unsigned ClassIndex = 0;
+  for (uint64_t C = MinClassSize; C < ClassSize; C <<= 1)
+    ++ClassIndex;
+  uint64_t Key = (static_cast<uint64_t>(Tid) << 8) | ClassIndex;
+  ClassHeap &Heap = ClassHeaps[Key];
+
+  uint64_t Address = 0;
+  if (!Heap.FreeList.empty()) {
+    Address = Heap.FreeList.back();
+    Heap.FreeList.pop_back();
+  } else {
+    if (Heap.BumpCursor + ClassSize > Heap.BumpEnd && !refill(Heap, ClassSize))
+      return 0;
+    Address = Heap.BumpCursor;
+    Heap.BumpCursor += ClassSize;
+  }
+
+  HeapObject Object;
+  Object.Start = Address;
+  Object.Size = ClassSize;
+  Object.RequestedSize = Size;
+  Object.Site = Site;
+  Object.Owner = Tid;
+  Object.AllocIndex = Stats.Allocations;
+  Objects.push_back(Object);
+  ByAddress[Address] = Objects.size() - 1;
+
+  ++Stats.Allocations;
+  Stats.BytesRequested += Size;
+  Stats.BytesReserved += ClassSize;
+  return Address;
+}
+
+void HeapAllocator::deallocate(uint64_t Address, ThreadId Tid) {
+  auto It = ByAddress.find(Address);
+  CHEETAH_ASSERT(It != ByAddress.end(), "deallocating unknown address");
+  HeapObject &Object = Objects[It->second];
+  CHEETAH_ASSERT(Object.Live, "double free");
+  Object.Live = false;
+  ++Stats.Deallocations;
+
+  uint64_t ClassSize = Object.Size;
+  unsigned ClassIndex = 0;
+  for (uint64_t C = MinClassSize; C < ClassSize; C <<= 1)
+    ++ClassIndex;
+  // Freed memory returns to the *freeing* thread's list, as in Hoard-like
+  // per-thread heaps with thread-local frees (the common case for the
+  // fork-join applications Cheetah targets).
+  uint64_t Key = (static_cast<uint64_t>(Tid) << 8) | ClassIndex;
+  ClassHeaps[Key].FreeList.push_back(Address);
+}
+
+const HeapObject *HeapAllocator::objectAt(uint64_t Address) const {
+  if (!covers(Address) || ByAddress.empty())
+    return nullptr;
+  auto It = ByAddress.upper_bound(Address);
+  if (It == ByAddress.begin())
+    return nullptr;
+  --It;
+  const HeapObject &Object = Objects[It->second];
+  if (!Object.contains(Address))
+    return nullptr;
+  return &Object;
+}

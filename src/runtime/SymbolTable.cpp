@@ -1,0 +1,217 @@
+//===- runtime/SymbolTable.cpp - ELF symbol table reader ------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/SymbolTable.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+using namespace cheetah;
+using namespace cheetah::runtime;
+
+namespace {
+
+// Just enough ELF64 structure definitions to walk section headers and
+// symbols; layouts per the System V gABI.
+struct Elf64Header {
+  unsigned char Ident[16];
+  uint16_t Type;
+  uint16_t Machine;
+  uint32_t Version;
+  uint64_t Entry;
+  uint64_t PhOff;
+  uint64_t ShOff;
+  uint32_t Flags;
+  uint16_t EhSize;
+  uint16_t PhEntSize;
+  uint16_t PhNum;
+  uint16_t ShEntSize;
+  uint16_t ShNum;
+  uint16_t ShStrNdx;
+};
+
+struct Elf64SectionHeader {
+  uint32_t Name;
+  uint32_t Type;
+  uint64_t Flags;
+  uint64_t Addr;
+  uint64_t Offset;
+  uint64_t Size;
+  uint32_t Link;
+  uint32_t Info;
+  uint64_t AddrAlign;
+  uint64_t EntSize;
+};
+
+struct Elf64Symbol {
+  uint32_t Name;
+  unsigned char Info;
+  unsigned char Other;
+  uint16_t SectionIndex;
+  uint64_t Value;
+  uint64_t Size;
+};
+
+constexpr uint32_t SHT_SYMTAB = 2;
+constexpr uint32_t SHT_DYNSYM = 11;
+constexpr unsigned char STT_OBJECT = 1;
+
+bool readFile(const std::string &Path, std::vector<char> &Out,
+              std::string &Error) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::fseek(File, 0, SEEK_END);
+  long Size = std::ftell(File);
+  std::fseek(File, 0, SEEK_SET);
+  if (Size <= 0) {
+    std::fclose(File);
+    Error = "empty file " + Path;
+    return false;
+  }
+  Out.resize(static_cast<size_t>(Size));
+  size_t Read = std::fread(Out.data(), 1, Out.size(), File);
+  std::fclose(File);
+  if (Read != Out.size()) {
+    Error = "short read of " + Path;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+bool SymbolTable::load(const std::string &Path, std::string &Error) {
+  std::vector<char> Data;
+  if (!readFile(Path, Data, Error))
+    return false;
+  if (Data.size() < sizeof(Elf64Header)) {
+    Error = "file too small for an ELF header";
+    return false;
+  }
+
+  Elf64Header Header;
+  std::memcpy(&Header, Data.data(), sizeof(Header));
+  if (std::memcmp(Header.Ident, "\x7f"
+                                "ELF",
+                  4) != 0) {
+    Error = "not an ELF file";
+    return false;
+  }
+  if (Header.Ident[4] != 2) { // ELFCLASS64
+    Error = "only ELF64 binaries are supported";
+    return false;
+  }
+  if (Header.ShOff == 0 || Header.ShNum == 0) {
+    Error = "binary has no section headers (stripped?)";
+    return false;
+  }
+  uint64_t SectionsEnd =
+      Header.ShOff + static_cast<uint64_t>(Header.ShNum) * Header.ShEntSize;
+  if (SectionsEnd > Data.size() ||
+      Header.ShEntSize < sizeof(Elf64SectionHeader)) {
+    Error = "malformed section header table";
+    return false;
+  }
+
+  auto sectionAt = [&](uint16_t Index) {
+    Elf64SectionHeader Section;
+    std::memcpy(&Section,
+                Data.data() + Header.ShOff +
+                    static_cast<uint64_t>(Index) * Header.ShEntSize,
+                sizeof(Section));
+    return Section;
+  };
+
+  // Prefer the full .symtab; fall back to .dynsym for stripped binaries.
+  int SymIndex = -1;
+  for (uint16_t I = 0; I < Header.ShNum; ++I) {
+    Elf64SectionHeader Section = sectionAt(I);
+    if (Section.Type == SHT_SYMTAB) {
+      SymIndex = I;
+      break;
+    }
+    if (Section.Type == SHT_DYNSYM && SymIndex < 0)
+      SymIndex = I;
+  }
+  if (SymIndex < 0) {
+    Error = "no symbol table found";
+    return false;
+  }
+
+  Elf64SectionHeader SymSection = sectionAt(static_cast<uint16_t>(SymIndex));
+  if (SymSection.Link >= Header.ShNum) {
+    Error = "symbol table has no string table";
+    return false;
+  }
+  Elf64SectionHeader StrSection =
+      sectionAt(static_cast<uint16_t>(SymSection.Link));
+  if (SymSection.Offset + SymSection.Size > Data.size() ||
+      StrSection.Offset + StrSection.Size > Data.size() ||
+      SymSection.EntSize < sizeof(Elf64Symbol)) {
+    Error = "malformed symbol or string table";
+    return false;
+  }
+
+  const char *Strings = Data.data() + StrSection.Offset;
+  uint64_t Count = SymSection.Size / SymSection.EntSize;
+  Symbols.clear();
+  ByName.clear();
+  for (uint64_t I = 0; I < Count; ++I) {
+    Elf64Symbol Symbol;
+    std::memcpy(&Symbol,
+                Data.data() + SymSection.Offset + I * SymSection.EntSize,
+                sizeof(Symbol));
+    if ((Symbol.Info & 0xf) != STT_OBJECT || Symbol.Size == 0 ||
+        Symbol.Value == 0 || Symbol.Name == 0 ||
+        Symbol.Name >= StrSection.Size)
+      continue;
+    DataSymbol Parsed;
+    Parsed.Name = Strings + Symbol.Name;
+    Parsed.Address = Symbol.Value;
+    Parsed.Size = Symbol.Size;
+    Symbols.push_back(std::move(Parsed));
+  }
+
+  std::sort(Symbols.begin(), Symbols.end(),
+            [](const DataSymbol &A, const DataSymbol &B) {
+              return A.Address < B.Address;
+            });
+  for (size_t I = 0; I < Symbols.size(); ++I)
+    ByName.emplace(Symbols[I].Name, I);
+  return true;
+}
+
+bool SymbolTable::loadSelf(std::string &Error) {
+  return load("/proc/self/exe", Error);
+}
+
+const DataSymbol *SymbolTable::symbolAt(uint64_t Address,
+                                        uint64_t LoadBias) const {
+  if (Symbols.empty())
+    return nullptr;
+  uint64_t Target = Address - LoadBias;
+  // Binary search for the last symbol with Address <= Target.
+  auto It = std::upper_bound(
+      Symbols.begin(), Symbols.end(), Target,
+      [](uint64_t Value, const DataSymbol &S) { return Value < S.Address; });
+  if (It == Symbols.begin())
+    return nullptr;
+  --It;
+  if (!It->contains(Target))
+    return nullptr;
+  return &*It;
+}
+
+const DataSymbol *SymbolTable::symbolNamed(const std::string &Name) const {
+  auto It = ByName.find(Name);
+  if (It == ByName.end())
+    return nullptr;
+  return &Symbols[It->second];
+}

@@ -1,0 +1,66 @@
+//===- runtime/SymbolTable.h - ELF symbol table reader ----------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal ELF64 symbol-table reader. In real-thread mode Cheetah reports
+/// falsely-shared globals "by searching through the symbol table in the
+/// binary executable" (Section 2.4); this module implements that search
+/// without any external dependency: it parses .symtab/.strtab (falling back
+/// to .dynsym/.dynstr) and answers which named object covers an address.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_RUNTIME_SYMBOLTABLE_H
+#define CHEETAH_RUNTIME_SYMBOLTABLE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cheetah {
+namespace runtime {
+
+/// One data symbol (STT_OBJECT) from the binary.
+struct DataSymbol {
+  std::string Name;
+  uint64_t Address = 0; // link-time address (add load bias for PIE)
+  uint64_t Size = 0;
+
+  bool contains(uint64_t Addr) const {
+    return Addr >= Address && Addr < Address + Size;
+  }
+};
+
+/// Loaded symbol table of one ELF binary.
+class SymbolTable {
+public:
+  /// Parses the data symbols of \p Path.
+  /// \returns false (with \p Error filled) if the file cannot be parsed.
+  bool load(const std::string &Path, std::string &Error);
+
+  /// Convenience: loads the current executable via /proc/self/exe.
+  bool loadSelf(std::string &Error);
+
+  /// \returns the symbol covering \p Address (after subtracting \p LoadBias
+  /// for position-independent executables), or nullptr.
+  const DataSymbol *symbolAt(uint64_t Address, uint64_t LoadBias = 0) const;
+
+  /// \returns the symbol named \p Name, or nullptr.
+  const DataSymbol *symbolNamed(const std::string &Name) const;
+
+  /// All parsed data symbols sorted by address.
+  const std::vector<DataSymbol> &symbols() const { return Symbols; }
+
+private:
+  std::vector<DataSymbol> Symbols;        // sorted by Address
+  std::map<std::string, size_t> ByName;
+};
+
+} // namespace runtime
+} // namespace cheetah
+
+#endif // CHEETAH_RUNTIME_SYMBOLTABLE_H

@@ -1,0 +1,68 @@
+//===- sim/ForkJoinProgram.h - Fork-join program description ----*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Describes a fork-join application as the paper's Figure 3 draws it: an
+/// alternating sequence of serial phases (main thread only) and parallel
+/// phases (a batch of child threads created, run, and joined). Each body is
+/// a factory returning a coroutine that yields the thread's instruction
+/// stream. All evaluated applications in the paper follow this model; the
+/// assessment engine (Section 3.3) depends on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_SIM_FORKJOINPROGRAM_H
+#define CHEETAH_SIM_FORKJOINPROGRAM_H
+
+#include "mem/MemoryAccess.h"
+#include "support/Generator.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cheetah {
+namespace sim {
+
+/// A factory producing the instruction stream of one thread. Factories (not
+/// generators directly) so a program can be executed more than once.
+using ThreadBody = std::function<Generator<ThreadEvent>()>;
+
+/// One serial+parallel step of a fork-join program.
+struct PhaseSpec {
+  /// Optional label used in reports and traces.
+  std::string Name;
+  /// Work the main thread performs before forking (may be null).
+  ThreadBody SerialBody;
+  /// Child threads forked for this phase; joined before the next phase.
+  std::vector<ThreadBody> ParallelBodies;
+};
+
+/// A whole application: phases executed in order. A trailing serial phase is
+/// expressed as a PhaseSpec with no ParallelBodies.
+struct ForkJoinProgram {
+  std::string Name;
+  std::vector<PhaseSpec> Phases;
+
+  /// Appends a phase and returns it for in-place construction.
+  PhaseSpec &addPhase(std::string PhaseName) {
+    Phases.push_back(PhaseSpec{std::move(PhaseName), nullptr, {}});
+    return Phases.back();
+  }
+
+  /// Total number of child threads across all phases.
+  size_t totalChildThreads() const {
+    size_t N = 0;
+    for (const PhaseSpec &Phase : Phases)
+      N += Phase.ParallelBodies.size();
+    return N;
+  }
+};
+
+} // namespace sim
+} // namespace cheetah
+
+#endif // CHEETAH_SIM_FORKJOINPROGRAM_H

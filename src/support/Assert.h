@@ -1,0 +1,52 @@
+//===- support/Assert.h - Assertion helpers ---------------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion macros used throughout the Cheetah library. The library does not
+/// use exceptions; invariant violations abort with a diagnostic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_SUPPORT_ASSERT_H
+#define CHEETAH_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cheetah {
+
+/// Prints a diagnostic and aborts. Used to mark code paths that must never be
+/// reached if the program invariants hold.
+[[noreturn]] inline void unreachableImpl(const char *Msg, const char *File,
+                                         int Line) {
+  std::fprintf(stderr, "%s:%d: unreachable: %s\n", File, Line, Msg);
+  std::abort();
+}
+
+/// Prints a diagnostic for a failed assertion and aborts.
+[[noreturn]] inline void assertFailImpl(const char *Cond, const char *Msg,
+                                        const char *File, int Line) {
+  std::fprintf(stderr, "%s:%d: assertion `%s` failed: %s\n", File, Line, Cond,
+               Msg);
+  std::abort();
+}
+
+} // namespace cheetah
+
+/// Assert \p Cond with an explanatory message. Always enabled: the profiler
+/// is a measurement tool and silent state corruption would invalidate every
+/// number it reports.
+#define CHEETAH_ASSERT(Cond, Msg)                                             \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::cheetah::assertFailImpl(#Cond, Msg, __FILE__, __LINE__);               \
+  } while (false)
+
+/// Marks a point in code that should never be reached.
+#define CHEETAH_UNREACHABLE(Msg)                                               \
+  ::cheetah::unreachableImpl(Msg, __FILE__, __LINE__)
+
+#endif // CHEETAH_SUPPORT_ASSERT_H

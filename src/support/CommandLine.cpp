@@ -1,0 +1,174 @@
+//===- support/CommandLine.cpp - Tiny flag parser -------------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <cstdlib>
+
+using namespace cheetah;
+
+void FlagSet::addString(const std::string &Name, const std::string &Default,
+                        const std::string &Help) {
+  Flag F;
+  F.FlagKind = Kind::String;
+  F.StringValue = Default;
+  F.Help = Help;
+  F.DefaultText = Default;
+  Flags[Name] = std::move(F);
+}
+
+void FlagSet::addInt(const std::string &Name, int64_t Default,
+                     const std::string &Help) {
+  Flag F;
+  F.FlagKind = Kind::Int;
+  F.IntValue = Default;
+  F.Help = Help;
+  F.DefaultText = std::to_string(Default);
+  Flags[Name] = std::move(F);
+}
+
+void FlagSet::addDouble(const std::string &Name, double Default,
+                        const std::string &Help) {
+  Flag F;
+  F.FlagKind = Kind::Double;
+  F.DoubleValue = Default;
+  F.Help = Help;
+  F.DefaultText = formatString("%g", Default);
+  Flags[Name] = std::move(F);
+}
+
+void FlagSet::addBool(const std::string &Name, bool Default,
+                      const std::string &Help) {
+  Flag F;
+  F.FlagKind = Kind::Bool;
+  F.BoolValue = Default;
+  F.Help = Help;
+  F.DefaultText = Default ? "true" : "false";
+  Flags[Name] = std::move(F);
+}
+
+bool FlagSet::assign(Flag &F, const std::string &Text,
+                     std::string &ErrorMessage, const std::string &Name) {
+  switch (F.FlagKind) {
+  case Kind::String:
+    F.StringValue = Text;
+    break;
+  case Kind::Int: {
+    char *End = nullptr;
+    long long V = std::strtoll(Text.c_str(), &End, 0);
+    if (End == Text.c_str() || *End != '\0') {
+      ErrorMessage = "invalid integer for --" + Name + ": '" + Text + "'";
+      return false;
+    }
+    F.IntValue = V;
+    break;
+  }
+  case Kind::Double: {
+    char *End = nullptr;
+    double V = std::strtod(Text.c_str(), &End);
+    if (End == Text.c_str() || *End != '\0') {
+      ErrorMessage = "invalid number for --" + Name + ": '" + Text + "'";
+      return false;
+    }
+    F.DoubleValue = V;
+    break;
+  }
+  case Kind::Bool:
+    if (Text == "true" || Text == "1" || Text == "yes") {
+      F.BoolValue = true;
+    } else if (Text == "false" || Text == "0" || Text == "no") {
+      F.BoolValue = false;
+    } else {
+      ErrorMessage = "invalid boolean for --" + Name + ": '" + Text + "'";
+      return false;
+    }
+    break;
+  }
+  F.Set = true;
+  return true;
+}
+
+bool FlagSet::parse(int Argc, const char *const *Argv,
+                    std::string &ErrorMessage) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (!startsWith(Arg, "--")) {
+      Positional.push_back(Arg);
+      continue;
+    }
+    std::string Body = Arg.substr(2);
+    std::string Name = Body;
+    std::string Value;
+    bool HasValue = false;
+    size_t Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      Name = Body.substr(0, Eq);
+      Value = Body.substr(Eq + 1);
+      HasValue = true;
+    }
+    auto It = Flags.find(Name);
+    if (It == Flags.end()) {
+      ErrorMessage = "unknown flag --" + Name;
+      return false;
+    }
+    Flag &F = It->second;
+    if (!HasValue) {
+      if (F.FlagKind == Kind::Bool) {
+        F.BoolValue = true;
+        F.Set = true;
+        continue;
+      }
+      if (I + 1 >= Argc) {
+        ErrorMessage = "missing value for --" + Name;
+        return false;
+      }
+      Value = Argv[++I];
+    }
+    if (!assign(F, Value, ErrorMessage, Name))
+      return false;
+  }
+  return true;
+}
+
+const FlagSet::Flag *FlagSet::find(const std::string &Name, Kind K) const {
+  auto It = Flags.find(Name);
+  CHEETAH_ASSERT(It != Flags.end(), "flag was never registered");
+  CHEETAH_ASSERT(It->second.FlagKind == K, "flag accessed with wrong type");
+  return &It->second;
+}
+
+const std::string &FlagSet::getString(const std::string &Name) const {
+  return find(Name, Kind::String)->StringValue;
+}
+
+int64_t FlagSet::getInt(const std::string &Name) const {
+  return find(Name, Kind::Int)->IntValue;
+}
+
+double FlagSet::getDouble(const std::string &Name) const {
+  return find(Name, Kind::Double)->DoubleValue;
+}
+
+bool FlagSet::getBool(const std::string &Name) const {
+  return find(Name, Kind::Bool)->BoolValue;
+}
+
+bool FlagSet::wasSet(const std::string &Name) const {
+  auto It = Flags.find(Name);
+  CHEETAH_ASSERT(It != Flags.end(), "flag was never registered");
+  return It->second.Set;
+}
+
+std::string FlagSet::usage(const std::string &ProgramName) const {
+  std::string Out = "usage: " + ProgramName + " [flags]\n";
+  for (const auto &[Name, F] : Flags)
+    Out += formatString("  --%-24s %s (default: %s)\n", Name.c_str(),
+                        F.Help.c_str(), F.DefaultText.c_str());
+  return Out;
+}

@@ -1,0 +1,82 @@
+//===- support/CommandLine.h - Tiny flag parser -----------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small `--flag=value` / `--flag value` parser shared by the tools,
+/// examples, and benchmark harnesses. Only what those binaries need: string,
+/// integer, double, and boolean flags with defaults and a generated usage
+/// string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_SUPPORT_COMMANDLINE_H
+#define CHEETAH_SUPPORT_COMMANDLINE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cheetah {
+
+/// Registry of named command-line flags and their parsed values.
+class FlagSet {
+public:
+  /// Registers a string flag.
+  void addString(const std::string &Name, const std::string &Default,
+                 const std::string &Help);
+  /// Registers an integer flag.
+  void addInt(const std::string &Name, int64_t Default,
+              const std::string &Help);
+  /// Registers a floating-point flag.
+  void addDouble(const std::string &Name, double Default,
+                 const std::string &Help);
+  /// Registers a boolean flag (`--name` alone means true).
+  void addBool(const std::string &Name, bool Default, const std::string &Help);
+
+  /// Parses argv. On error, fills \p ErrorMessage and returns false.
+  /// Non-flag arguments are collected into positional().
+  bool parse(int Argc, const char *const *Argv, std::string &ErrorMessage);
+
+  /// Accessors; the flag must have been registered with the matching type.
+  const std::string &getString(const std::string &Name) const;
+  int64_t getInt(const std::string &Name) const;
+  double getDouble(const std::string &Name) const;
+  bool getBool(const std::string &Name) const;
+
+  /// \returns true if the user explicitly supplied the flag.
+  bool wasSet(const std::string &Name) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string> &positional() const { return Positional; }
+
+  /// \returns a human-readable usage summary of all registered flags.
+  std::string usage(const std::string &ProgramName) const;
+
+private:
+  enum class Kind { String, Int, Double, Bool };
+  struct Flag {
+    Kind FlagKind;
+    std::string StringValue;
+    int64_t IntValue = 0;
+    double DoubleValue = 0.0;
+    bool BoolValue = false;
+    std::string Help;
+    std::string DefaultText;
+    bool Set = false;
+  };
+
+  const Flag *find(const std::string &Name, Kind K) const;
+  bool assign(Flag &F, const std::string &Text, std::string &ErrorMessage,
+              const std::string &Name);
+
+  std::map<std::string, Flag> Flags;
+  std::vector<std::string> Positional;
+};
+
+} // namespace cheetah
+
+#endif // CHEETAH_SUPPORT_COMMANDLINE_H

@@ -1,0 +1,70 @@
+//===- support/Random.h - Deterministic PRNGs -------------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64-based pseudo-random number generation. Every stochastic choice
+/// in the simulator and in the workload models draws from an explicitly
+/// seeded SplitMix64 so runs are reproducible bit-for-bit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_SUPPORT_RANDOM_H
+#define CHEETAH_SUPPORT_RANDOM_H
+
+#include "support/Assert.h"
+
+#include <cstdint>
+
+namespace cheetah {
+
+/// SplitMix64: a tiny, fast, high-quality 64-bit PRNG (Steele et al.).
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ull) : State(Seed) {}
+
+  /// \returns the next 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ull);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    CHEETAH_ASSERT(Bound != 0, "nextBelow(0) is meaningless");
+    // Lemire's multiply-shift rejection-free approximation is fine here: the
+    // tiny modulo bias is irrelevant for workload-shaping purposes.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// \returns a uniformly distributed value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    CHEETAH_ASSERT(Lo <= Hi, "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// \returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// \returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Derives an independent child generator; useful for giving each simulated
+  /// thread its own stream.
+  SplitMix64 split() { return SplitMix64(next() ^ 0xd6e8feb86659fd93ull); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace cheetah
+
+#endif // CHEETAH_SUPPORT_RANDOM_H

@@ -1,0 +1,37 @@
+//===- workloads/Workloads.h - Internal workload registration --*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Internal header linking the per-suite workload translation units to the
+/// public registry in Workload.h. Not part of the public API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_WORKLOADS_WORKLOADS_H
+#define CHEETAH_WORKLOADS_WORKLOADS_H
+
+#include "workloads/Workload.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+namespace cheetah {
+namespace workloads {
+
+/// Appends the eight Phoenix application models.
+void appendPhoenixWorkloads(std::vector<std::unique_ptr<Workload>> &Out);
+
+/// Appends the nine PARSEC application models.
+void appendParsecWorkloads(std::vector<std::unique_ptr<Workload>> &Out);
+
+/// Appends the microbenchmarks (the Figure 1 array increment).
+void appendMicroWorkloads(std::vector<std::unique_ptr<Workload>> &Out);
+
+} // namespace workloads
+} // namespace cheetah
+
+#endif // CHEETAH_WORKLOADS_WORKLOADS_H

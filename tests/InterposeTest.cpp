@@ -1,0 +1,90 @@
+//===- tests/InterposeTest.cpp - interposition runtime tests ---------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interpose/Preload.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace cheetah;
+using namespace cheetah::interpose;
+
+namespace {
+
+class InterposeTest : public ::testing::Test {
+protected:
+  void SetUp() override { resetForTesting(); }
+  void TearDown() override { resetForTesting(); }
+};
+
+TEST_F(InterposeTest, TimestampCounterIsMonotonic) {
+  uint64_t A = readTimestampCounter();
+  uint64_t B = readTimestampCounter();
+  EXPECT_GE(B, A);
+}
+
+TEST_F(InterposeTest, BeginProfilingIsIdempotent) {
+  beginProfiling();
+  InterposeSummary First = summary();
+  beginProfiling();
+  InterposeSummary Second = summary();
+  EXPECT_EQ(First.StartTimestamp, Second.StartTimestamp);
+}
+
+TEST_F(InterposeTest, AllocationCountersTrack) {
+  beginProfiling();
+  void *A = interposedMalloc(100, nullptr);
+  void *B = interposedMalloc(28, nullptr);
+  ASSERT_NE(A, nullptr);
+  ASSERT_NE(B, nullptr);
+  interposedFree(A);
+  interposedFree(B);
+  interposedFree(nullptr); // must be a no-op
+  InterposeSummary Summary = summary();
+  EXPECT_EQ(Summary.Allocations, 2u);
+  EXPECT_EQ(Summary.Deallocations, 2u);
+  EXPECT_EQ(Summary.BytesAllocated, 128u);
+}
+
+TEST_F(InterposeTest, ThreadLifecycleCounters) {
+  beginProfiling();
+  std::thread Worker([] {
+    threadAttach();
+    noteThreadCreate();
+  });
+  Worker.join();
+  noteThreadJoin();
+  InterposeSummary Summary = summary();
+  EXPECT_EQ(Summary.ThreadsCreated, 1u);
+  EXPECT_EQ(Summary.ThreadsJoined, 1u);
+}
+
+TEST_F(InterposeTest, PmuStatusIsAlwaysExplained) {
+  beginProfiling();
+  InterposeSummary Summary = summary();
+  // Either live sampling or a concrete reason (e.g. perf_event_paranoid).
+  EXPECT_FALSE(Summary.PmuStatus.empty());
+  endProfiling();
+}
+
+TEST_F(InterposeTest, CountersThreadSafeUnderContention) {
+  beginProfiling();
+  constexpr int ThreadCount = 4, PerThread = 2000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < ThreadCount; ++T)
+    Threads.emplace_back([] {
+      for (int I = 0; I < PerThread; ++I)
+        interposedFree(interposedMalloc(16, nullptr));
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+  InterposeSummary Summary = summary();
+  EXPECT_EQ(Summary.Allocations, uint64_t(ThreadCount) * PerThread);
+  EXPECT_EQ(Summary.Deallocations, uint64_t(ThreadCount) * PerThread);
+}
+
+} // namespace

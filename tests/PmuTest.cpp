@@ -1,0 +1,253 @@
+//===- tests/PmuTest.cpp - PMU layer tests ---------------------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmu/PerfEventPmu.h"
+#include "pmu/PmuConfig.h"
+#include "pmu/SamplingPolicy.h"
+#include "pmu/SimPmu.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+using namespace cheetah;
+using namespace cheetah::pmu;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// SamplingPolicy
+//===----------------------------------------------------------------------===//
+
+TEST(SamplingPolicyTest, FixedPeriodFiresExactly) {
+  SamplingPolicy Policy(100, /*JitterFraction=*/0.0, /*Seed=*/1);
+  uint32_t Fired = 0;
+  for (int I = 0; I < 1000; ++I)
+    Fired += Policy.advance(1);
+  EXPECT_EQ(Fired, 10u);
+}
+
+TEST(SamplingPolicyTest, LargeAdvanceCrossesMultipleSamples) {
+  SamplingPolicy Policy(100, 0.0, 1);
+  EXPECT_EQ(Policy.advance(1000), 10u);
+}
+
+TEST(SamplingPolicyTest, PeriodOneFiresEveryInstruction) {
+  SamplingPolicy Policy(1, 0.0, 1);
+  for (int I = 0; I < 50; ++I)
+    EXPECT_EQ(Policy.advance(1), 1u);
+}
+
+class JitterTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(JitterTest, MeanRateIsPreservedUnderJitter) {
+  constexpr uint64_t Period = 256;
+  SamplingPolicy Policy(Period, GetParam(), 42);
+  uint64_t Fired = 0;
+  constexpr uint64_t Steps = 4 << 20;
+  Fired = Policy.advance(Steps);
+  double Expected = static_cast<double>(Steps) / Period;
+  EXPECT_NEAR(static_cast<double>(Fired), Expected, Expected * 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Jitters, JitterTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.9));
+
+TEST(SamplingPolicyTest, JitterIsDeterministicPerSeed) {
+  SamplingPolicy A(64, 0.25, 7), B(64, 0.25, 7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_EQ(A.advance(1), B.advance(1));
+}
+
+TEST(SamplingPolicyTest, DifferentSeedsDesynchronize) {
+  SamplingPolicy A(64, 0.25, 1), B(64, 0.25, 2);
+  int SameFires = 0, Fires = 0;
+  for (int I = 0; I < 100000; ++I) {
+    uint32_t FA = A.advance(1), FB = B.advance(1);
+    if (FA && FB)
+      ++SameFires;
+    if (FA)
+      ++Fires;
+  }
+  // Coincident fires should be rare (about Fires/64).
+  EXPECT_LT(SameFires, Fires / 8);
+}
+
+//===----------------------------------------------------------------------===//
+// SimPmu
+//===----------------------------------------------------------------------===//
+
+sim::CoherenceResult hitResult(uint64_t Latency) {
+  sim::CoherenceResult Result;
+  Result.Outcome = sim::AccessOutcome::LocalHit;
+  Result.LatencyCycles = Latency;
+  return Result;
+}
+
+TEST(SimPmuTest, DeliversSamplesAtConfiguredRate) {
+  PmuConfig Config;
+  Config.SamplingPeriod = 64;
+  Config.JitterFraction = 0.0;
+  SimPmu Pmu(Config);
+  uint64_t Delivered = 0;
+  Pmu.setHandler([&](const Sample &) { ++Delivered; });
+  Pmu.onThreadStart(0, true, 0);
+  for (int I = 0; I < 6400; ++I)
+    Pmu.onMemoryAccess(0, MemoryAccess::write(0x100), hitResult(3), I);
+  EXPECT_EQ(Delivered, 100u);
+  EXPECT_EQ(Pmu.samplesDelivered(), 100u);
+}
+
+TEST(SimPmuTest, SampleCarriesAddressTidKindLatency) {
+  PmuConfig Config;
+  Config.SamplingPeriod = 1;
+  Config.JitterFraction = 0.0;
+  SimPmu Pmu(Config);
+  Sample Last;
+  Pmu.setHandler([&](const Sample &S) { Last = S; });
+  Pmu.onThreadStart(7, false, 0);
+  Pmu.onMemoryAccess(7, MemoryAccess::write(0xabcd), hitResult(99), 1234);
+  EXPECT_EQ(Last.Address, 0xabcdu);
+  EXPECT_EQ(Last.Tid, 7u);
+  EXPECT_TRUE(Last.IsWrite);
+  EXPECT_EQ(Last.LatencyCycles, 99u);
+  EXPECT_EQ(Last.Timestamp, 1234u);
+}
+
+TEST(SimPmuTest, ComputeInstructionsAdvanceButDeliverNothing) {
+  PmuConfig Config;
+  Config.SamplingPeriod = 10;
+  Config.JitterFraction = 0.0;
+  SimPmu Pmu(Config);
+  uint64_t Delivered = 0;
+  Pmu.setHandler([&](const Sample &) { ++Delivered; });
+  Pmu.onThreadStart(0, true, 0);
+  Pmu.onInstructions(0, 1000); // crosses 100 sample points, all dropped
+  EXPECT_EQ(Delivered, 0u);
+  // The countdown really advanced: the next memory access fires promptly.
+  uint64_t Before = Delivered;
+  for (int I = 0; I < 10; ++I)
+    Pmu.onMemoryAccess(0, MemoryAccess::read(0x10), hitResult(3), I);
+  EXPECT_GT(Delivered, Before);
+}
+
+TEST(SimPmuTest, ThreadSetupCostChargedPerThread) {
+  PmuConfig Config;
+  Config.ThreadSetupCycles = 1234;
+  SimPmu Pmu(Config);
+  EXPECT_EQ(Pmu.onThreadStart(0, true, 0), 1234u);
+  EXPECT_EQ(Pmu.onThreadStart(1, false, 0), 1234u);
+  EXPECT_EQ(Pmu.threadsConfigured(), 2u);
+}
+
+TEST(SimPmuTest, HandlerCostChargedOnlyOnSamples) {
+  PmuConfig Config;
+  Config.SamplingPeriod = 4;
+  Config.JitterFraction = 0.0;
+  Config.SampleHandlerCycles = 500;
+  SimPmu Pmu(Config);
+  Pmu.setHandler([](const Sample &) {});
+  Pmu.onThreadStart(0, true, 0);
+  uint64_t Charged = 0;
+  for (int I = 0; I < 16; ++I)
+    Charged += Pmu.onMemoryAccess(0, MemoryAccess::read(0x10), hitResult(3), I);
+  EXPECT_EQ(Charged, 4 * 500u);
+}
+
+TEST(SimPmuTest, DisabledPmuIsFree) {
+  PmuConfig Config;
+  Config.SamplingPeriod = 1;
+  SimPmu Pmu(Config);
+  uint64_t Delivered = 0;
+  Pmu.setHandler([&](const Sample &) { ++Delivered; });
+  Pmu.setEnabled(false);
+  EXPECT_EQ(Pmu.onThreadStart(0, true, 0), 0u);
+  EXPECT_EQ(Pmu.onMemoryAccess(0, MemoryAccess::read(0x10), hitResult(3), 0),
+            0u);
+  EXPECT_EQ(Delivered, 0u);
+}
+
+TEST(SimPmuTest, PerThreadCountdownsAreIndependent) {
+  PmuConfig Config;
+  Config.SamplingPeriod = 100;
+  Config.JitterFraction = 0.0;
+  SimPmu Pmu(Config);
+  uint64_t Delivered = 0;
+  Pmu.setHandler([&](const Sample &) { ++Delivered; });
+  Pmu.onThreadStart(0, true, 0);
+  Pmu.onThreadStart(1, false, 0);
+  // 99 accesses on each thread: no thread reaches its own period.
+  for (int I = 0; I < 99; ++I) {
+    Pmu.onMemoryAccess(0, MemoryAccess::read(0x10), hitResult(3), I);
+    Pmu.onMemoryAccess(1, MemoryAccess::read(0x20), hitResult(3), I);
+  }
+  EXPECT_EQ(Delivered, 0u);
+}
+
+TEST(SimPmuTest, ResetClearsCounters) {
+  PmuConfig Config;
+  Config.SamplingPeriod = 1;
+  SimPmu Pmu(Config);
+  Pmu.setHandler([](const Sample &) {});
+  Pmu.onThreadStart(0, true, 0);
+  Pmu.onMemoryAccess(0, MemoryAccess::read(0x10), hitResult(3), 0);
+  EXPECT_GT(Pmu.samplesDelivered(), 0u);
+  Pmu.reset();
+  EXPECT_EQ(Pmu.samplesDelivered(), 0u);
+  EXPECT_EQ(Pmu.threadsConfigured(), 0u);
+}
+
+TEST(PmuConfigTest, WithScaledPeriodKeepsOverheadDensity) {
+  PmuConfig Base;
+  EXPECT_EQ(Base.withScaledPeriod(65536).SampleHandlerCycles,
+            Base.SampleHandlerCycles);
+  PmuConfig Dense = Base.withScaledPeriod(1024);
+  EXPECT_EQ(Dense.SamplingPeriod, 1024u);
+  EXPECT_EQ(Dense.SampleHandlerCycles, Base.SampleHandlerCycles * 1024 / 65536);
+  // Never zero, or the overhead model would vanish entirely.
+  EXPECT_GE(Base.withScaledPeriod(1).SampleHandlerCycles, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// PerfEventPmu (host-dependent: every outcome must be graceful)
+//===----------------------------------------------------------------------===//
+
+TEST(PerfEventTest, ProbeNeverCrashesAndExplainsFailure) {
+  PerfEventStatus Status = PerfEventPmu::probe();
+  if (!Status.Available)
+    EXPECT_FALSE(Status.Reason.empty());
+}
+
+TEST(PerfEventTest, StartStopLifecycleIsSafe) {
+  PmuConfig Config;
+  PerfEventPmu Pmu(Config);
+  PerfEventStatus Status = Pmu.start();
+  if (Status.Available) {
+    EXPECT_TRUE(Pmu.running());
+    // Generate some memory traffic, then drain whatever arrived.
+    volatile uint64_t Sink = 0;
+    std::vector<uint64_t> Buffer(1 << 16);
+    for (size_t I = 0; I < Buffer.size(); ++I)
+      Sink += Buffer[I];
+    std::vector<Sample> Samples;
+    Pmu.drain(Samples); // may legitimately be empty
+  } else {
+    EXPECT_FALSE(Pmu.running());
+    EXPECT_FALSE(Status.Reason.empty());
+  }
+  Pmu.stop();
+  Pmu.stop(); // idempotent
+  EXPECT_FALSE(Pmu.running());
+}
+
+TEST(PerfEventTest, DrainWithoutStartReturnsNothing) {
+  PmuConfig Config;
+  PerfEventPmu Pmu(Config);
+  std::vector<Sample> Samples;
+  EXPECT_EQ(Pmu.drain(Samples), 0u);
+  EXPECT_TRUE(Samples.empty());
+}
+
+} // namespace

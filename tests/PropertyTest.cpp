@@ -1,0 +1,390 @@
+//===- tests/PropertyTest.cpp - randomized whole-pipeline invariants -------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fuzz-style property tests: random fork-join programs (random phase
+/// counts, thread counts, object layouts, read/write mixes) are run through
+/// the full simulator+profiler pipeline and checked against invariants that
+/// must hold for *any* program:
+///
+///  - accounting conservation (events seen by observers == events retired;
+///    per-thread sampled totals == per-object totals summed);
+///  - phase structure partitions the execution and owns every child;
+///  - detection gates (no detail without writes above threshold, no
+///    invalidations without a multi-thread line);
+///  - the coherence model against a brute-force holder-set oracle;
+///  - determinism of the entire stack under a fixed seed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+#include "driver/ProfileSession.h"
+#include "sim/Simulator.h"
+#include "support/Random.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+using namespace cheetah;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Random program construction
+//===----------------------------------------------------------------------===//
+
+struct FuzzSpec {
+  uint64_t Seed = 1;
+  uint32_t MaxPhases = 3;
+  uint32_t MaxThreads = 6;
+  uint32_t MaxObjects = 5;
+  uint64_t EventsPerThread = 3000;
+  double WriteFraction = 0.4;
+  /// Probability a thread's accesses target a shared object rather than
+  /// its private one.
+  double SharedFraction = 0.3;
+};
+
+/// One random thread body: a mix of accesses to a private region and to
+/// randomly chosen shared objects.
+Generator<ThreadEvent> fuzzBody(uint64_t PrivateBase, uint64_t PrivateBytes,
+                                std::vector<uint64_t> SharedBases,
+                                uint64_t SharedBytes, uint64_t Events,
+                                double WriteFraction, double SharedFraction,
+                                uint64_t Seed) {
+  SplitMix64 Rng(Seed);
+  for (uint64_t I = 0; I < Events; ++I) {
+    if (Rng.nextBool(0.2)) {
+      co_yield ThreadEvent::compute(
+          static_cast<uint32_t>(Rng.nextInRange(1, 12)));
+      continue;
+    }
+    uint64_t Base, Span;
+    if (!SharedBases.empty() && Rng.nextBool(SharedFraction)) {
+      Base = SharedBases[Rng.nextBelow(SharedBases.size())];
+      Span = SharedBytes;
+    } else {
+      Base = PrivateBase;
+      Span = PrivateBytes;
+    }
+    uint64_t Address = Base + (Rng.nextBelow(Span / 4)) * 4;
+    if (Rng.nextBool(WriteFraction))
+      co_yield ThreadEvent::write(Address, 4);
+    else
+      co_yield ThreadEvent::read(Address, 4);
+  }
+}
+
+/// Builds a random fork-join program against \p Profiler's heap.
+sim::ForkJoinProgram buildFuzzProgram(core::Profiler &Profiler,
+                                      const FuzzSpec &Spec,
+                                      uint32_t &TotalChildren) {
+  SplitMix64 Rng(Spec.Seed);
+  sim::ForkJoinProgram Program;
+  Program.Name = "fuzz";
+  TotalChildren = 0;
+
+  uint32_t Phases = static_cast<uint32_t>(Rng.nextInRange(1, Spec.MaxPhases));
+  uint32_t Objects =
+      static_cast<uint32_t>(Rng.nextInRange(1, Spec.MaxObjects));
+  constexpr uint64_t SharedBytes = 512;
+
+  std::vector<uint64_t> SharedBases;
+  for (uint32_t O = 0; O < Objects; ++O)
+    SharedBases.push_back(Profiler.heap().allocate(
+        SharedBytes, 0, Profiler.internCallsite("fuzz.c", 100 + O)));
+
+  for (uint32_t P = 0; P < Phases; ++P) {
+    sim::PhaseSpec &Phase = Program.addPhase("fuzz" + std::to_string(P));
+    uint64_t InitBase = SharedBases[P % SharedBases.size()];
+    Phase.SerialBody = [=]() -> Generator<ThreadEvent> {
+      for (uint64_t Offset = 0; Offset < SharedBytes; Offset += 8)
+        co_yield ThreadEvent::write(InitBase + Offset, 8);
+    };
+    uint32_t Threads =
+        static_cast<uint32_t>(Rng.nextInRange(1, Spec.MaxThreads));
+    for (uint32_t T = 0; T < Threads; ++T) {
+      uint64_t Private = Profiler.heap().allocate(
+          4096, 0, Profiler.internCallsite("fuzz.c", 999));
+      uint64_t BodySeed = Rng.next();
+      Phase.ParallelBodies.push_back([=]() {
+        return fuzzBody(Private, 4096, SharedBases, SharedBytes,
+                        Spec.EventsPerThread, Spec.WriteFraction,
+                        Spec.SharedFraction, BodySeed);
+      });
+      ++TotalChildren;
+    }
+  }
+  return Program;
+}
+
+/// Observer recording exact totals for conservation checks.
+class AccountingObserver : public sim::SimObserver {
+public:
+  uint64_t MemoryEvents = 0;
+  uint64_t Instructions = 0;
+  std::set<ThreadId> Started, Ended;
+
+  uint64_t onThreadStart(ThreadId Tid, bool, uint64_t) override {
+    Started.insert(Tid);
+    return 0;
+  }
+  void onThreadEnd(const sim::ThreadRecord &Record) override {
+    Ended.insert(Record.Tid);
+  }
+  uint64_t onMemoryAccess(ThreadId, const MemoryAccess &,
+                          const sim::CoherenceResult &, uint64_t) override {
+    ++MemoryEvents;
+    ++Instructions;
+    return 0;
+  }
+  void onInstructions(ThreadId, uint64_t N) override { Instructions += N; }
+};
+
+class FuzzPipelineTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzPipelineTest, InvariantsHoldOnRandomPrograms) {
+  FuzzSpec Spec;
+  Spec.Seed = GetParam();
+
+  core::ProfilerConfig Config;
+  Config.Pmu = Config.Pmu.withScaledPeriod(64);
+  core::Profiler Profiler(Config);
+  uint32_t TotalChildren = 0;
+  sim::ForkJoinProgram Program =
+      buildFuzzProgram(Profiler, Spec, TotalChildren);
+
+  AccountingObserver Accounting;
+  sim::Simulator Sim(Config.Geometry, sim::LatencyModel());
+  Sim.addObserver(&Accounting);
+  Sim.addObserver(&Profiler);
+  sim::SimulationResult Run = Sim.run(Program);
+  core::ProfileResult Result = Profiler.finish(Run);
+
+  // --- Lifecycle conservation.
+  EXPECT_EQ(Accounting.Started.size(), TotalChildren + 1u);
+  EXPECT_EQ(Accounting.Started, Accounting.Ended);
+  EXPECT_EQ(Run.Threads.size(), TotalChildren + 1u);
+
+  // --- Event conservation: observer totals == exact thread records.
+  uint64_t RecordedMemory = 0, RecordedInstructions = 0;
+  for (const sim::ThreadRecord &Record : Run.Threads) {
+    RecordedMemory += Record.MemoryAccesses;
+    RecordedInstructions += Record.Instructions;
+    EXPECT_LE(Record.StartCycle, Record.EndCycle);
+  }
+  EXPECT_EQ(Accounting.MemoryEvents, RecordedMemory);
+  EXPECT_EQ(Accounting.Instructions, RecordedInstructions);
+  EXPECT_EQ(Run.Coherence.Accesses, RecordedMemory);
+
+  // --- Phase structure: phases tile [begin, end] without overlap and own
+  // every child exactly once.
+  const auto &Phases = Profiler.phases().phases();
+  ASSERT_FALSE(Phases.empty());
+  std::set<ThreadId> Owned;
+  uint64_t Cursor = Phases.front().StartTime;
+  for (const runtime::ExecutionPhase &Phase : Phases) {
+    EXPECT_EQ(Phase.StartTime, Cursor);
+    EXPECT_GE(Phase.EndTime, Phase.StartTime);
+    Cursor = Phase.EndTime;
+    for (ThreadId Member : Phase.Members) {
+      EXPECT_TRUE(Owned.insert(Member).second)
+          << "thread in two phases: " << Member;
+    }
+  }
+  EXPECT_EQ(Owned.size(), TotalChildren);
+  EXPECT_TRUE(Result.ForkJoinVerified);
+
+  // --- Sampling conservation: detector saw what the PMU delivered; the
+  // registry's totals cover every delivered sample.
+  EXPECT_EQ(Result.Detection.SamplesSeen, Result.SamplesDelivered);
+  EXPECT_EQ(Profiler.threadRegistry().totalSampledAccesses(),
+            Result.SamplesDelivered);
+
+  // --- Detection gates: detail only on lines with enough writes; the
+  // object aggregates are consistent with themselves.
+  Profiler.shadow().forEachDetail(
+      [&](uint64_t LineBase, const core::CacheLineInfo &Info) {
+        EXPECT_GT(Profiler.shadow().writeCount(LineBase),
+                  Config.Detect.WriteThreshold);
+        EXPECT_LE(Info.invalidations(), Info.writes());
+        uint64_t WordAccesses = 0;
+        for (const core::WordStats &Word : Info.words())
+          WordAccesses += Word.accesses();
+        EXPECT_EQ(WordAccesses, Info.accesses());
+        uint64_t ThreadAccesses = 0;
+        for (const core::ThreadLineStats &Stats : Info.threads())
+          ThreadAccesses += Stats.Accesses;
+        EXPECT_EQ(ThreadAccesses, Info.accesses());
+        if (Info.invalidations() > 1)
+          EXPECT_GE(Info.threadCount(), 1u);
+      });
+
+  // --- Every report's numbers are self-consistent and its assessment sane.
+  for (const core::FalseSharingReport &Report : Result.AllInstances) {
+    EXPECT_GE(Report.SampledAccesses, Report.SampledWrites);
+    EXPECT_GE(Report.LatencyCycles, Report.SampledAccesses); // >=1 cycle
+    EXPECT_GT(Report.Impact.PredictedAppRuntime, 0.0);
+    EXPECT_GT(Report.Impact.ImprovementFactor, 0.0);
+    EXPECT_LT(Report.Impact.ImprovementFactor, 1000.0);
+    uint64_t PerThreadAccesses = 0;
+    for (const core::ThreadPrediction &P : Report.Impact.Threads)
+      PerThreadAccesses += P.AccessesOnObject;
+    EXPECT_EQ(PerThreadAccesses, Report.SampledAccesses);
+  }
+
+  // --- Full determinism: the identical seed reproduces the run bit for
+  // bit (heap layout, interleaving, sampling, reports).
+  core::Profiler Profiler2(Config);
+  uint32_t TotalChildren2 = 0;
+  sim::ForkJoinProgram Program2 =
+      buildFuzzProgram(Profiler2, Spec, TotalChildren2);
+  sim::Simulator Sim2(Config.Geometry, sim::LatencyModel());
+  Sim2.addObserver(&Profiler2);
+  sim::SimulationResult Run2 = Sim2.run(Program2);
+  core::ProfileResult Result2 = Profiler2.finish(Run2);
+  EXPECT_EQ(Run.TotalCycles, Run2.TotalCycles);
+  EXPECT_EQ(Result.SamplesDelivered, Result2.SamplesDelivered);
+  ASSERT_EQ(Result.AllInstances.size(), Result2.AllInstances.size());
+  for (size_t I = 0; I < Result.AllInstances.size(); ++I) {
+    EXPECT_EQ(Result.AllInstances[I].Object.Start,
+              Result2.AllInstances[I].Object.Start);
+    EXPECT_EQ(Result.AllInstances[I].Invalidations,
+              Result2.AllInstances[I].Invalidations);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzPipelineTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+//===----------------------------------------------------------------------===//
+// Coherence model vs brute-force holder-set oracle
+//===----------------------------------------------------------------------===//
+
+struct OracleParams {
+  uint32_t Threads;
+  uint32_t Lines;
+  double WriteFraction;
+  uint64_t Seed;
+};
+
+class CoherenceOracleTest : public ::testing::TestWithParam<OracleParams> {};
+
+TEST_P(CoherenceOracleTest, MatchesHolderSetOracle) {
+  const OracleParams &Params = GetParam();
+  CacheGeometry Geometry(64);
+  sim::LatencyModel Latency;
+  sim::CoherenceModel Model(Geometry, Latency);
+
+  // Oracle: per line, the set of holders and a dirty bit, maintained by
+  // the textbook invalidation protocol.
+  struct OracleLine {
+    std::set<ThreadId> Holders;
+    bool Dirty = false;
+    bool Touched = false;
+  };
+  std::map<uint64_t, OracleLine> Oracle;
+
+  SplitMix64 Rng(Params.Seed);
+  uint64_t Now = 0;
+  for (int I = 0; I < 30000; ++I) {
+    ThreadId Tid = static_cast<ThreadId>(Rng.nextBelow(Params.Threads));
+    uint64_t Line = Rng.nextBelow(Params.Lines);
+    uint64_t Address = 0x100000 + Line * 64 + Rng.nextBelow(16) * 4;
+    bool IsWrite = Rng.nextBool(Params.WriteFraction);
+    MemoryAccess Access = IsWrite ? MemoryAccess::write(Address)
+                                  : MemoryAccess::read(Address);
+
+    OracleLine &Ref = Oracle[Line];
+    bool Held = Ref.Holders.count(Tid) > 0;
+    uint32_t ExpectedVictims =
+        IsWrite ? static_cast<uint32_t>(Ref.Holders.size()) - (Held ? 1 : 0)
+                : 0;
+    bool ExpectedHit =
+        Held && (!IsWrite || (Ref.Holders.size() == 1 && Ref.Dirty));
+    bool ExpectedCold = !Ref.Touched;
+
+    sim::CoherenceResult Result = Model.access(Tid, Access, Now);
+    Now += Result.LatencyCycles + 1;
+
+    EXPECT_EQ(Result.Invalidated, ExpectedVictims) << "step " << I;
+    if (ExpectedCold)
+      EXPECT_EQ(Result.Outcome, sim::AccessOutcome::ColdMiss) << "step " << I;
+    if (ExpectedHit && !ExpectedCold && !IsWrite)
+      EXPECT_EQ(Result.Outcome, sim::AccessOutcome::LocalHit) << "step " << I;
+
+    // Advance the oracle.
+    Ref.Touched = true;
+    if (IsWrite) {
+      Ref.Holders.clear();
+      Ref.Holders.insert(Tid);
+      Ref.Dirty = true;
+    } else {
+      Ref.Holders.insert(Tid);
+      if (!Held && Ref.Dirty)
+        Ref.Dirty = false; // dirty supplier downgraded
+    }
+    // Cross-check the model's holder view.
+    std::vector<ThreadId> Holders = Model.holdersOf(Address);
+    std::set<ThreadId> ModelHolders(Holders.begin(), Holders.end());
+    EXPECT_EQ(ModelHolders, Ref.Holders) << "step " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, CoherenceOracleTest,
+    ::testing::Values(OracleParams{2, 1, 0.5, 21}, OracleParams{2, 8, 0.3, 22},
+                      OracleParams{4, 2, 0.7, 23}, OracleParams{8, 4, 0.5, 24},
+                      OracleParams{8, 16, 0.1, 25},
+                      OracleParams{16, 8, 0.9, 26},
+                      OracleParams{32, 32, 0.5, 27},
+                      OracleParams{3, 1, 1.0, 28}));
+
+//===----------------------------------------------------------------------===//
+// Geometry sweep: detection is line-size aware end to end
+//===----------------------------------------------------------------------===//
+
+class GeometrySweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeometrySweepTest, PaddingToTheConfiguredLineSizeSilencesReports) {
+  // A two-thread program writing slots padded exactly to the configured
+  // line size must never be reported, at any geometry; halving the padding
+  // must be reported (slots share lines again).
+  uint64_t LineSize = GetParam();
+  for (bool Padded : {true, false}) {
+    core::ProfilerConfig Config;
+    Config.Geometry = CacheGeometry(LineSize);
+    Config.Pmu = Config.Pmu.withScaledPeriod(32);
+    core::Profiler Profiler(Config);
+    uint64_t Stride = Padded ? LineSize : LineSize / 2;
+    uint64_t Slots = Profiler.globals().defineAligned("slots", 2 * Stride);
+
+    sim::ForkJoinProgram Program;
+    sim::PhaseSpec &Phase = Program.addPhase("p");
+    for (uint32_t T = 0; T < 2; ++T) {
+      uint64_t Slot = Slots + T * Stride;
+      Phase.ParallelBodies.push_back([=]() -> Generator<ThreadEvent> {
+        for (int I = 0; I < 20000; ++I)
+          co_yield ThreadEvent::write(Slot, 4);
+      });
+    }
+    sim::Simulator Sim(Config.Geometry, sim::LatencyModel());
+    Sim.addObserver(&Profiler);
+    core::ProfileResult Result = Profiler.finish(Sim.run(Program));
+    if (Padded)
+      EXPECT_TRUE(Result.Reports.empty()) << "line size " << LineSize;
+    else
+      EXPECT_FALSE(Result.Reports.empty()) << "line size " << LineSize;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LineSizes, GeometrySweepTest,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+} // namespace

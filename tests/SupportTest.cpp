@@ -1,0 +1,344 @@
+//===- tests/SupportTest.cpp - support library tests ----------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/CommandLine.h"
+#include "support/Generator.h"
+#include "support/Random.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+using namespace cheetah;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Generator
+//===----------------------------------------------------------------------===//
+
+Generator<int> countUpTo(int Limit) {
+  for (int I = 0; I < Limit; ++I)
+    co_yield I;
+}
+
+Generator<int> emptyGenerator() { co_return; }
+
+TEST(GeneratorTest, YieldsAllValuesInOrder) {
+  Generator<int> Gen = countUpTo(5);
+  std::vector<int> Values;
+  while (Gen.next())
+    Values.push_back(Gen.value());
+  EXPECT_EQ(Values, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(GeneratorTest, EmptyGeneratorProducesNothing) {
+  Generator<int> Gen = emptyGenerator();
+  EXPECT_FALSE(Gen.next());
+}
+
+TEST(GeneratorTest, ExhaustedGeneratorStaysExhausted) {
+  Generator<int> Gen = countUpTo(1);
+  EXPECT_TRUE(Gen.next());
+  EXPECT_FALSE(Gen.next());
+  EXPECT_FALSE(Gen.next());
+}
+
+TEST(GeneratorTest, MoveTransfersOwnership) {
+  Generator<int> Gen = countUpTo(3);
+  EXPECT_TRUE(Gen.next());
+  Generator<int> Moved = std::move(Gen);
+  EXPECT_TRUE(Moved.next());
+  EXPECT_EQ(Moved.value(), 1);
+  EXPECT_FALSE(static_cast<bool>(Gen));
+}
+
+TEST(GeneratorTest, DefaultConstructedIsEmpty) {
+  Generator<int> Gen;
+  EXPECT_FALSE(Gen.next());
+  EXPECT_FALSE(static_cast<bool>(Gen));
+}
+
+TEST(GeneratorTest, ByValueParametersSurviveFrameLifetime) {
+  // Parameters are copied into the coroutine frame; the original goes away.
+  auto Make = [](std::vector<int> Data) {
+    return [](std::vector<int> Copy) -> Generator<int> {
+      for (int V : Copy)
+        co_yield V;
+    }(std::move(Data));
+  };
+  Generator<int> Gen = Make({7, 8, 9});
+  std::vector<int> Values;
+  while (Gen.next())
+    Values.push_back(Gen.value());
+  EXPECT_EQ(Values, (std::vector<int>{7, 8, 9}));
+}
+
+//===----------------------------------------------------------------------===//
+// SplitMix64
+//===----------------------------------------------------------------------===//
+
+TEST(RandomTest, DeterministicForSeed) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  SplitMix64 A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 2);
+}
+
+TEST(RandomTest, NextBelowStaysInRange) {
+  SplitMix64 Rng(7);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+}
+
+TEST(RandomTest, NextInRangeInclusiveBounds) {
+  SplitMix64 Rng(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t V = Rng.nextInRange(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    SawLo |= V == 3;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  SplitMix64 Rng(11);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rng.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, NextBelowRoughlyUniform) {
+  SplitMix64 Rng(13);
+  std::vector<int> Buckets(8, 0);
+  constexpr int N = 80000;
+  for (int I = 0; I < N; ++I)
+    ++Buckets[Rng.nextBelow(8)];
+  for (int Count : Buckets) {
+    EXPECT_GT(Count, N / 8 - N / 80);
+    EXPECT_LT(Count, N / 8 + N / 80);
+  }
+}
+
+TEST(RandomTest, SplitProducesIndependentStream) {
+  SplitMix64 Parent(21);
+  SplitMix64 Child = Parent.split();
+  int Same = 0;
+  for (int I = 0; I < 64; ++I)
+    Same += Parent.next() == Child.next();
+  EXPECT_LT(Same, 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Statistics
+//===----------------------------------------------------------------------===//
+
+TEST(StatisticsTest, EmptyStats) {
+  OnlineStats Stats;
+  EXPECT_EQ(Stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(Stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(Stats.variance(), 0.0);
+}
+
+TEST(StatisticsTest, MeanAndVarianceMatchClosedForm) {
+  OnlineStats Stats;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    Stats.add(X);
+  EXPECT_DOUBLE_EQ(Stats.mean(), 5.0);
+  EXPECT_NEAR(Stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(Stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(Stats.sum(), 40.0);
+}
+
+TEST(StatisticsTest, MergeEqualsSequential) {
+  OnlineStats A, B, All;
+  for (int I = 0; I < 50; ++I) {
+    double X = std::sin(I) * 10;
+    (I % 2 ? A : B).add(X);
+    All.add(X);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(A.min(), All.min());
+  EXPECT_DOUBLE_EQ(A.max(), All.max());
+}
+
+TEST(StatisticsTest, MergeWithEmptySides) {
+  OnlineStats A, Empty;
+  A.add(3.0);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 1u);
+  OnlineStats B;
+  B.merge(A);
+  EXPECT_EQ(B.count(), 1u);
+  EXPECT_DOUBLE_EQ(B.mean(), 3.0);
+}
+
+TEST(StatisticsTest, PercentileInterpolates) {
+  std::vector<double> Values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(Values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(Values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(Values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(Values, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({42.0}, 0.99), 42.0);
+}
+
+TEST(StatisticsTest, GeometricMean) {
+  EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(StatisticsTest, ArithmeticMean) {
+  EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+}
+
+//===----------------------------------------------------------------------===//
+// StringUtils
+//===----------------------------------------------------------------------===//
+
+TEST(StringUtilsTest, FormatString) {
+  EXPECT_EQ(formatString("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(formatString("empty"), "empty");
+  // Long outputs must not truncate.
+  std::string Long = formatString("%0512d", 1);
+  EXPECT_EQ(Long.size(), 512u);
+}
+
+TEST(StringUtilsTest, FormatWithCommas) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(1234567), "1,234,567");
+}
+
+TEST(StringUtilsTest, FormatHuman) {
+  EXPECT_EQ(formatHuman(512), "512");
+  EXPECT_EQ(formatHuman(65536), "64K");
+  EXPECT_EQ(formatHuman(1 << 20), "1M");
+  EXPECT_EQ(formatHuman(1000), "1000"); // not a multiple of 1024
+}
+
+TEST(StringUtilsTest, SplitAndTrim) {
+  EXPECT_EQ(splitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(splitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(trimString("  x y \n"), "x y");
+  EXPECT_EQ(trimString(" \t "), "");
+}
+
+TEST(StringUtilsTest, StartsWith) {
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-", "--"));
+}
+
+TEST(StringUtilsTest, TextTableAlignsColumns) {
+  TextTable Table;
+  Table.setHeader({"a", "long-column"});
+  Table.addRow({"xx", "1"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("a   long-column"), std::string::npos);
+  EXPECT_NE(Out.find("xx  1"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+  EXPECT_EQ(Table.rowCount(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// FlagSet
+//===----------------------------------------------------------------------===//
+
+TEST(CommandLineTest, ParsesAllTypes) {
+  FlagSet Flags;
+  Flags.addString("name", "d", "");
+  Flags.addInt("count", 1, "");
+  Flags.addDouble("ratio", 0.5, "");
+  Flags.addBool("on", false, "");
+  const char *Argv[] = {"prog", "--name=x",   "--count", "42",
+                        "--ratio=2.5", "--on", "positional"};
+  std::string Error;
+  ASSERT_TRUE(Flags.parse(7, Argv, Error)) << Error;
+  EXPECT_EQ(Flags.getString("name"), "x");
+  EXPECT_EQ(Flags.getInt("count"), 42);
+  EXPECT_DOUBLE_EQ(Flags.getDouble("ratio"), 2.5);
+  EXPECT_TRUE(Flags.getBool("on"));
+  ASSERT_EQ(Flags.positional().size(), 1u);
+  EXPECT_EQ(Flags.positional()[0], "positional");
+}
+
+TEST(CommandLineTest, DefaultsApplyWhenUnset) {
+  FlagSet Flags;
+  Flags.addInt("n", 9, "");
+  const char *Argv[] = {"prog"};
+  std::string Error;
+  ASSERT_TRUE(Flags.parse(1, Argv, Error));
+  EXPECT_EQ(Flags.getInt("n"), 9);
+  EXPECT_FALSE(Flags.wasSet("n"));
+}
+
+TEST(CommandLineTest, RejectsUnknownFlag) {
+  FlagSet Flags;
+  const char *Argv[] = {"prog", "--mystery"};
+  std::string Error;
+  EXPECT_FALSE(Flags.parse(2, Argv, Error));
+  EXPECT_NE(Error.find("mystery"), std::string::npos);
+}
+
+TEST(CommandLineTest, RejectsBadInteger) {
+  FlagSet Flags;
+  Flags.addInt("n", 0, "");
+  const char *Argv[] = {"prog", "--n=abc"};
+  std::string Error;
+  EXPECT_FALSE(Flags.parse(2, Argv, Error));
+}
+
+TEST(CommandLineTest, BoolAcceptsExplicitValues) {
+  FlagSet Flags;
+  Flags.addBool("b", true, "");
+  const char *Argv[] = {"prog", "--b=false"};
+  std::string Error;
+  ASSERT_TRUE(Flags.parse(2, Argv, Error));
+  EXPECT_FALSE(Flags.getBool("b"));
+}
+
+TEST(CommandLineTest, MissingValueIsAnError) {
+  FlagSet Flags;
+  Flags.addInt("n", 0, "");
+  const char *Argv[] = {"prog", "--n"};
+  std::string Error;
+  EXPECT_FALSE(Flags.parse(2, Argv, Error));
+}
+
+TEST(CommandLineTest, UsageListsFlags) {
+  FlagSet Flags;
+  Flags.addInt("alpha", 3, "the alpha knob");
+  std::string Usage = Flags.usage("tool");
+  EXPECT_NE(Usage.find("alpha"), std::string::npos);
+  EXPECT_NE(Usage.find("the alpha knob"), std::string::npos);
+  EXPECT_NE(Usage.find("3"), std::string::npos);
+}
+
+} // namespace

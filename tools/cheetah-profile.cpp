@@ -1,0 +1,175 @@
+//===- tools/cheetah-profile.cpp - Cheetah CLI -----------------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front end: run any modeled workload under the Cheetah
+/// profiler and print its reports, optionally comparing against the padded
+/// ("fixed") variant and against a native (unprofiled) run.
+///
+/// Examples:
+///   cheetah-profile --workload=linear_regression --threads=16
+///   cheetah-profile --workload=streamcluster --fix --verify
+///   cheetah-profile --list
+///
+//===----------------------------------------------------------------------===//
+
+#include "driver/ProfileSession.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace cheetah;
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags;
+  Flags.addString("workload", "linear_regression", "workload model to run");
+  Flags.addInt("threads", 16, "child threads per parallel phase");
+  Flags.addDouble("scale", 1.0, "work multiplier");
+  Flags.addInt("sampling-period", 8192, "instructions between PMU samples");
+  Flags.addInt("line-size", 64, "cache line size in bytes");
+  Flags.addBool("fix", false, "apply the padding fix to known FS sites");
+  Flags.addBool("verify", false,
+                "also run the fixed variant and compare against the "
+                "predicted improvement");
+  Flags.addBool("native", false, "additionally time a run without Cheetah");
+  Flags.addBool("all-instances", false,
+                "print every tracked object, not only significant reports");
+  Flags.addBool("hex", false, "print counters in hex like the paper");
+  Flags.addBool("list", false, "list available workloads and exit");
+  Flags.addBool("dump-threads", false,
+                "print exact per-thread execution records");
+  Flags.addInt("seed", 0x43484545, "workload RNG seed");
+
+  std::string Error;
+  if (!Flags.parse(Argc, Argv, Error)) {
+    std::fprintf(stderr, "error: %s\n%s", Error.c_str(),
+                 Flags.usage("cheetah-profile").c_str());
+    return 1;
+  }
+
+  if (Flags.getBool("list")) {
+    TextTable Table;
+    Table.setHeader({"name", "suite", "description"});
+    for (const auto &Workload : workloads::createAllWorkloads())
+      Table.addRow(
+          {Workload->name(), Workload->suite(), Workload->description()});
+    std::fputs(Table.render().c_str(), stdout);
+    return 0;
+  }
+
+  std::string Name = Flags.getString("workload");
+  auto Workload = workloads::createWorkload(Name);
+  if (!Workload) {
+    std::fprintf(stderr, "error: unknown workload '%s' (try --list)\n",
+                 Name.c_str());
+    return 1;
+  }
+
+  driver::SessionConfig Config;
+  Config.Profiler.Geometry =
+      CacheGeometry(static_cast<uint64_t>(Flags.getInt("line-size")));
+  Config.Profiler.Pmu = Config.Profiler.Pmu.withScaledPeriod(
+      static_cast<uint64_t>(Flags.getInt("sampling-period")));
+  Config.Workload.Threads = static_cast<uint32_t>(Flags.getInt("threads"));
+  Config.Workload.Scale = Flags.getDouble("scale");
+  Config.Workload.FixFalseSharing = Flags.getBool("fix");
+  Config.Workload.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+
+  driver::SessionResult Result = driver::runWorkload(*Workload, Config);
+  const core::ProfileResult &Profile = Result.Profile;
+
+  std::printf("== %s (threads=%u scale=%.2f fix=%s) ==\n", Name.c_str(),
+              Config.Workload.Threads, Config.Workload.Scale,
+              Config.Workload.FixFalseSharing ? "yes" : "no");
+  std::printf("runtime %s cycles, %s samples (%s filtered), "
+              "serial avg latency %.2f cycles, fork-join %s\n",
+              formatWithCommas(Profile.AppRuntime).c_str(),
+              formatWithCommas(Profile.SamplesDelivered).c_str(),
+              formatWithCommas(Profile.Detection.SamplesFiltered).c_str(),
+              Profile.SerialAverageLatency,
+              Profile.ForkJoinVerified ? "verified" : "NOT fork-join");
+
+  const sim::CoherenceStats &Coherence = Result.Run.Coherence;
+  std::printf("coherence: %s accesses, %s hits, %s cold, %s clean-xfer, "
+              "%s dirty-xfer, %s upgrades, %s invalidations-sent\n",
+              formatWithCommas(Coherence.Accesses).c_str(),
+              formatWithCommas(Coherence.LocalHits).c_str(),
+              formatWithCommas(Coherence.ColdMisses).c_str(),
+              formatWithCommas(Coherence.CleanTransfers).c_str(),
+              formatWithCommas(Coherence.DirtyTransfers).c_str(),
+              formatWithCommas(Coherence.Upgrades).c_str(),
+              formatWithCommas(Coherence.InvalidationsSent).c_str());
+
+  if (Flags.getBool("dump-threads")) {
+    TextTable Table;
+    Table.setHeader({"tid", "phase", "runtime", "instructions", "mem-accesses",
+                     "mem-cycles", "avg-mem-latency"});
+    for (const auto &Record : Result.Run.Threads)
+      Table.addRow({std::to_string(Record.Tid),
+                    std::to_string(Record.PhaseIndex),
+                    formatWithCommas(Record.runtime()),
+                    formatWithCommas(Record.Instructions),
+                    formatWithCommas(Record.MemoryAccesses),
+                    formatWithCommas(Record.MemoryCycles),
+                    formatString("%.1f", Record.MemoryAccesses
+                                             ? static_cast<double>(
+                                                   Record.MemoryCycles) /
+                                                   Record.MemoryAccesses
+                                             : 0.0)});
+    std::fputs(Table.render().c_str(), stdout);
+    TextTable PhaseTable;
+    PhaseTable.setHeader({"phase", "kind", "start", "end", "span", "members"});
+    for (const auto &Phase : Result.Run.Phases)
+      PhaseTable.addRow({Phase.Name, Phase.Parallel ? "parallel" : "serial",
+                         formatWithCommas(Phase.StartCycle),
+                         formatWithCommas(Phase.EndCycle),
+                         formatWithCommas(Phase.span()),
+                         std::to_string(Phase.Members.size())});
+    std::fputs(PhaseTable.render().c_str(), stdout);
+  }
+
+  core::ReportFormatOptions Options;
+  Options.HexCounters = Flags.getBool("hex");
+
+  const auto &ToPrint = Flags.getBool("all-instances") ? Profile.AllInstances
+                                                       : Profile.Reports;
+  if (ToPrint.empty()) {
+    std::printf("\nNo significant false sharing detected.\n");
+  } else {
+    std::printf("\n%s\n", core::formatSummaryTable(ToPrint).c_str());
+    for (const auto &Report : ToPrint) {
+      std::fputs(core::formatReport(Report, Options).c_str(), stdout);
+      std::fputs("\n", stdout);
+    }
+  }
+
+  if (Flags.getBool("native")) {
+    driver::SessionConfig Native = Config;
+    Native.EnableProfiler = false;
+    driver::SessionResult NativeRun = driver::runWorkload(*Workload, Native);
+    double Overhead = static_cast<double>(Result.Run.TotalCycles) /
+                          static_cast<double>(NativeRun.Run.TotalCycles) -
+                      1.0;
+    std::printf("native runtime %s cycles; Cheetah overhead %.2f%%\n",
+                formatWithCommas(NativeRun.Run.TotalCycles).c_str(),
+                Overhead * 100.0);
+  }
+
+  if (Flags.getBool("verify") && !Profile.Reports.empty()) {
+    driver::SessionConfig Fixed = Config;
+    Fixed.Workload.FixFalseSharing = true;
+    Fixed.EnableProfiler = false;
+    driver::SessionResult FixedRun = driver::runWorkload(*Workload, Fixed);
+    double Real = static_cast<double>(Profile.AppRuntime) /
+                  static_cast<double>(FixedRun.Run.TotalCycles);
+    double Predicted = Profile.Reports.front().Impact.ImprovementFactor;
+    std::printf("verification: predicted %.2fx, actual (padded rerun) "
+                "%.2fx, diff %+.1f%%\n",
+                Predicted, Real, (Predicted / Real - 1.0) * 100.0);
+  }
+  return 0;
+}
