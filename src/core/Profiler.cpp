@@ -9,7 +9,7 @@
 #include "support/Assert.h"
 
 #include <algorithm>
-#include <map>
+#include <unordered_map>
 
 using namespace cheetah;
 using namespace cheetah::core;
@@ -50,21 +50,27 @@ runtime::CallsiteId Profiler::internCallsite(runtime::Callsite Site) {
 }
 
 uint64_t Profiler::onThreadStart(ThreadId Tid, bool IsMain, uint64_t Now) {
-  Threads.threadStarted(Tid, IsMain, Now);
-  if (IsMain) {
-    CHEETAH_ASSERT(!MainSeen, "second main thread");
-    MainSeen = true;
-    Phases.programBegin(Tid, Now);
-  } else {
-    // In the simulator every child is created by the main thread; real-mode
-    // interposition would pass the true creator.
-    Phases.threadCreated(Tid, /*Creator=*/0, Now);
+  {
+    // Thread lifecycle events may arrive while other threads are mid-batch
+    // in ingestBatch; registry growth and phase transitions share its lock.
+    std::lock_guard<std::mutex> Lock(IngestMutex);
+    Threads.threadStarted(Tid, IsMain, Now);
+    if (IsMain) {
+      CHEETAH_ASSERT(!MainSeen, "second main thread");
+      MainSeen = true;
+      Phases.programBegin(Tid, Now);
+    } else {
+      // In the simulator every child is created by the main thread;
+      // real-mode interposition would pass the true creator.
+      Phases.threadCreated(Tid, /*Creator=*/0, Now);
+    }
   }
   // Per-thread PMU programming cost (six pfmon APIs + six syscalls).
   return Pmu.onThreadStart(Tid, IsMain, Now);
 }
 
 void Profiler::onThreadEnd(const sim::ThreadRecord &Record) {
+  std::lock_guard<std::mutex> Lock(IngestMutex);
   Threads.threadFinished(Record.Tid, Record.EndCycle);
   if (Record.IsMain)
     Phases.programEnd(Record.EndCycle);
@@ -83,18 +89,99 @@ void Profiler::onInstructions(ThreadId Tid, uint64_t Count) {
 }
 
 void Profiler::handleSample(const pmu::Sample &Sample) {
-  // Every thread records its own samples (F_SETOWN_EX-style dispatch).
-  if (Threads.known(Sample.Tid))
-    Threads.recordSample(Sample.Tid, Sample.LatencyCycles);
+  ingestBatch(&Sample, 1);
+}
 
-  bool InParallel = Phases.inParallelPhase();
-  if (!InParallel && Shadow.covers(Sample.Address)) {
-    // Serial-phase samples have no false sharing: their latencies
-    // approximate AverCycles_nofs for EQ.1.
-    SerialLatency.add(Sample.LatencyCycles);
-    ++SerialSampleCount;
+void Profiler::ingestBatch(const pmu::Sample *Samples, size_t Count) {
+  if (Count == 0)
+    return;
+
+  if (Count == 1) {
+    // Single-sample fast path (the simulator's per-sample handler): one
+    // short critical section for the bookkeeping, detection outside it.
+    const pmu::Sample &Sample = Samples[0];
+    bool InParallel;
+    {
+      std::lock_guard<std::mutex> Lock(IngestMutex);
+      InParallel = Phases.inParallelPhase();
+      // Every thread records its own samples (F_SETOWN_EX-style dispatch).
+      if (Threads.known(Sample.Tid))
+        Threads.recordSample(Sample.Tid, Sample.LatencyCycles);
+      if (!InParallel && Shadow.covers(Sample.Address)) {
+        // Serial-phase samples have no false sharing: their latencies
+        // approximate AverCycles_nofs for EQ.1.
+        SerialLatency.add(Sample.LatencyCycles);
+        ++SerialSampleCount;
+      }
+    }
+    Detect.handleSample(Sample, InParallel);
+    return;
   }
-  Detect.handleSample(Sample, InParallel);
+
+  // Phase state is read once per batch: sampling is statistical, so a batch
+  // straddling a phase boundary attributes its samples to the phase active
+  // at drain time, matching what per-sample delivery would have seen within
+  // one signal handler.
+  bool InParallel;
+  {
+    std::lock_guard<std::mutex> Lock(IngestMutex);
+    InParallel = Phases.inParallelPhase();
+  }
+
+  // Every thread records its own samples (F_SETOWN_EX-style dispatch), so a
+  // batch nearly always carries one Tid; accumulate per-tid totals in a
+  // fixed-size scratch table and apply them under one lock per batch.
+  struct TidTotals {
+    ThreadId Tid = 0;
+    uint64_t Count = 0;
+    uint64_t Cycles = 0;
+  };
+  constexpr size_t MaxBatchTids = 16;
+  TidTotals Totals[MaxBatchTids];
+  size_t NumTids = 0;
+  OnlineStats BatchSerial;
+  uint64_t BatchSerialCount = 0;
+
+  auto FlushBookkeeping = [&] {
+    std::lock_guard<std::mutex> Lock(IngestMutex);
+    for (size_t I = 0; I < NumTids; ++I)
+      if (Threads.known(Totals[I].Tid))
+        Threads.recordSamples(Totals[I].Tid, Totals[I].Count,
+                              Totals[I].Cycles);
+    NumTids = 0;
+    if (BatchSerialCount) {
+      SerialLatency.merge(BatchSerial);
+      SerialSampleCount += BatchSerialCount;
+      BatchSerial = OnlineStats();
+      BatchSerialCount = 0;
+    }
+  };
+
+  for (size_t I = 0; I < Count; ++I) {
+    const pmu::Sample &Sample = Samples[I];
+
+    size_t T = 0;
+    while (T < NumTids && Totals[T].Tid != Sample.Tid)
+      ++T;
+    if (T == NumTids) {
+      if (NumTids == MaxBatchTids) {
+        FlushBookkeeping();
+        T = 0;
+      }
+      Totals[NumTids++] = TidTotals{Sample.Tid, 0, 0};
+    }
+    ++Totals[T].Count;
+    Totals[T].Cycles += Sample.LatencyCycles;
+
+    if (!InParallel && Shadow.covers(Sample.Address)) {
+      // Serial-phase samples have no false sharing: their latencies
+      // approximate AverCycles_nofs for EQ.1.
+      BatchSerial.add(Sample.LatencyCycles);
+      ++BatchSerialCount;
+    }
+    Detect.handleSample(Sample, InParallel);
+  }
+  FlushBookkeeping();
 }
 
 /// Aggregation bucket: one reportable object (heap object or global) plus
@@ -163,20 +250,26 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run) {
   Assessor Assess(Threads, Phases, Config.Assess);
   Assess.setSerialLatencyStats(SerialLatency);
 
-  // Group every materialized line by its containing object. Key: heap
-  // object start (tag 0) or global start (tag 1) or raw line base (tag 2)
-  // for unattributed heap-range lines.
-  std::map<std::pair<int, uint64_t>, ObjectAggregate> Aggregates;
+  // Group every materialized line by its containing object. Key: the object
+  // start address packed with a 2-bit tag in the top bits — heap object
+  // start (tag 0), global start (tag 1), or raw line base (tag 2) for
+  // unattributed heap-range lines. Addresses are user-space (< 2^48), so
+  // the tag can never collide with address bits. An unordered_map sized up
+  // front keeps report generation linear in the line population instead of
+  // paying a red-black-tree rebalance per line.
+  auto PackKey = [](int Tag, uint64_t Start) {
+    return (static_cast<uint64_t>(Tag) << 62) | Start;
+  };
+  std::unordered_map<uint64_t, ObjectAggregate> Aggregates;
+  Aggregates.reserve(Shadow.materializedLines());
 
   Shadow.forEachDetail([&](uint64_t LineBase, const CacheLineInfo &Info) {
     if (Info.accesses() == 0)
       return;
-    std::pair<int, uint64_t> Key;
     ObjectAggregate *Aggregate = nullptr;
 
     if (const runtime::HeapObject *Object = Heap.objectAt(LineBase)) {
-      Key = {0, Object->Start};
-      Aggregate = &Aggregates[Key];
+      Aggregate = &Aggregates[PackKey(0, Object->Start)];
       if (Aggregate->Lines == 0) {
         Aggregate->Object.IsHeap = true;
         Aggregate->Object.Start = Object->Start;
@@ -188,8 +281,7 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run) {
       }
     } else if (const runtime::GlobalVariable *Var =
                    Globals.globalAt(LineBase)) {
-      Key = {1, Var->Start};
-      Aggregate = &Aggregates[Key];
+      Aggregate = &Aggregates[PackKey(1, Var->Start)];
       if (Aggregate->Lines == 0) {
         Aggregate->Object.IsHeap = false;
         Aggregate->Object.GlobalName = Var->Name;
@@ -199,8 +291,7 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run) {
     } else {
       // Line inside the arena but before any object (allocator metadata or
       // a freed region): report it as an anonymous range.
-      Key = {2, LineBase};
-      Aggregate = &Aggregates[Key];
+      Aggregate = &Aggregates[PackKey(2, LineBase)];
       if (Aggregate->Lines == 0) {
         Aggregate->Object.IsHeap = Heap.covers(LineBase);
         Aggregate->Object.Start = LineBase;

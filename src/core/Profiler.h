@@ -42,6 +42,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace cheetah {
@@ -115,7 +116,16 @@ public:
 
   /// Feeds one sample directly (used by the real perf_event path and by
   /// tests; the simulator path goes through the observer hooks).
+  /// Equivalent to ingestBatch(&Sample, 1).
   void handleSample(const pmu::Sample &Sample);
+
+  /// Batched sample ingestion, safe to call from many application threads
+  /// concurrently: per-thread registry and serial-latency bookkeeping is
+  /// accumulated per batch and applied under one short lock, while the
+  /// detection hot path (atomic write counters + striped line locks) runs
+  /// without any profiler-wide serialization. This is what the per-thread
+  /// sample buffers of the interpose runtime drain into.
+  void ingestBatch(const pmu::Sample *Samples, size_t Count);
 
   /// Current phase state (exposed for tests).
   const runtime::PhaseTracker &phases() const { return Phases; }
@@ -149,6 +159,10 @@ private:
   Detector Detect;
   SharingClassifier Classifier;
   pmu::SimPmu Pmu;
+  /// Guards Threads/Phases/SerialLatency bookkeeping during concurrent
+  /// ingestion (the detection path is internally thread-safe and does not
+  /// take it).
+  std::mutex IngestMutex;
   OnlineStats SerialLatency;
   uint64_t SerialSampleCount = 0;
   bool MainSeen = false;

@@ -6,20 +6,23 @@
 
 #include "core/detect/Detector.h"
 
+#include <mutex>
+
 using namespace cheetah;
 using namespace cheetah::core;
 
 bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,
                             uint8_t AccessBytes) {
-  ++Stats.SamplesSeen;
+  SamplesSeen.fetch_add(1, std::memory_order_relaxed);
   if (!Shadow.covers(Sample.Address)) {
     // Kernel, libraries, stack: Cheetah filters these out (Section 4.1).
-    ++Stats.SamplesFiltered;
+    SamplesFiltered.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
 
   // Stage 1: cheap write counting on every covered sample. This is what
-  // makes write-once memory never pay for detailed tracking.
+  // makes write-once memory never pay for detailed tracking. Atomic, so
+  // concurrent ingesters never lose a count.
   uint32_t LineWrites = 0;
   if (Sample.IsWrite)
     LineWrites = Shadow.noteWrite(Sample.Address);
@@ -44,11 +47,17 @@ bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,
     LastByte = Geometry.lineSize() - 1; // clamp straddling accesses
   uint64_t WordSpan = LastByte / WordSize - WordIndex + 1;
 
-  bool Invalidation = Info->recordAccess(
-      Sample.Tid, Sample.IsWrite ? AccessKind::Write : AccessKind::Read,
-      WordIndex, WordSpan, Sample.LatencyCycles);
+  bool Invalidation;
+  {
+    // The striped line lock serializes the two-entry table and per-word
+    // counter updates for this line against other ingesting threads.
+    std::lock_guard<std::mutex> Lock(Shadow.lineLock(Sample.Address));
+    Invalidation = Info->recordAccess(
+        Sample.Tid, Sample.IsWrite ? AccessKind::Write : AccessKind::Read,
+        WordIndex, WordSpan, Sample.LatencyCycles);
+  }
   if (Invalidation)
-    ++Stats.Invalidations;
-  ++Stats.SamplesRecorded;
+    Invalidations.fetch_add(1, std::memory_order_relaxed);
+  SamplesRecorded.fetch_add(1, std::memory_order_relaxed);
   return true;
 }

@@ -12,6 +12,12 @@
 /// rule. Detailed tracking is gated to parallel phases to avoid reporting
 /// initialize-then-share objects as shared (Section 2.4).
 ///
+/// handleSample is safe to call from many ingesting threads concurrently:
+/// the stage-1 write counters are atomic, materialization races are
+/// resolved by the shadow memory's CAS publication, stage-2 line mutation
+/// is serialized by the shadow memory's striped line locks, and the
+/// detector's own counters are relaxed atomics (stats() takes a snapshot).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_DETECT_DETECTOR_H
@@ -21,6 +27,7 @@
 #include "mem/CacheGeometry.h"
 #include "pmu/Sample.h"
 
+#include <atomic>
 #include <cstdint>
 
 namespace cheetah {
@@ -53,12 +60,20 @@ public:
 
   /// Processes one PMU sample. \p InParallelPhase reflects the phase
   /// tracker's state at delivery time. \p AccessBytes is the access width
-  /// for word marking.
+  /// for word marking. Thread-safe.
   /// \returns true if the sample was recorded in detailed tracking.
   bool handleSample(const pmu::Sample &Sample, bool InParallelPhase,
                     uint8_t AccessBytes = 4);
 
-  const DetectorStats &stats() const { return Stats; }
+  /// Snapshot of the counters (consistent enough once ingestion quiesces).
+  DetectorStats stats() const {
+    DetectorStats Result;
+    Result.SamplesSeen = SamplesSeen.load(std::memory_order_relaxed);
+    Result.SamplesFiltered = SamplesFiltered.load(std::memory_order_relaxed);
+    Result.SamplesRecorded = SamplesRecorded.load(std::memory_order_relaxed);
+    Result.Invalidations = Invalidations.load(std::memory_order_relaxed);
+    return Result;
+  }
 
   /// The shadow memory the detector writes into.
   ShadowMemory &shadow() { return Shadow; }
@@ -68,7 +83,10 @@ private:
   CacheGeometry Geometry;
   ShadowMemory &Shadow;
   DetectorConfig Config;
-  DetectorStats Stats;
+  std::atomic<uint64_t> SamplesSeen{0};
+  std::atomic<uint64_t> SamplesFiltered{0};
+  std::atomic<uint64_t> SamplesRecorded{0};
+  std::atomic<uint64_t> Invalidations{0};
 };
 
 } // namespace core

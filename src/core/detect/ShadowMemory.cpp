@@ -8,6 +8,8 @@
 
 #include "support/Assert.h"
 
+#include <bit>
+
 using namespace cheetah;
 using namespace cheetah::core;
 
@@ -21,12 +23,24 @@ ShadowMemory::ShadowMemory(const CacheGeometry &Geometry,
     Slab NewSlab;
     NewSlab.Base = Region.Base;
     NewSlab.Size = Region.Size;
-    size_t Lines = static_cast<size_t>(
+    NewSlab.Lines = static_cast<size_t>(
         (Region.Size + Geometry.lineSize() - 1) >> Geometry.lineShift());
-    NewSlab.WriteCounts.assign(Lines, 0);
-    NewSlab.Details.resize(Lines);
+    NewSlab.WriteCounts =
+        std::make_unique<std::atomic<uint32_t>[]>(NewSlab.Lines);
+    NewSlab.Details =
+        std::make_unique<std::atomic<CacheLineInfo *>[]>(NewSlab.Lines);
+    for (size_t I = 0; I < NewSlab.Lines; ++I) {
+      NewSlab.WriteCounts[I].store(0, std::memory_order_relaxed);
+      NewSlab.Details[I].store(nullptr, std::memory_order_relaxed);
+    }
     Slabs.push_back(std::move(NewSlab));
   }
+}
+
+ShadowMemory::~ShadowMemory() {
+  for (Slab &Region : Slabs)
+    for (size_t I = 0; I < Region.Lines; ++I)
+      delete Region.Details[I].load(std::memory_order_relaxed);
 }
 
 const ShadowMemory::Slab *ShadowMemory::slabFor(uint64_t Address) const {
@@ -52,55 +66,72 @@ bool ShadowMemory::covers(uint64_t Address) const {
 uint32_t ShadowMemory::noteWrite(uint64_t Address) {
   Slab *Region = slabFor(Address);
   CHEETAH_ASSERT(Region != nullptr, "noteWrite outside monitored regions");
-  return ++Region->WriteCounts[lineIndexIn(*Region, Address)];
+  return Region->WriteCounts[lineIndexIn(*Region, Address)].fetch_add(
+             1, std::memory_order_relaxed) +
+         1;
 }
 
 uint32_t ShadowMemory::writeCount(uint64_t Address) const {
   const Slab *Region = slabFor(Address);
   CHEETAH_ASSERT(Region != nullptr, "writeCount outside monitored regions");
-  return Region->WriteCounts[lineIndexIn(*Region, Address)];
+  return Region->WriteCounts[lineIndexIn(*Region, Address)].load(
+      std::memory_order_relaxed);
 }
 
 CacheLineInfo *ShadowMemory::detail(uint64_t Address) {
   Slab *Region = slabFor(Address);
   CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
-  return Region->Details[lineIndexIn(*Region, Address)].get();
+  return Region->Details[lineIndexIn(*Region, Address)].load(
+      std::memory_order_acquire);
 }
 
 const CacheLineInfo *ShadowMemory::detail(uint64_t Address) const {
   const Slab *Region = slabFor(Address);
   CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
-  return Region->Details[lineIndexIn(*Region, Address)].get();
+  return Region->Details[lineIndexIn(*Region, Address)].load(
+      std::memory_order_acquire);
 }
 
 CacheLineInfo &ShadowMemory::materializeDetail(uint64_t Address) {
   Slab *Region = slabFor(Address);
   CHEETAH_ASSERT(Region != nullptr, "materialize outside monitored regions");
-  auto &Slot = Region->Details[lineIndexIn(*Region, Address)];
-  if (!Slot)
-    Slot = std::make_unique<CacheLineInfo>(Geometry.wordsPerLine());
-  return *Slot;
+  std::atomic<CacheLineInfo *> &Slot =
+      Region->Details[lineIndexIn(*Region, Address)];
+  CacheLineInfo *Existing = Slot.load(std::memory_order_acquire);
+  if (Existing)
+    return *Existing;
+  auto *Fresh = new CacheLineInfo(Geometry.wordsPerLine());
+  if (Slot.compare_exchange_strong(Existing, Fresh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    MaterializedCount.fetch_add(1, std::memory_order_relaxed);
+    return *Fresh;
+  }
+  // Another ingesting thread won the race; use its published info.
+  delete Fresh;
+  return *Existing;
 }
 
-size_t ShadowMemory::materializedLines() const {
-  size_t Count = 0;
-  for (const Slab &Region : Slabs)
-    for (const auto &Slot : Region.Details)
-      if (Slot)
-        ++Count;
-  return Count;
+std::mutex &ShadowMemory::lineLock(uint64_t Address) {
+  // Fibonacci hash of the line index spreads adjacent lines across stripes;
+  // the top bits of the product index the stripe array.
+  static_assert((LockStripeCount & (LockStripeCount - 1)) == 0,
+                "stripe count must be a power of two");
+  constexpr unsigned Shift = 64 - std::bit_width(LockStripeCount - 1);
+  uint64_t Line = Address >> Geometry.lineShift();
+  return LockStripes[(Line * 0x9e3779b97f4a7c15ull) >> Shift];
 }
 
 size_t ShadowMemory::shadowBytes() const {
   size_t Bytes = 0;
   for (const Slab &Region : Slabs) {
-    Bytes += Region.WriteCounts.size() * sizeof(uint32_t);
-    Bytes += Region.Details.size() * sizeof(void *);
-    for (const auto &Slot : Region.Details)
-      if (Slot)
+    Bytes += Region.Lines * sizeof(std::atomic<uint32_t>);
+    Bytes += Region.Lines * sizeof(std::atomic<CacheLineInfo *>);
+    for (size_t I = 0; I < Region.Lines; ++I)
+      if (const CacheLineInfo *Info =
+              Region.Details[I].load(std::memory_order_acquire))
         Bytes += sizeof(CacheLineInfo) +
-                 Slot->words().size() * sizeof(WordStats) +
-                 Slot->threads().size() * sizeof(ThreadLineStats);
+                 Info->words().size() * sizeof(WordStats) +
+                 Info->threads().size() * sizeof(ThreadLineStats);
   }
   return Bytes;
 }

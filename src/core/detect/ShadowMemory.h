@@ -13,6 +13,13 @@
 /// only materialized for lines whose write count crosses the susceptibility
 /// threshold.
 ///
+/// The arrays are safe to update from many ingesting threads concurrently:
+/// write counters are per-slab arrays of relaxed atomics, detail pointers
+/// are published with a compare-and-swap (losers delete their allocation),
+/// and mutation of a materialized CacheLineInfo is serialized by a striped
+/// lock obtained via lineLock(). Readers that run after ingestion quiesces
+/// (report generation, tests) see fully published state.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_DETECT_SHADOWMEMORY_H
@@ -21,8 +28,11 @@
 #include "core/detect/CacheLineInfo.h"
 #include "mem/CacheGeometry.h"
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 namespace cheetah {
@@ -39,12 +49,16 @@ class ShadowMemory {
 public:
   ShadowMemory(const CacheGeometry &Geometry,
                std::vector<ShadowRegion> Regions);
+  ~ShadowMemory();
+
+  ShadowMemory(const ShadowMemory &) = delete;
+  ShadowMemory &operator=(const ShadowMemory &) = delete;
 
   /// \returns true if \p Address falls inside a monitored region. Accesses
   /// elsewhere (stack, kernel, libraries) are filtered out (Section 4.1).
   bool covers(uint64_t Address) const;
 
-  /// Increments the write counter of \p Address's line.
+  /// Atomically increments the write counter of \p Address's line.
   /// \returns the new count. \p Address must be covered.
   uint32_t noteWrite(uint64_t Address);
 
@@ -57,7 +71,13 @@ public:
   const CacheLineInfo *detail(uint64_t Address) const;
 
   /// Materializes (if needed) and returns the detailed info for the line.
+  /// Safe to race: exactly one allocation wins publication.
   CacheLineInfo &materializeDetail(uint64_t Address);
+
+  /// The striped lock serializing mutation of \p Address's line detail
+  /// (CacheLineInfo and its embedded CacheLineTable). All ingestion paths
+  /// must hold it around CacheLineInfo::recordAccess.
+  std::mutex &lineLock(uint64_t Address);
 
   /// First byte address of the line containing \p Address.
   uint64_t lineBase(uint64_t Address) const {
@@ -67,14 +87,18 @@ public:
   /// Invokes \p Fn(lineBaseAddress, info) for every materialized line.
   template <typename Function> void forEachDetail(Function Fn) const {
     for (const Slab &Region : Slabs)
-      for (size_t I = 0; I < Region.Details.size(); ++I)
-        if (Region.Details[I])
+      for (size_t I = 0; I < Region.Lines; ++I)
+        if (const CacheLineInfo *Info =
+                Region.Details[I].load(std::memory_order_acquire))
           Fn(Region.Base + (static_cast<uint64_t>(I) << Geometry.lineShift()),
-             *Region.Details[I]);
+             *Info);
   }
 
-  /// Number of lines with materialized detail.
-  size_t materializedLines() const;
+  /// Number of lines with materialized detail (O(1): maintained as a
+  /// counter on publication, not by scanning the slabs).
+  size_t materializedLines() const {
+    return MaterializedCount.load(std::memory_order_relaxed);
+  }
 
   /// Approximate bytes of shadow metadata currently allocated (for the
   /// memory ablation).
@@ -86,9 +110,12 @@ private:
   struct Slab {
     uint64_t Base = 0;
     uint64_t Size = 0;
-    std::vector<uint32_t> WriteCounts;                  // one per line
-    std::vector<std::unique_ptr<CacheLineInfo>> Details; // one per line
+    size_t Lines = 0;
+    std::unique_ptr<std::atomic<uint32_t>[]> WriteCounts;     // one per line
+    std::unique_ptr<std::atomic<CacheLineInfo *>[]> Details;  // one per line
   };
+
+  static constexpr size_t LockStripeCount = 64;
 
   const Slab *slabFor(uint64_t Address) const;
   Slab *slabFor(uint64_t Address);
@@ -96,6 +123,8 @@ private:
 
   CacheGeometry Geometry;
   std::vector<Slab> Slabs;
+  std::array<std::mutex, LockStripeCount> LockStripes;
+  std::atomic<size_t> MaterializedCount{0};
 };
 
 } // namespace core

@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -34,6 +35,20 @@ uint64_t cheetah::interpose::readTimestampCounter() {
 
 namespace {
 
+/// How many samples a thread buffers before handing them to the sink as
+/// one batch. Large enough to amortize the sink's per-batch bookkeeping
+/// lock, small enough that reports stay fresh.
+constexpr size_t SampleBatchCapacity = 256;
+
+/// One application thread's private sample staging area. The owner thread
+/// appends; the mutex only sees cross-thread traffic when summary() or
+/// endProfiling() drains all buffers, so the hot path takes an uncontended
+/// lock.
+struct ThreadSampleBuffer {
+  std::mutex Lock;
+  std::vector<pmu::Sample> Samples;
+};
+
 /// Global interposition state. Counters are atomics: the wrappers run on
 /// arbitrary application threads.
 struct RuntimeState {
@@ -44,6 +59,8 @@ struct RuntimeState {
   std::atomic<uint64_t> ThreadsCreated{0};
   std::atomic<uint64_t> ThreadsJoined{0};
   std::atomic<uint64_t> SamplesCollected{0};
+  std::atomic<uint64_t> SamplesBuffered{0};
+  std::atomic<uint64_t> SamplesIngested{0};
   uint64_t StartTimestamp = 0;
   bool PmuAvailable = false;
   std::string PmuStatus;
@@ -54,6 +71,15 @@ struct RuntimeState {
   // collection where the host permits it.
   pmu::PerfEventPmu *MainSampler = nullptr;
   std::vector<pmu::Sample> PendingSamples;
+
+  /// Registry of every thread's staging buffer, so cross-thread drains can
+  /// reach samples a thread has not flushed itself. Append-only for the
+  /// lifetime of a profiled run.
+  std::mutex BuffersMutex;
+  std::vector<std::shared_ptr<ThreadSampleBuffer>> Buffers;
+
+  std::mutex SinkMutex;
+  SampleBatchSink Sink;
 };
 
 RuntimeState &state() {
@@ -61,6 +87,41 @@ RuntimeState &state() {
   // where initialization order is hostile.
   static RuntimeState State;
   return State;
+}
+
+/// The calling thread's buffer, registered with the global state on first
+/// use. The registry's shared_ptr keeps it drainable after thread exit.
+ThreadSampleBuffer &threadBuffer() {
+  thread_local std::shared_ptr<ThreadSampleBuffer> Buffer = [] {
+    auto Fresh = std::make_shared<ThreadSampleBuffer>();
+    RuntimeState &State = state();
+    std::lock_guard<std::mutex> Lock(State.BuffersMutex);
+    State.Buffers.push_back(Fresh);
+    return Fresh;
+  }();
+  return *Buffer;
+}
+
+/// Hands \p Batch to the sink (or parks it in PendingSamples when no sink
+/// is installed) and clears it. Called with no buffer lock held.
+void deliverBatch(std::vector<pmu::Sample> &Batch) {
+  if (Batch.empty())
+    return;
+  RuntimeState &State = state();
+  SampleBatchSink Sink;
+  {
+    std::lock_guard<std::mutex> Lock(State.SinkMutex);
+    Sink = State.Sink;
+  }
+  if (Sink) {
+    Sink(Batch.data(), Batch.size());
+    State.SamplesIngested.fetch_add(Batch.size(), std::memory_order_relaxed);
+  } else {
+    std::lock_guard<std::mutex> Lock(State.PmuMutex);
+    State.PendingSamples.insert(State.PendingSamples.end(), Batch.begin(),
+                                Batch.end());
+  }
+  Batch.clear();
 }
 
 } // namespace
@@ -86,21 +147,107 @@ void cheetah::interpose::beginProfiling() {
 
 void cheetah::interpose::threadAttach() {
   // Per-thread PMU programming. With perf_event inheritance unavailable in
-  // self-monitoring mode, each thread would open its own fd; we account the
-  // attach and leave collection to the main session.
-  state().ThreadsCreated.fetch_add(0); // attach is counted by noteThreadCreate
+  // self-monitoring mode, each thread would open its own fd; we register
+  // the thread's sample staging buffer and leave collection to the main
+  // session (attach itself is counted by noteThreadCreate).
+  threadBuffer();
+}
+
+void cheetah::interpose::setSampleSink(SampleBatchSink Sink) {
+  RuntimeState &State = state();
+  {
+    std::lock_guard<std::mutex> Lock(State.SinkMutex);
+    State.Sink = std::move(Sink);
+  }
+  // Samples parked while no sink was installed belong to the new sink.
+  std::vector<pmu::Sample> Parked;
+  {
+    std::lock_guard<std::mutex> Lock(State.PmuMutex);
+    Parked.swap(State.PendingSamples);
+  }
+  deliverBatch(Parked);
+}
+
+void cheetah::interpose::recordSample(const pmu::Sample &Sample) {
+  RuntimeState &State = state();
+  ThreadSampleBuffer &Buffer = threadBuffer();
+  std::vector<pmu::Sample> Full;
+  {
+    std::lock_guard<std::mutex> Lock(Buffer.Lock);
+    if (Buffer.Samples.capacity() < SampleBatchCapacity)
+      Buffer.Samples.reserve(SampleBatchCapacity);
+    Buffer.Samples.push_back(Sample);
+    if (Buffer.Samples.size() >= SampleBatchCapacity)
+      Full.swap(Buffer.Samples);
+  }
+  State.SamplesBuffered.fetch_add(1, std::memory_order_relaxed);
+  if (!Full.empty()) {
+    deliverBatch(Full);
+    // deliverBatch cleared Full but kept its 256-slot storage; hand it back
+    // to the buffer so steady-state sampling never reallocates. Only this
+    // thread appends to its own buffer, so empty means still-drained.
+    std::lock_guard<std::mutex> Lock(Buffer.Lock);
+    if (Buffer.Samples.empty())
+      Buffer.Samples.swap(Full);
+  }
+}
+
+void cheetah::interpose::flushThreadSamples() {
+  ThreadSampleBuffer &Buffer = threadBuffer();
+  std::vector<pmu::Sample> Drained;
+  {
+    std::lock_guard<std::mutex> Lock(Buffer.Lock);
+    Drained.swap(Buffer.Samples);
+  }
+  deliverBatch(Drained);
+}
+
+void cheetah::interpose::flushAllSamples() {
+  RuntimeState &State = state();
+  std::vector<std::shared_ptr<ThreadSampleBuffer>> Snapshot;
+  {
+    std::lock_guard<std::mutex> Lock(State.BuffersMutex);
+    Snapshot = State.Buffers;
+  }
+  std::vector<pmu::Sample> Drained;
+  for (const auto &Buffer : Snapshot) {
+    {
+      std::lock_guard<std::mutex> Lock(Buffer->Lock);
+      Drained.swap(Buffer->Samples);
+    }
+    deliverBatch(Drained);
+  }
+
+  // Samples the real PMU sampler (or a sink-less deliverBatch) parked in
+  // PendingSamples also belong to the sink once one is installed.
+  bool HaveSink;
+  {
+    std::lock_guard<std::mutex> Lock(State.SinkMutex);
+    HaveSink = static_cast<bool>(State.Sink);
+  }
+  if (HaveSink) {
+    std::vector<pmu::Sample> Parked;
+    {
+      std::lock_guard<std::mutex> Lock(State.PmuMutex);
+      Parked.swap(State.PendingSamples);
+    }
+    deliverBatch(Parked);
+  }
 }
 
 void cheetah::interpose::endProfiling() {
   RuntimeState &State = state();
-  std::lock_guard<std::mutex> Lock(State.PmuMutex);
-  if (State.MainSampler) {
-    State.SamplesCollected +=
-        State.MainSampler->drain(State.PendingSamples);
-    State.MainSampler->stop();
-    delete State.MainSampler;
-    State.MainSampler = nullptr;
+  {
+    std::lock_guard<std::mutex> Lock(State.PmuMutex);
+    if (State.MainSampler) {
+      State.SamplesCollected +=
+          State.MainSampler->drain(State.PendingSamples);
+      State.MainSampler->stop();
+      delete State.MainSampler;
+      State.MainSampler = nullptr;
+    }
   }
+  flushAllSamples();
 }
 
 void *cheetah::interpose::interposedMalloc(size_t Size, void *ReturnAddress) {
@@ -134,6 +281,7 @@ InterposeSummary cheetah::interpose::summary() {
       State.SamplesCollected +=
           State.MainSampler->drain(State.PendingSamples);
   }
+  flushAllSamples();
   InterposeSummary Result;
   Result.Allocations = State.Allocations.load();
   Result.Deallocations = State.Deallocations.load();
@@ -141,6 +289,8 @@ InterposeSummary cheetah::interpose::summary() {
   Result.ThreadsCreated = State.ThreadsCreated.load();
   Result.ThreadsJoined = State.ThreadsJoined.load();
   Result.SamplesCollected = State.SamplesCollected.load();
+  Result.SamplesBuffered = State.SamplesBuffered.load();
+  Result.SamplesIngested = State.SamplesIngested.load();
   Result.PmuAvailable = State.PmuAvailable;
   Result.PmuStatus = State.PmuStatus;
   Result.StartTimestamp = State.StartTimestamp;
@@ -157,9 +307,22 @@ void cheetah::interpose::resetForTesting() {
   State.ThreadsCreated = 0;
   State.ThreadsJoined = 0;
   State.SamplesCollected = 0;
+  State.SamplesBuffered = 0;
+  State.SamplesIngested = 0;
   State.PmuAvailable = false;
   State.PmuStatus.clear();
   State.PendingSamples.clear();
+  {
+    std::lock_guard<std::mutex> Lock(State.SinkMutex);
+    State.Sink = nullptr;
+  }
+  // Buffers stay registered (live threads keep thread_local references to
+  // them); emptying them is enough to isolate tests from each other.
+  std::lock_guard<std::mutex> Lock(State.BuffersMutex);
+  for (const auto &Buffer : State.Buffers) {
+    std::lock_guard<std::mutex> BufferLock(Buffer->Lock);
+    Buffer->Samples.clear();
+  }
 }
 
 //===----------------------------------------------------------------------===//

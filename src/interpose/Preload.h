@@ -24,8 +24,11 @@
 #ifndef CHEETAH_INTERPOSE_PRELOAD_H
 #define CHEETAH_INTERPOSE_PRELOAD_H
 
+#include "pmu/Sample.h"
+
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 
 namespace cheetah {
@@ -39,6 +42,10 @@ struct InterposeSummary {
   uint64_t ThreadsCreated = 0;
   uint64_t ThreadsJoined = 0;
   uint64_t SamplesCollected = 0;
+  /// Samples that passed through the per-thread buffers.
+  uint64_t SamplesBuffered = 0;
+  /// Samples delivered to the registered batch sink.
+  uint64_t SamplesIngested = 0;
   bool PmuAvailable = false;
   std::string PmuStatus;
   /// TSC at beginProfiling().
@@ -67,6 +74,28 @@ void interposedFree(void *Ptr);
 /// pthread_create/pthread_join wrappers.
 void noteThreadCreate();
 void noteThreadJoin();
+
+/// Batch consumer for drained samples. The driver typically wires this to
+/// core::Profiler::ingestBatch, which is safe to call from many threads —
+/// any sink installed here must be equally thread-safe.
+using SampleBatchSink = std::function<void(const pmu::Sample *, size_t)>;
+
+/// Installs (or, with an empty function, removes) the sink that drained
+/// sample batches are delivered to. Without a sink, drained samples are
+/// retained until one is installed or the state is reset.
+void setSampleSink(SampleBatchSink Sink);
+
+/// Appends one sample to the calling thread's private buffer. The buffer
+/// lock is only ever contended by an explicit cross-thread drain, so many
+/// application threads can record concurrently without serializing on any
+/// global state; full buffers are delivered to the sink in one batch.
+void recordSample(const pmu::Sample &Sample);
+
+/// Delivers the calling thread's buffered samples to the sink now.
+void flushThreadSamples();
+
+/// Drains every thread's buffer (also done by summary()/endProfiling()).
+void flushAllSamples();
 
 /// Drains any pending PMU samples and returns the current counters.
 InterposeSummary summary();

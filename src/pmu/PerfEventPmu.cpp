@@ -68,7 +68,6 @@ PerfEventStatus PerfEventPmu::probe() {
     close(static_cast<int>(Fd));
     return {true, ""};
   }
-  int Err = errno;
   // Retry without precision: some hosts expose counting but not precise
   // sampling; report which capability is missing.
   Attr.precise_ip = 0;
@@ -78,6 +77,10 @@ PerfEventStatus PerfEventPmu::probe() {
     return {false, "PMU present but precise (PEBS/IBS) address sampling "
                    "unavailable on this host"};
   }
+  // The retry can fail for a different reason than the first attempt (e.g.
+  // EINVAL for the precise request, then EACCES from paranoid settings), so
+  // report the errno of the attempt we are actually giving up on.
+  int Err = errno;
   return {false, std::string("perf_event_open failed: ") + strerror(Err) +
                      " (check /proc/sys/kernel/perf_event_paranoid "
                      "and container seccomp policy)"};

@@ -36,9 +36,14 @@ void ThreadRegistry::threadFinished(ThreadId Tid, uint64_t Now) {
 }
 
 void ThreadRegistry::recordSample(ThreadId Tid, uint32_t LatencyCycles) {
+  recordSamples(Tid, 1, LatencyCycles);
+}
+
+void ThreadRegistry::recordSamples(ThreadId Tid, uint64_t Count,
+                                   uint64_t Cycles) {
   ThreadProfile &Profile = mutableProfile(Tid);
-  Profile.SampledAccesses += 1;
-  Profile.SampledCycles += LatencyCycles;
+  Profile.SampledAccesses += Count;
+  Profile.SampledCycles += Cycles;
 }
 
 const ThreadProfile &ThreadRegistry::profile(ThreadId Tid) const {

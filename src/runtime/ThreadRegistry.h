@@ -55,6 +55,10 @@ public:
   /// Accumulates one sampled access for \p Tid.
   void recordSample(ThreadId Tid, uint32_t LatencyCycles);
 
+  /// Accumulates a pre-aggregated batch of \p Count sampled accesses whose
+  /// latencies sum to \p Cycles (the batched-ingest fast path).
+  void recordSamples(ThreadId Tid, uint64_t Count, uint64_t Cycles);
+
   /// \returns the profile for \p Tid; the thread must have started.
   const ThreadProfile &profile(ThreadId Tid) const;
 

@@ -46,7 +46,12 @@ public:
   /// \returns a uniformly distributed value in [Lo, Hi] inclusive.
   uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
     CHEETAH_ASSERT(Lo <= Hi, "empty range");
-    return Lo + nextBelow(Hi - Lo + 1);
+    uint64_t Span = Hi - Lo + 1;
+    // Span wraps to 0 exactly when the range covers all 2^64 values, in
+    // which case any raw draw is uniform; nextBelow(0) would assert.
+    if (Span == 0)
+      return next();
+    return Lo + nextBelow(Span);
   }
 
   /// \returns a double uniformly distributed in [0, 1).

@@ -118,6 +118,30 @@ TEST(RandomTest, NextInRangeInclusiveBounds) {
   EXPECT_TRUE(SawHi);
 }
 
+TEST(RandomTest, NextInRangeFullWidthDoesNotWrap) {
+  // Hi - Lo + 1 wraps to 0 for the full 64-bit range; the fix falls back to
+  // a raw draw instead of tripping the nextBelow(0) assert.
+  SplitMix64 Rng(17);
+  uint64_t Or = 0, And = ~0ull;
+  for (int I = 0; I < 256; ++I) {
+    uint64_t V = Rng.nextInRange(0, ~0ull);
+    Or |= V;
+    And &= V;
+  }
+  // 256 full-width draws cover both halves of the value space.
+  EXPECT_GT(Or, 1ull << 63);
+  EXPECT_LT(And, 1ull << 63);
+}
+
+TEST(RandomTest, NextInRangeFullWidthNonzeroLo) {
+  SplitMix64 Rng(19);
+  // A single-value range must return that value.
+  EXPECT_EQ(Rng.nextInRange(42, 42), 42u);
+  // Maximal range anchored above zero still honours the lower bound.
+  for (int I = 0; I < 256; ++I)
+    EXPECT_GE(Rng.nextInRange(1, ~0ull), 1u);
+}
+
 TEST(RandomTest, NextDoubleInUnitInterval) {
   SplitMix64 Rng(11);
   for (int I = 0; I < 1000; ++I) {

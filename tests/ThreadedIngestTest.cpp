@@ -1,0 +1,272 @@
+//===- tests/ThreadedIngestTest.cpp - concurrent ingestion tests ----------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concurrency tests for the sample-ingestion hot path: many threads feed
+/// the detector / profiler / interpose buffers at once, and the results are
+/// checked against a serial reference run over the same sample streams.
+/// Designed to be run under ThreadSanitizer (-DCHEETAH_SANITIZE=thread) —
+/// the assertions catch lost updates, TSan catches the races themselves.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+#include "core/detect/Detector.h"
+#include "core/detect/ShadowMemory.h"
+#include "interpose/Preload.h"
+#include "support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+namespace {
+
+constexpr uint64_t RegionBase = 0x4000'0000;
+constexpr uint32_t LineSize = 64;
+constexpr unsigned IngestThreads = 8;
+
+/// Builds a deterministic per-line sample stream: \p SamplesPerLine accesses
+/// on line \p Line, issued by a few simulated threads with mixed kinds and
+/// word offsets, seeded by the line index so every run (serial or parallel)
+/// sees identical per-line histories.
+std::vector<pmu::Sample> lineStream(uint64_t Line, unsigned SamplesPerLine) {
+  SplitMix64 Rng(0xC0FFEE ^ Line);
+  std::vector<pmu::Sample> Stream;
+  Stream.reserve(SamplesPerLine);
+  for (unsigned I = 0; I < SamplesPerLine; ++I) {
+    pmu::Sample Sample;
+    Sample.Address = RegionBase + Line * LineSize + Rng.nextBelow(16) * 4;
+    Sample.Tid = static_cast<ThreadId>(Rng.nextBelow(4));
+    Sample.IsWrite = Rng.nextBool(0.6);
+    Sample.LatencyCycles = 20 + static_cast<uint32_t>(Rng.nextBelow(50));
+    Stream.push_back(Sample);
+  }
+  return Stream;
+}
+
+//===----------------------------------------------------------------------===//
+// Detector: parallel ingestion over disjoint line partitions must be
+// indistinguishable from a serial run of the same per-line streams.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadedIngestTest, DisjointLinePartitionsMatchSerialReference) {
+  constexpr uint64_t NumLines = 512;
+  constexpr unsigned SamplesPerLine = 48;
+  CacheGeometry Geometry(LineSize);
+  DetectorConfig Config;
+
+  // Serial reference: every line's stream, one line after another.
+  ShadowMemory SerialShadow(Geometry, {{RegionBase, NumLines * LineSize}});
+  Detector SerialDetect(Geometry, SerialShadow, Config);
+  for (uint64_t Line = 0; Line < NumLines; ++Line)
+    for (const pmu::Sample &Sample : lineStream(Line, SamplesPerLine))
+      SerialDetect.handleSample(Sample, /*InParallelPhase=*/true);
+
+  // Parallel run: lines are partitioned over 8 ingest threads, so each
+  // line's stream keeps its order while the threads race on the shared
+  // shadow arrays, stripe locks, and detector counters.
+  ShadowMemory Shadow(Geometry, {{RegionBase, NumLines * LineSize}});
+  Detector Detect(Geometry, Shadow, Config);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < IngestThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (uint64_t Line = T; Line < NumLines; Line += IngestThreads)
+        for (const pmu::Sample &Sample : lineStream(Line, SamplesPerLine))
+          Detect.handleSample(Sample, /*InParallelPhase=*/true);
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+
+  DetectorStats Serial = SerialDetect.stats();
+  DetectorStats Parallel = Detect.stats();
+  EXPECT_EQ(Parallel.SamplesSeen, Serial.SamplesSeen);
+  EXPECT_EQ(Parallel.SamplesFiltered, Serial.SamplesFiltered);
+  EXPECT_EQ(Parallel.SamplesRecorded, Serial.SamplesRecorded);
+  EXPECT_EQ(Parallel.Invalidations, Serial.Invalidations);
+  EXPECT_EQ(Shadow.materializedLines(), SerialShadow.materializedLines());
+
+  // Per-line state must match exactly, not just in aggregate.
+  std::map<uint64_t, const CacheLineInfo *> SerialLines;
+  SerialShadow.forEachDetail(
+      [&](uint64_t LineBase, const CacheLineInfo &Info) {
+        SerialLines[LineBase] = &Info;
+      });
+  Shadow.forEachDetail([&](uint64_t LineBase, const CacheLineInfo &Info) {
+    auto It = SerialLines.find(LineBase);
+    ASSERT_NE(It, SerialLines.end()) << "line only materialized in parallel";
+    EXPECT_EQ(Info.invalidations(), It->second->invalidations());
+    EXPECT_EQ(Info.accesses(), It->second->accesses());
+    EXPECT_EQ(Info.writes(), It->second->writes());
+    EXPECT_EQ(Info.cycles(), It->second->cycles());
+    EXPECT_EQ(Info.threadCount(), It->second->threadCount());
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Detector: fully contended lines must never lose an update.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadedIngestTest, ContendedLinesLoseNoSamples) {
+  constexpr uint64_t NumLines = 16;
+  constexpr unsigned SamplesPerThread = 20000;
+  CacheGeometry Geometry(LineSize);
+  ShadowMemory Shadow(Geometry, {{RegionBase, NumLines * LineSize}});
+  DetectorConfig Config;
+  Config.WriteThreshold = 0; // every written line is susceptible immediately
+  Detector Detect(Geometry, Shadow, Config);
+
+  std::atomic<uint64_t> WritesIssued{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < IngestThreads; ++T)
+    Threads.emplace_back([&, T] {
+      SplitMix64 Rng(T + 1);
+      uint64_t LocalWrites = 0;
+      for (unsigned I = 0; I < SamplesPerThread; ++I) {
+        pmu::Sample Sample;
+        Sample.Address = RegionBase + Rng.nextBelow(NumLines) * LineSize +
+                         Rng.nextBelow(16) * 4;
+        Sample.Tid = static_cast<ThreadId>(T);
+        Sample.IsWrite = Rng.nextBool(0.5);
+        Sample.LatencyCycles = 30;
+        LocalWrites += Sample.IsWrite ? 1 : 0;
+        Detect.handleSample(Sample, /*InParallelPhase=*/true);
+      }
+      WritesIssued.fetch_add(LocalWrites);
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+
+  constexpr uint64_t Total = uint64_t(IngestThreads) * SamplesPerThread;
+  DetectorStats Stats = Detect.stats();
+  EXPECT_EQ(Stats.SamplesSeen, Total);
+  EXPECT_EQ(Stats.SamplesFiltered, 0u);
+
+  uint64_t LineAccesses = 0, LineWrites = 0, LineInvalidations = 0;
+  uint64_t PerThreadAccesses = 0, CountedWrites = 0;
+  Shadow.forEachDetail([&](uint64_t LineBase, const CacheLineInfo &Info) {
+    LineAccesses += Info.accesses();
+    LineWrites += Info.writes();
+    LineInvalidations += Info.invalidations();
+    for (const ThreadLineStats &PerThread : Info.threads())
+      PerThreadAccesses += PerThread.Accesses;
+    CountedWrites += Shadow.writeCount(LineBase);
+  });
+  EXPECT_EQ(LineAccesses, Stats.SamplesRecorded);
+  EXPECT_EQ(PerThreadAccesses, Stats.SamplesRecorded);
+  // Reads that arrive before a line's first write are filtered by the
+  // susceptibility gate, but every write materializes its line, so all
+  // issued writes must be recorded and counted.
+  EXPECT_EQ(LineWrites, WritesIssued.load());
+  EXPECT_EQ(CountedWrites, WritesIssued.load());
+  EXPECT_EQ(LineInvalidations, Stats.Invalidations);
+  EXPECT_GT(LineInvalidations, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Profiler: the batched ingest API from many application threads.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadedIngestTest, ProfilerBatchedIngestKeepsPerThreadTotals) {
+  constexpr unsigned BatchSize = 64;
+  constexpr unsigned BatchesPerThread = 100;
+  ProfilerConfig Config;
+  Profiler Prof(Config);
+
+  // Enter a parallel phase: main plus one simulated child per ingest
+  // thread, so detailed tracking is live while the threads race.
+  Prof.onThreadStart(0, /*IsMain=*/true, 0);
+  for (unsigned T = 1; T <= IngestThreads; ++T)
+    Prof.onThreadStart(static_cast<ThreadId>(T), /*IsMain=*/false, 10);
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 1; T <= IngestThreads; ++T)
+    Threads.emplace_back([&, T] {
+      SplitMix64 Rng(0xAB + T);
+      std::vector<pmu::Sample> Batch(BatchSize);
+      for (unsigned B = 0; B < BatchesPerThread; ++B) {
+        for (pmu::Sample &Sample : Batch) {
+          Sample.Address =
+              Config.HeapArenaBase + Rng.nextBelow(1024) * LineSize;
+          Sample.Tid = static_cast<ThreadId>(T);
+          Sample.IsWrite = Rng.nextBool(0.7);
+          Sample.LatencyCycles = 25;
+        }
+        Prof.ingestBatch(Batch.data(), Batch.size());
+      }
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+
+  constexpr uint64_t PerThread = uint64_t(BatchSize) * BatchesPerThread;
+  for (unsigned T = 1; T <= IngestThreads; ++T) {
+    const runtime::ThreadProfile &Profile =
+        Prof.threadRegistry().profile(static_cast<ThreadId>(T));
+    EXPECT_EQ(Profile.SampledAccesses, PerThread) << "thread " << T;
+    EXPECT_EQ(Profile.SampledCycles, PerThread * 25) << "thread " << T;
+  }
+  EXPECT_EQ(Prof.threadRegistry().totalSampledAccesses(),
+            PerThread * IngestThreads);
+}
+
+//===----------------------------------------------------------------------===//
+// Interpose: per-thread buffers drain every sample into the sink exactly
+// once, no matter which thread recorded it.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadedIngestTest, InterposeBuffersDeliverEverySampleToSink) {
+  constexpr unsigned SamplesPerThread = 10000;
+  interpose::resetForTesting();
+
+  std::mutex SinkMutex;
+  uint64_t SinkSamples = 0;
+  std::map<ThreadId, uint64_t> SinkPerTid;
+  interpose::setSampleSink([&](const pmu::Sample *Samples, size_t Count) {
+    std::lock_guard<std::mutex> Lock(SinkMutex);
+    SinkSamples += Count;
+    for (size_t I = 0; I < Count; ++I)
+      ++SinkPerTid[Samples[I].Tid];
+  });
+
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < IngestThreads; ++T)
+    Threads.emplace_back([&, T] {
+      interpose::threadAttach();
+      for (unsigned I = 0; I < SamplesPerThread; ++I) {
+        pmu::Sample Sample;
+        Sample.Address = RegionBase + I * 4;
+        Sample.Tid = static_cast<ThreadId>(T);
+        Sample.IsWrite = (I & 1) != 0;
+        Sample.LatencyCycles = 10;
+        interpose::recordSample(Sample);
+      }
+      interpose::flushThreadSamples();
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+
+  interpose::InterposeSummary Summary = interpose::summary();
+  constexpr uint64_t Total = uint64_t(IngestThreads) * SamplesPerThread;
+  EXPECT_EQ(Summary.SamplesBuffered, Total);
+  EXPECT_EQ(Summary.SamplesIngested, Total);
+  {
+    std::lock_guard<std::mutex> Lock(SinkMutex);
+    EXPECT_EQ(SinkSamples, Total);
+    ASSERT_EQ(SinkPerTid.size(), size_t(IngestThreads));
+    for (const auto &[Tid, Count] : SinkPerTid)
+      EXPECT_EQ(Count, SamplesPerThread) << "tid " << Tid;
+  }
+  interpose::resetForTesting();
+}
+
+} // namespace
