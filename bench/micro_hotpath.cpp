@@ -13,8 +13,12 @@
 ///
 /// The *_ThreadedIngest benchmarks drive the same detection hot path from
 /// 1..8 concurrent threads; compare their aggregate items_per_second to see
-/// the multi-threaded ingestion scaling (the sharded atomic write counters
-/// and striped line locks should give well over 2x at 8 threads).
+/// the multi-threaded ingestion scaling. BM_ThreadedIngest runs the
+/// build's native path (lock-free CAS by default, striped-mutex when
+/// configured with -DCHEETAH_LOCKED_TABLE=ON), while
+/// BM_ThreadedIngestStripedLock wraps the same detector in a PR-1-style
+/// 64-stripe mutex harness inside the benchmark, so a single run reports
+/// locked and lock-free throughput side by side at every thread count.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +32,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <mutex>
 #include <vector>
 
 using namespace cheetah;
@@ -45,6 +51,30 @@ void BM_TwoEntryTableUpdate(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_TwoEntryTableUpdate);
+
+/// The packed table's CAS loop under genuine contention: every benchmark
+/// thread hammers one shared table with a ping-pong write mix, the
+/// worst case for the single-word compare-and-swap.
+void BM_TwoEntryTableContended(benchmark::State &State) {
+  static core::CacheLineTable *Table = nullptr;
+  if (State.thread_index() == 0)
+    Table = new core::CacheLineTable();
+
+  SplitMix64 Rng(40 + State.thread_index());
+  ThreadId Tid = static_cast<ThreadId>(State.thread_index());
+  for (auto _ : State) {
+    bool Invalidation = Table->recordAccess(
+        Tid, Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read);
+    benchmark::DoNotOptimize(Invalidation);
+  }
+  State.SetItemsProcessed(State.iterations());
+
+  if (State.thread_index() == 0) {
+    delete Table;
+    Table = nullptr;
+  }
+}
+BENCHMARK(BM_TwoEntryTableContended)->ThreadRange(1, 8)->UseRealTime();
 
 void BM_ShadowWriteCount(benchmark::State &State) {
   CacheGeometry Geometry(64);
@@ -169,6 +199,49 @@ void BM_ThreadedIngest(benchmark::State &State) {
 }
 BENCHMARK(BM_ThreadedIngest)->ThreadRange(1, 8)->UseRealTime();
 
+/// The PR-1 locked design, reproduced in-harness: the same detector calls,
+/// serialized by a 64-stripe mutex array keyed by line index exactly as
+/// ShadowMemory::lineLock used to do. Comparing this row against
+/// BM_ThreadedIngest at the same thread count is the locked-vs-lock-free
+/// A/B the CHEETAH_LOCKED_TABLE toggle exists for, without rebuilding.
+void BM_ThreadedIngestStripedLock(benchmark::State &State) {
+  static IngestHarness *Harness = nullptr;
+  static std::mutex *Stripes = nullptr;
+  constexpr size_t StripeCount = 64;
+  if (State.thread_index() == 0) {
+    Harness = new IngestHarness(LinesPerIngestThread * State.threads());
+    Stripes = new std::mutex[StripeCount];
+  }
+
+  uint64_t SliceBase =
+      0x4000'0000 +
+      uint64_t(State.thread_index()) * LinesPerIngestThread * 64;
+  SplitMix64 Rng(300 + State.thread_index());
+  pmu::Sample Sample;
+  for (auto _ : State) {
+    Sample.Address =
+        SliceBase + Rng.nextBelow(LinesPerIngestThread) * 64 +
+        Rng.nextBelow(16) * 4;
+    Sample.Tid =
+        static_cast<ThreadId>(State.thread_index() * 4 + Rng.nextBelow(4));
+    Sample.IsWrite = Rng.nextBool(0.7);
+    Sample.LatencyCycles = 40;
+    uint64_t Line = Sample.Address >> 6;
+    std::lock_guard<std::mutex> Lock(
+        Stripes[(Line * 0x9e3779b97f4a7c15ull) >> 58]);
+    benchmark::DoNotOptimize(Harness->Detect.handleSample(Sample, true));
+  }
+  State.SetItemsProcessed(State.iterations());
+
+  if (State.thread_index() == 0) {
+    delete Harness;
+    Harness = nullptr;
+    delete[] Stripes;
+    Stripes = nullptr;
+  }
+}
+BENCHMARK(BM_ThreadedIngestStripedLock)->ThreadRange(1, 8)->UseRealTime();
+
 /// Same scaling through the profiler's batched ingest API, including the
 /// per-batch registry/phase bookkeeping the per-thread buffers amortize.
 void BM_ProfilerBatchedIngest(benchmark::State &State) {
@@ -208,4 +281,21 @@ BENCHMARK(BM_ProfilerBatchedIngest)->ThreadRange(1, 8)->UseRealTime();
 
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Announce the build's detection mode so sweeps over both
+  // CHEETAH_LOCKED_TABLE configurations label their output unambiguously.
+  // On stderr: stdout must stay parseable under --benchmark_format=json.
+#if CHEETAH_LOCKED_TABLE
+  std::fprintf(stderr,
+               "cheetah detect mode: locked-table (PR-1 striped mutexes)\n");
+#else
+  std::fprintf(stderr,
+               "cheetah detect mode: lock-free (packed CAS table)\n");
+#endif
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -6,10 +6,8 @@
 
 #include "core/Profiler.h"
 
+#include "core/report/ReportBuilder.h"
 #include "support/Assert.h"
-
-#include <algorithm>
-#include <unordered_map>
 
 using namespace cheetah;
 using namespace cheetah::core;
@@ -184,61 +182,21 @@ void Profiler::ingestBatch(const pmu::Sample *Samples, size_t Count) {
   FlushBookkeeping();
 }
 
-/// Aggregation bucket: one reportable object (heap object or global) plus
-/// everything observed on its cache lines.
-struct Profiler::ObjectAggregate {
-  ReportedObject Object;
-  ObjectAccessProfile Profile;
-  uint32_t Lines = 0;
-  uint64_t SharedWordAccesses = 0;
-  uint64_t TotalWordAccesses = 0;
-  uint32_t FalseLines = 0, TrueLines = 0, MixedLines = 0, SharedLines = 0;
-  std::vector<WordReportEntry> Words;
-  uint32_t MaxThreadsOnLine = 0;
-};
-
-FalseSharingReport Profiler::buildReport(const ObjectAggregate &Aggregate,
-                                         const Assessor &Assess,
-                                         uint64_t AppRuntime) const {
-  FalseSharingReport Report;
-  Report.Object = Aggregate.Object;
-  Report.LinesTracked = Aggregate.Lines;
-  Report.SampledAccesses = Aggregate.Profile.SampledAccesses;
-  Report.SampledWrites = Aggregate.Profile.SampledWrites;
-  Report.Invalidations = Aggregate.Profile.Invalidations;
-  Report.LatencyCycles = Aggregate.Profile.SampledCycles;
-  Report.ThreadsObserved =
-      static_cast<uint32_t>(Aggregate.Profile.PerThread.size());
-  Report.SharedWordFraction =
-      Aggregate.TotalWordAccesses
-          ? static_cast<double>(Aggregate.SharedWordAccesses) /
-                static_cast<double>(Aggregate.TotalWordAccesses)
-          : 0.0;
-
-  // Object-level sharing verdict from the per-line verdicts.
-  if (Aggregate.SharedLines == 0)
-    Report.Kind = SharingKind::NotShared;
-  else if (Aggregate.FalseLines > 0 && Aggregate.TrueLines == 0 &&
-           Aggregate.MixedLines == 0)
-    Report.Kind = SharingKind::FalseSharing;
-  else if (Aggregate.TrueLines > 0 && Aggregate.FalseLines == 0 &&
-           Aggregate.MixedLines == 0)
-    Report.Kind = SharingKind::TrueSharing;
-  else
-    Report.Kind = SharingKind::Mixed;
-
-  Report.Impact = Assess.assess(Aggregate.Profile, AppRuntime);
-
-  // Hottest words first for the padding-guidance table.
-  Report.Words = Aggregate.Words;
-  std::sort(Report.Words.begin(), Report.Words.end(),
-            [](const WordReportEntry &A, const WordReportEntry &B) {
-              return A.Reads + A.Writes > B.Reads + B.Writes;
-            });
-  return Report;
+ReportRunStats Profiler::runStats(uint64_t AppRuntime) const {
+  ReportRunStats Stats;
+  Stats.AppRuntime = AppRuntime;
+  Stats.SamplesDelivered = Pmu.samplesDelivered();
+  Stats.SerialSamples = SerialSampleCount;
+  Stats.SerialAverageLatency = SerialLatency.mean();
+  Stats.ForkJoinVerified = Phases.isForkJoin();
+  Stats.Detection = Detect.stats();
+  Stats.MaterializedLines = Shadow.materializedLines();
+  Stats.ShadowBytes = Shadow.shadowBytes();
+  return Stats;
 }
 
-ProfileResult Profiler::finish(const sim::SimulationResult &Run) {
+ProfileResult Profiler::finish(const sim::SimulationResult &Run,
+                               ReportSink *Sink) {
   ProfileResult Result;
   Result.AppRuntime = Run.TotalCycles;
   Result.Detection = Detect.stats();
@@ -250,139 +208,23 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run) {
   Assessor Assess(Threads, Phases, Config.Assess);
   Assess.setSerialLatencyStats(SerialLatency);
 
-  // Group every materialized line by its containing object. Key: the object
-  // start address packed with a 2-bit tag in the top bits — heap object
-  // start (tag 0), global start (tag 1), or raw line base (tag 2) for
-  // unattributed heap-range lines. Addresses are user-space (< 2^48), so
-  // the tag can never collide with address bits. An unordered_map sized up
-  // front keeps report generation linear in the line population instead of
-  // paying a red-black-tree rebalance per line.
-  auto PackKey = [](int Tag, uint64_t Start) {
-    return (static_cast<uint64_t>(Tag) << 62) | Start;
-  };
-  std::unordered_map<uint64_t, ObjectAggregate> Aggregates;
-  Aggregates.reserve(Shadow.materializedLines());
-
+  // Feed every materialized line to the incremental builder as it quiesces,
+  // then let the builder assess, gate, sort, and stream the findings.
+  ReportBuilder Builder(Heap, Globals, Callsites, Classifier,
+                        Config.Geometry, Config.Report);
   Shadow.forEachDetail([&](uint64_t LineBase, const CacheLineInfo &Info) {
-    if (Info.accesses() == 0)
-      return;
-    ObjectAggregate *Aggregate = nullptr;
-
-    if (const runtime::HeapObject *Object = Heap.objectAt(LineBase)) {
-      Aggregate = &Aggregates[PackKey(0, Object->Start)];
-      if (Aggregate->Lines == 0) {
-        Aggregate->Object.IsHeap = true;
-        Aggregate->Object.Start = Object->Start;
-        Aggregate->Object.Size = Object->Size;
-        Aggregate->Object.RequestedSize = Object->RequestedSize;
-        Aggregate->Object.AllocatedBy = Object->Owner;
-        Aggregate->Object.CallsiteFrames =
-            Callsites.get(Object->Site).Frames;
-      }
-    } else if (const runtime::GlobalVariable *Var =
-                   Globals.globalAt(LineBase)) {
-      Aggregate = &Aggregates[PackKey(1, Var->Start)];
-      if (Aggregate->Lines == 0) {
-        Aggregate->Object.IsHeap = false;
-        Aggregate->Object.GlobalName = Var->Name;
-        Aggregate->Object.Start = Var->Start;
-        Aggregate->Object.Size = Var->Size;
-      }
-    } else {
-      // Line inside the arena but before any object (allocator metadata or
-      // a freed region): report it as an anonymous range.
-      Aggregate = &Aggregates[PackKey(2, LineBase)];
-      if (Aggregate->Lines == 0) {
-        Aggregate->Object.IsHeap = Heap.covers(LineBase);
-        Aggregate->Object.Start = LineBase;
-        Aggregate->Object.Size = Config.Geometry.lineSize();
-      }
-    }
-
-    ++Aggregate->Lines;
-    Aggregate->Profile.SampledAccesses += Info.accesses();
-    Aggregate->Profile.SampledWrites += Info.writes();
-    Aggregate->Profile.SampledCycles += Info.cycles();
-    Aggregate->Profile.Invalidations += Info.invalidations();
-
-    for (const ThreadLineStats &Stats : Info.threads()) {
-      auto &PerThread = Aggregate->Profile.PerThread;
-      auto It = std::lower_bound(PerThread.begin(), PerThread.end(),
-                                 Stats.Tid,
-                                 [](const ThreadLineStats &S, ThreadId T) {
-                                   return S.Tid < T;
-                                 });
-      if (It != PerThread.end() && It->Tid == Stats.Tid) {
-        It->Accesses += Stats.Accesses;
-        It->Cycles += Stats.Cycles;
-      } else {
-        PerThread.insert(It, Stats);
-      }
-    }
-
-    LineClassification Verdict = Classifier.classify(Info);
-    Aggregate->SharedWordAccesses += Verdict.SharedWordAccesses;
-    Aggregate->TotalWordAccesses +=
-        Verdict.SharedWordAccesses + Verdict.PrivateWordAccesses;
-    Aggregate->MaxThreadsOnLine =
-        std::max(Aggregate->MaxThreadsOnLine, Verdict.Threads);
-    switch (Verdict.Kind) {
-    case SharingKind::FalseSharing:
-      ++Aggregate->FalseLines;
-      ++Aggregate->SharedLines;
-      break;
-    case SharingKind::TrueSharing:
-      ++Aggregate->TrueLines;
-      ++Aggregate->SharedLines;
-      break;
-    case SharingKind::Mixed:
-      ++Aggregate->MixedLines;
-      ++Aggregate->SharedLines;
-      break;
-    case SharingKind::NotShared:
-      break;
-    }
-
-    // Per-word entries, offsets relative to the object.
-    const auto &Words = Info.words();
-    for (size_t W = 0; W < Words.size(); ++W) {
-      if (Words[W].accesses() == 0)
-        continue;
-      WordReportEntry Entry;
-      uint64_t WordAddress = LineBase + W * WordSize;
-      Entry.Offset = WordAddress >= Aggregate->Object.Start
-                         ? WordAddress - Aggregate->Object.Start
-                         : 0;
-      Entry.Reads = Words[W].Reads;
-      Entry.Writes = Words[W].Writes;
-      Entry.Cycles = Words[W].Cycles;
-      Entry.FirstThread = Words[W].FirstThread;
-      Entry.MultiThread = Words[W].MultiThread;
-      Aggregate->Words.push_back(Entry);
-    }
+    Builder.addLine(LineBase, Info);
   });
 
-  for (const auto &[Key, Aggregate] : Aggregates) {
-    FalseSharingReport Report =
-        buildReport(Aggregate, Assess, Run.TotalCycles);
-    bool Reportable =
-        (Report.Kind == SharingKind::FalseSharing ||
-         (Config.ReportMixedSharing && Report.Kind == SharingKind::Mixed)) &&
-        Report.Invalidations >= Config.MinInvalidations &&
-        Report.Impact.ImprovementFactor >= Config.MinImprovementFactor;
-    if (Reportable)
-      Result.Reports.push_back(Report);
-    Result.AllInstances.push_back(std::move(Report));
-  }
+  ReportBuilder::Output Built = Builder.finalize(Assess, Run.TotalCycles, Sink);
+  Result.Reports = std::move(Built.Reports);
+  Result.AllInstances = std::move(Built.AllInstances);
 
-  auto ByImprovement = [](const FalseSharingReport &A,
-                          const FalseSharingReport &B) {
-    if (A.Impact.ImprovementFactor != B.Impact.ImprovementFactor)
-      return A.Impact.ImprovementFactor > B.Impact.ImprovementFactor;
-    return A.Object.Start < B.Object.Start;
-  };
-  std::sort(Result.Reports.begin(), Result.Reports.end(), ByImprovement);
-  std::sort(Result.AllInstances.begin(), Result.AllInstances.end(),
-            ByImprovement);
+  if (Sink) {
+    ReportRunStats Stats = runStats(Run.TotalCycles);
+    Stats.Findings = Result.AllInstances.size();
+    Stats.SignificantFindings = Result.Reports.size();
+    Sink->endRun(Stats);
+  }
   return Result;
 }

@@ -32,6 +32,8 @@
 #include "core/detect/Detector.h"
 #include "core/detect/SharingClassifier.h"
 #include "core/report/Report.h"
+#include "core/report/ReportBuilder.h"
+#include "core/report/ReportSink.h"
 #include "pmu/PmuConfig.h"
 #include "pmu/SimPmu.h"
 #include "runtime/GlobalRegistry.h"
@@ -64,14 +66,9 @@ struct ProfilerConfig {
   uint64_t GlobalSegmentBase = 0x1000'0000;
   uint64_t GlobalSegmentSize = 16ull << 20;
 
-  /// Report gating: minimum invalidations for an instance to be considered
-  /// at all, and minimum predicted improvement for it to be *reported*
-  /// ("Cheetah only reports false sharing instances with a significant
-  /// performance impact").
-  uint64_t MinInvalidations = 16;
-  double MinImprovementFactor = 1.005;
-  /// Include Mixed-sharing objects among reportable instances.
-  bool ReportMixedSharing = true;
+  /// Report gating thresholds; the defaults live on ReportGate itself so
+  /// the profiler and direct ReportBuilder users can never diverge.
+  ReportGate Report;
 };
 
 /// Output of one profiled execution.
@@ -112,7 +109,16 @@ public:
   runtime::CallsiteId internCallsite(runtime::Callsite Site);
 
   /// Finalizes detection + assessment after the simulation completed.
-  ProfileResult finish(const sim::SimulationResult &Run);
+  /// When \p Sink is non-null, findings stream through it one object at a
+  /// time — highest predicted improvement first, every tracked instance
+  /// with its significance flag — followed by endRun() with the run
+  /// stats. beginRun() is the caller's to invoke beforehand: run identity
+  /// (workload name, flags) lives outside the profiler.
+  ProfileResult finish(const sim::SimulationResult &Run,
+                       ReportSink *Sink = nullptr);
+
+  /// Run-level stats in sink form (valid after ingestion quiesces).
+  ReportRunStats runStats(uint64_t AppRuntime) const;
 
   /// Feeds one sample directly (used by the real perf_event path and by
   /// tests; the simulator path goes through the observer hooks).
@@ -142,13 +148,6 @@ public:
   void onInstructions(ThreadId Tid, uint64_t Count) override;
 
 private:
-  struct ObjectAggregate;
-
-  /// Builds a report for one aggregated object.
-  FalseSharingReport buildReport(const ObjectAggregate &Aggregate,
-                                 const Assessor &Assess,
-                                 uint64_t AppRuntime) const;
-
   ProfilerConfig Config;
   runtime::HeapAllocator Heap;
   runtime::GlobalRegistry Globals;

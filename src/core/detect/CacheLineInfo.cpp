@@ -13,39 +13,158 @@
 using namespace cheetah;
 using namespace cheetah::core;
 
-ThreadLineStats &CacheLineInfo::threadStats(ThreadId Tid) {
-  auto It = std::lower_bound(Threads.begin(), Threads.end(), Tid,
-                             [](const ThreadLineStats &S, ThreadId T) {
-                               return S.Tid < T;
-                             });
-  if (It != Threads.end() && It->Tid == Tid)
-    return *It;
-  return *Threads.insert(It, ThreadLineStats{Tid, 0, 0});
+CacheLineInfo::ThreadStatsChunk::ThreadStatsChunk() {
+  for (size_t I = 0; I < Capacity; ++I) {
+    Tids[I].store(NoThread, std::memory_order_relaxed);
+    Accesses[I].store(0, std::memory_order_relaxed);
+    Cycles[I].store(0, std::memory_order_relaxed);
+  }
+}
+
+CacheLineInfo::CacheLineInfo(uint64_t WordsPerLine)
+    : Words(std::make_unique<AtomicWordStats[]>(WordsPerLine)),
+      WordCount(WordsPerLine) {}
+
+CacheLineInfo::~CacheLineInfo() {
+  ThreadStatsChunk *Chunk =
+      FirstThreads.Next.load(std::memory_order_acquire);
+  while (Chunk) {
+    ThreadStatsChunk *Next = Chunk->Next.load(std::memory_order_acquire);
+    delete Chunk;
+    Chunk = Next;
+  }
+}
+
+void CacheLineInfo::AtomicWordStats::record(ThreadId Tid, AccessKind Kind,
+                                            uint64_t LatencyCycles) {
+  if (Kind == AccessKind::Read)
+    Reads.fetch_add(1, std::memory_order_relaxed);
+  else
+    Writes.fetch_add(1, std::memory_order_relaxed);
+  if (LatencyCycles)
+    Cycles.fetch_add(LatencyCycles, std::memory_order_relaxed);
+  ThreadId First = FirstThread.load(std::memory_order_relaxed);
+  if (First == NoThread &&
+      FirstThread.compare_exchange_strong(First, Tid,
+                                          std::memory_order_relaxed))
+    First = Tid;
+  // On CAS failure `First` holds the thread that won the publication race.
+  if (First != Tid)
+    MultiThread.store(true, std::memory_order_relaxed);
+}
+
+WordStats CacheLineInfo::AtomicWordStats::snapshot() const {
+  WordStats Result;
+  Result.Reads = Reads.load(std::memory_order_relaxed);
+  Result.Writes = Writes.load(std::memory_order_relaxed);
+  Result.Cycles = Cycles.load(std::memory_order_relaxed);
+  Result.FirstThread = FirstThread.load(std::memory_order_relaxed);
+  Result.MultiThread = MultiThread.load(std::memory_order_relaxed);
+  return Result;
+}
+
+void CacheLineInfo::recordThread(ThreadId Tid, uint64_t LatencyCycles) {
+  ThreadStatsChunk *Chunk = &FirstThreads;
+  for (;;) {
+    for (size_t I = 0; I < ThreadStatsChunk::Capacity; ++I) {
+      ThreadId Slot = Chunk->Tids[I].load(std::memory_order_relaxed);
+      if (Slot == NoThread &&
+          Chunk->Tids[I].compare_exchange_strong(Slot, Tid,
+                                                 std::memory_order_relaxed))
+        Slot = Tid;
+      // On CAS failure `Slot` holds the claiming thread's id, which may
+      // still be ours if another ingester raced the same sample tid.
+      if (Slot == Tid) {
+        Chunk->Accesses[I].fetch_add(1, std::memory_order_relaxed);
+        Chunk->Cycles[I].fetch_add(LatencyCycles, std::memory_order_relaxed);
+        return;
+      }
+    }
+    ThreadStatsChunk *Next = Chunk->Next.load(std::memory_order_acquire);
+    if (!Next) {
+      auto *Fresh = new ThreadStatsChunk();
+      if (Chunk->Next.compare_exchange_strong(Next, Fresh,
+                                              std::memory_order_acq_rel,
+                                              std::memory_order_acquire)) {
+        Next = Fresh;
+      } else {
+        // Another ingesting thread published a chunk first; use theirs.
+        delete Fresh;
+      }
+    }
+    Chunk = Next;
+  }
 }
 
 bool CacheLineInfo::recordAccess(ThreadId Tid, AccessKind Kind,
                                  uint64_t WordIndex, uint64_t WordSpan,
                                  uint64_t LatencyCycles) {
-  CHEETAH_ASSERT(WordIndex < Words.size(), "word index outside line");
+  CHEETAH_ASSERT(WordIndex < WordCount, "word index outside line");
   CHEETAH_ASSERT(WordSpan >= 1, "access must cover at least one word");
 
   bool Invalidation = Table.recordAccess(Tid, Kind);
   if (Invalidation)
-    ++Invalidations;
+    Invalidations.fetch_add(1, std::memory_order_relaxed);
 
-  ++Accesses;
+  Accesses.fetch_add(1, std::memory_order_relaxed);
   if (Kind == AccessKind::Write)
-    ++Writes;
-  Cycles += LatencyCycles;
+    Writes.fetch_add(1, std::memory_order_relaxed);
+  Cycles.fetch_add(LatencyCycles, std::memory_order_relaxed);
 
   // An access wider than a word (e.g. a 64-bit store) marks every covered
   // word; latency attributes to the first word to avoid double counting.
-  uint64_t End = std::min<uint64_t>(WordIndex + WordSpan, Words.size());
+  uint64_t End = std::min<uint64_t>(WordIndex + WordSpan, WordCount);
   for (uint64_t W = WordIndex; W < End; ++W)
     Words[W].record(Tid, Kind, W == WordIndex ? LatencyCycles : 0);
 
-  ThreadLineStats &Stats = threadStats(Tid);
-  ++Stats.Accesses;
-  Stats.Cycles += LatencyCycles;
+  recordThread(Tid, LatencyCycles);
   return Invalidation;
+}
+
+std::vector<WordStats> CacheLineInfo::words() const {
+  std::vector<WordStats> Result;
+  Result.reserve(WordCount);
+  for (uint64_t W = 0; W < WordCount; ++W)
+    Result.push_back(Words[W].snapshot());
+  return Result;
+}
+
+std::vector<ThreadLineStats> CacheLineInfo::threads() const {
+  std::vector<ThreadLineStats> Result;
+  for (const ThreadStatsChunk *Chunk = &FirstThreads; Chunk;
+       Chunk = Chunk->Next.load(std::memory_order_acquire)) {
+    for (size_t I = 0; I < ThreadStatsChunk::Capacity; ++I) {
+      ThreadId Tid = Chunk->Tids[I].load(std::memory_order_relaxed);
+      if (Tid == NoThread)
+        continue;
+      Result.push_back(
+          {Tid, Chunk->Accesses[I].load(std::memory_order_relaxed),
+           Chunk->Cycles[I].load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const ThreadLineStats &A, const ThreadLineStats &B) {
+              return A.Tid < B.Tid;
+            });
+  return Result;
+}
+
+size_t CacheLineInfo::threadCount() const {
+  size_t Count = 0;
+  for (const ThreadStatsChunk *Chunk = &FirstThreads; Chunk;
+       Chunk = Chunk->Next.load(std::memory_order_acquire))
+    for (size_t I = 0; I < ThreadStatsChunk::Capacity; ++I)
+      if (Chunk->Tids[I].load(std::memory_order_relaxed) != NoThread)
+        ++Count;
+  return Count;
+}
+
+size_t CacheLineInfo::footprintBytes() const {
+  size_t Bytes = sizeof(CacheLineInfo) +
+                 WordCount * sizeof(AtomicWordStats);
+  for (const ThreadStatsChunk *Chunk =
+           FirstThreads.Next.load(std::memory_order_acquire);
+       Chunk; Chunk = Chunk->Next.load(std::memory_order_acquire))
+    Bytes += sizeof(ThreadStatsChunk);
+  return Bytes;
 }

@@ -12,6 +12,13 @@
 /// differentiation and padding guidance, and per-thread access/cycle
 /// accumulators that feed the assessment equations.
 ///
+/// Every mutable field is an atomic updated with relaxed operations (the
+/// two-entry table is a single-word CAS state machine, the per-thread
+/// accumulators live in a lock-free chunk chain), so recordAccess is safe
+/// from any number of ingesting threads with no lock at all. Readers that
+/// run after ingestion quiesces — report generation, tests — take plain
+/// value snapshots via words()/threads().
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_DETECT_CACHELINEINFO_H
@@ -21,7 +28,9 @@
 #include "mem/CacheGeometry.h"
 #include "mem/MemoryAccess.h"
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace cheetah {
@@ -30,8 +39,8 @@ namespace core {
 /// Sentinel for "no thread recorded yet" in WordStats.
 inline constexpr ThreadId NoThread = ~static_cast<ThreadId>(0);
 
-/// Per 4-byte-word access statistics (paper Section 2.4: "the amount of
-/// reads or writes issued by a particular thread on each word").
+/// Snapshot of per 4-byte-word access statistics (paper Section 2.4: "the
+/// amount of reads or writes issued by a particular thread on each word").
 struct WordStats {
   uint64_t Reads = 0;
   uint64_t Writes = 0;
@@ -43,19 +52,6 @@ struct WordStats {
   bool MultiThread = false;
 
   uint64_t accesses() const { return Reads + Writes; }
-
-  /// Accumulates one access by \p Tid.
-  void record(ThreadId Tid, AccessKind Kind, uint64_t LatencyCycles) {
-    if (Kind == AccessKind::Read)
-      ++Reads;
-    else
-      ++Writes;
-    Cycles += LatencyCycles;
-    if (FirstThread == NoThread)
-      FirstThread = Tid;
-    else if (FirstThread != Tid)
-      MultiThread = true;
-  }
 };
 
 /// Per-thread access/cycle accumulator on one line (and, aggregated, on one
@@ -70,43 +66,87 @@ struct ThreadLineStats {
 /// Everything Cheetah tracks about one susceptible cache line.
 class CacheLineInfo {
 public:
-  explicit CacheLineInfo(uint64_t WordsPerLine) : Words(WordsPerLine) {}
+  explicit CacheLineInfo(uint64_t WordsPerLine);
+  ~CacheLineInfo();
 
-  /// Records one sampled access landing on this line.
+  CacheLineInfo(const CacheLineInfo &) = delete;
+  CacheLineInfo &operator=(const CacheLineInfo &) = delete;
+
+  /// Records one sampled access landing on this line. Lock-free:
+  /// concurrent calls from many ingesting threads never lose an update.
   /// \returns true if it incurred a cache invalidation.
   bool recordAccess(ThreadId Tid, AccessKind Kind, uint64_t WordIndex,
                     uint64_t WordSpan, uint64_t LatencyCycles);
 
   /// Cache-invalidation count (the significance signal).
-  uint64_t invalidations() const { return Invalidations; }
+  uint64_t invalidations() const {
+    return Invalidations.load(std::memory_order_relaxed);
+  }
 
   /// Total sampled accesses / writes / cycles on the line.
-  uint64_t accesses() const { return Accesses; }
-  uint64_t writes() const { return Writes; }
-  uint64_t cycles() const { return Cycles; }
+  uint64_t accesses() const {
+    return Accesses.load(std::memory_order_relaxed);
+  }
+  uint64_t writes() const { return Writes.load(std::memory_order_relaxed); }
+  uint64_t cycles() const { return Cycles.load(std::memory_order_relaxed); }
 
-  /// Per-word statistics.
-  const std::vector<WordStats> &words() const { return Words; }
+  /// Value snapshot of the per-word statistics, one entry per word of the
+  /// line (consistent once ingestion quiesces).
+  std::vector<WordStats> words() const;
 
-  /// Per-thread accumulators, ordered by thread id.
-  const std::vector<ThreadLineStats> &threads() const { return Threads; }
+  /// Value snapshot of the per-thread accumulators, ordered by thread id.
+  std::vector<ThreadLineStats> threads() const;
 
   /// Number of distinct threads that accessed the line.
-  size_t threadCount() const { return Threads.size(); }
+  size_t threadCount() const;
 
   /// Access to the invalidation table (tests).
   const CacheLineTable &table() const { return Table; }
 
+  /// Exact bytes of heap memory behind this line's detailed tracking
+  /// (object, word slots, and every per-thread stats chunk) — feeds the
+  /// memory ablation's honest accounting.
+  size_t footprintBytes() const;
+
 private:
-  ThreadLineStats &threadStats(ThreadId Tid);
+  /// Atomic backing store for one word's statistics.
+  struct AtomicWordStats {
+    std::atomic<uint64_t> Reads{0};
+    std::atomic<uint64_t> Writes{0};
+    std::atomic<uint64_t> Cycles{0};
+    std::atomic<ThreadId> FirstThread{NoThread};
+    std::atomic<bool> MultiThread{false};
+
+    void record(ThreadId Tid, AccessKind Kind, uint64_t LatencyCycles);
+    WordStats snapshot() const;
+  };
+
+  /// One fixed-capacity block of the lock-free per-thread accumulator
+  /// chain. Slots are claimed by CASing Tids[I] from NoThread; the chain
+  /// grows by CAS-publishing Next, so thread population per line is
+  /// unbounded while the common case (a handful of threads) stays in the
+  /// first block with no indirection.
+  struct ThreadStatsChunk {
+    static constexpr size_t Capacity = 8;
+    std::atomic<ThreadId> Tids[Capacity];
+    std::atomic<uint64_t> Accesses[Capacity];
+    std::atomic<uint64_t> Cycles[Capacity];
+    std::atomic<ThreadStatsChunk *> Next{nullptr};
+
+    ThreadStatsChunk();
+  };
+
+  /// Finds (or claims) \p Tid's slot and accumulates one access.
+  void recordThread(ThreadId Tid, uint64_t LatencyCycles);
 
   CacheLineTable Table;
-  uint64_t Invalidations = 0;
-  uint64_t Accesses = 0;
-  uint64_t Writes = 0;
-  uint64_t Cycles = 0;
-  std::vector<WordStats> Words;
-  std::vector<ThreadLineStats> Threads; // sorted by Tid, expected tiny
+  std::atomic<uint64_t> Invalidations{0};
+  std::atomic<uint64_t> Accesses{0};
+  std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> Cycles{0};
+  std::unique_ptr<AtomicWordStats[]> Words;
+  uint64_t WordCount;
+  ThreadStatsChunk FirstThreads;
 };
 
 } // namespace core

@@ -26,6 +26,14 @@
 ///    On invalidation the table is flushed and the write is recorded, so
 ///    the table is never empty afterwards.
 ///
+/// Because the whole table is two (thread id, kind) pairs plus occupancy,
+/// it packs into a single 64-bit word, so every transition above is one
+/// atomic compare-and-swap: concurrent ingesting threads update the table
+/// lock-free, each access linearizing at its CAS (or at its load, for the
+/// transitions that leave the table unchanged). This is what lets the
+/// detection hot path run with no mutex at all — unlike the per-thread
+/// ownership bitmaps, which would need a multi-word critical section.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_DETECT_CACHELINETABLE_H
@@ -33,12 +41,24 @@
 
 #include "mem/MemoryAccess.h"
 
+#include <atomic>
 #include <cstdint>
 
 namespace cheetah {
 namespace core {
 
-/// The per-cache-line two-entry access history table.
+/// The per-cache-line two-entry access history table, packed into one
+/// atomic 64-bit word:
+///
+///   bits  0..29  entry 0 thread id     bits 32..61  entry 1 thread id
+///   bit   30     entry 0 kind (write)  bit   62     entry 1 kind (write)
+///   bit   31     entry 0 valid         bit   63     entry 1 valid
+///
+/// Entries fill in order, so entry 1 valid implies entry 0 valid and the
+/// occupancy count is the number of valid bits. Thread ids are stored
+/// modulo 2^30 — far beyond any real per-process thread population, and
+/// still constant-size where the ownership-bitmap baseline needs one bit
+/// per thread.
 class CacheLineTable {
 public:
   /// One recorded access.
@@ -47,7 +67,8 @@ public:
     AccessKind Kind = AccessKind::Read;
   };
 
-  /// Applies the paper's rule for one access.
+  /// Applies the paper's rule for one access as a CAS loop; safe to call
+  /// from many threads concurrently with no external lock.
   /// \returns true if the access (necessarily a write) incurred a cache
   /// invalidation.
   bool recordAccess(ThreadId Tid, AccessKind Kind) {
@@ -59,61 +80,100 @@ public:
   }
 
   /// Number of live entries (0, 1, or 2).
-  unsigned size() const { return Count; }
+  unsigned size() const { return occupancy(Packed.load(std::memory_order_relaxed)); }
 
-  /// \returns the entry at \p Index (< size()).
-  const Entry &entry(unsigned Index) const { return Entries[Index]; }
+  /// \returns a snapshot of the entry at \p Index (< size()).
+  Entry entry(unsigned Index) const {
+    return unpackEntry(Packed.load(std::memory_order_relaxed), Index);
+  }
 
   /// True if some entry belongs to \p Tid.
   bool containsThread(ThreadId Tid) const {
-    for (unsigned I = 0; I < Count; ++I)
-      if (Entries[I].Tid == Tid)
+    uint64_t Word = Packed.load(std::memory_order_relaxed);
+    for (unsigned I = 0, N = occupancy(Word); I < N; ++I)
+      if (unpackEntry(Word, I).Tid == (Tid & TidMask))
         return true;
     return false;
   }
 
   /// Empties the table.
-  void flush() { Count = 0; }
+  void flush() { Packed.store(0, std::memory_order_relaxed); }
 
 private:
+  static constexpr uint64_t TidBits = 30;
+  static constexpr uint64_t TidMask = (uint64_t(1) << TidBits) - 1;
+  static constexpr uint64_t KindBit = uint64_t(1) << TidBits;  // within entry
+  static constexpr uint64_t ValidBit = uint64_t(1) << (TidBits + 1);
+  static constexpr unsigned EntryShift = 32;
+
+  static uint64_t packEntry(ThreadId Tid, AccessKind Kind) {
+    return (uint64_t(Tid) & TidMask) | ValidBit |
+           (Kind == AccessKind::Write ? KindBit : 0);
+  }
+
+  static Entry unpackEntry(uint64_t Word, unsigned Index) {
+    uint64_t Bits = Word >> (Index ? EntryShift : 0);
+    Entry E;
+    E.Tid = static_cast<ThreadId>(Bits & TidMask);
+    E.Kind = (Bits & KindBit) ? AccessKind::Write : AccessKind::Read;
+    return E;
+  }
+
+  static unsigned occupancy(uint64_t Word) {
+    return ((Word >> (TidBits + 1)) & 1) +
+           ((Word >> (EntryShift + TidBits + 1)) & 1);
+  }
+
+  static ThreadId entryTid(uint64_t Word, unsigned Index) {
+    return static_cast<ThreadId>((Word >> (Index ? EntryShift : 0)) & TidMask);
+  }
+
   void recordRead(ThreadId Tid) {
-    // "If the table T is not full, and the existing entry is coming from a
-    // different thread, Cheetah records this read access."
-    if (Count == 2)
-      return;
-    if (Count == 1 && Entries[0].Tid == Tid)
-      return;
-    Entries[Count++] = {Tid, AccessKind::Read};
+    uint64_t Old = Packed.load(std::memory_order_relaxed);
+    for (;;) {
+      unsigned Count = occupancy(Old);
+      // "If the table T is not full, and the existing entry is coming from
+      // a different thread, Cheetah records this read access."
+      if (Count == 2)
+        return;
+      if (Count == 1 && entryTid(Old, 0) == (Tid & TidMask))
+        return;
+      uint64_t New = Count == 0
+                         ? packEntry(Tid, AccessKind::Read)
+                         : Old | (packEntry(Tid, AccessKind::Read)
+                                  << EntryShift);
+      if (Packed.compare_exchange_weak(Old, New, std::memory_order_relaxed,
+                                       std::memory_order_relaxed))
+        return;
+    }
   }
 
   bool recordWrite(ThreadId Tid) {
-    // Full table: at least one entry is from another thread (entries are
-    // distinct), so this write invalidates.
-    if (Count == 2) {
-      invalidateAndRecord(Tid);
-      return true;
+    uint64_t Old = Packed.load(std::memory_order_relaxed);
+    for (;;) {
+      unsigned Count = occupancy(Old);
+      // Single entry from ourselves: nothing to update, no invalidation.
+      if (Count == 1 && entryTid(Old, 0) == (Tid & TidMask))
+        return false;
+      // Full table (at least one entry is another thread — entries are
+      // distinct), single entry from another thread, or an empty table:
+      // "this write access incurs at least a cache invalidation. The table
+      // is flushed, and the write access is recorded in the table to
+      // maintain the table as not empty." (The empty-table case counts the
+      // first write; the paper accepts this one-per-line overcount to keep
+      // the table never-empty invariant.)
+      uint64_t New = packEntry(Tid, AccessKind::Write);
+      if (Packed.compare_exchange_weak(Old, New, std::memory_order_relaxed,
+                                       std::memory_order_relaxed))
+        return true;
     }
-    // Single entry from ourselves: nothing to update, no invalidation.
-    if (Count == 1 && Entries[0].Tid == Tid)
-      return false;
-    // "In all other cases, this write access incurs at least a cache
-    // invalidation": single entry from another thread, or an empty table.
-    // (The empty-table case counts the first write; the paper accepts this
-    // one-per-line overcount to keep the table never-empty invariant.)
-    invalidateAndRecord(Tid);
-    return true;
   }
 
-  void invalidateAndRecord(ThreadId Tid) {
-    // "The table is flushed, and the write access is recorded in the table
-    // to maintain the table as not empty."
-    Entries[0] = {Tid, AccessKind::Write};
-    Count = 1;
-  }
-
-  Entry Entries[2];
-  uint8_t Count = 0;
+  std::atomic<uint64_t> Packed{0};
 };
+
+static_assert(sizeof(CacheLineTable) == sizeof(uint64_t),
+              "the two-entry table must stay one atomic word");
 
 } // namespace core
 } // namespace cheetah

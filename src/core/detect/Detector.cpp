@@ -6,7 +6,9 @@
 
 #include "core/detect/Detector.h"
 
+#if CHEETAH_LOCKED_TABLE
 #include <mutex>
+#endif
 
 using namespace cheetah;
 using namespace cheetah::core;
@@ -49,9 +51,15 @@ bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,
 
   bool Invalidation;
   {
-    // The striped line lock serializes the two-entry table and per-word
-    // counter updates for this line against other ingesting threads.
+#if CHEETAH_LOCKED_TABLE
+    // A/B build only: serialize detail mutation with the PR-1 striped line
+    // mutex so the cost of the lock itself is measurable against the
+    // default lock-free path.
     std::lock_guard<std::mutex> Lock(Shadow.lineLock(Sample.Address));
+#endif
+    // CacheLineInfo::recordAccess is lock-free: the two-entry table is one
+    // CAS word and every counter is a relaxed atomic, so no serialization
+    // is needed here in the default build.
     Invalidation = Info->recordAccess(
         Sample.Tid, Sample.IsWrite ? AccessKind::Write : AccessKind::Read,
         WordIndex, WordSpan, Sample.LatencyCycles);

@@ -12,11 +12,14 @@
 /// rule. Detailed tracking is gated to parallel phases to avoid reporting
 /// initialize-then-share objects as shared (Section 2.4).
 ///
-/// handleSample is safe to call from many ingesting threads concurrently:
-/// the stage-1 write counters are atomic, materialization races are
-/// resolved by the shadow memory's CAS publication, stage-2 line mutation
-/// is serialized by the shadow memory's striped line locks, and the
-/// detector's own counters are relaxed atomics (stats() takes a snapshot).
+/// handleSample is safe to call from many ingesting threads concurrently
+/// and, in the default build, entirely lock-free: the stage-1 write
+/// counters are atomic, materialization races are resolved by the shadow
+/// memory's CAS publication, stage-2 line mutation goes through the
+/// single-word CAS table and relaxed atomic counters inside CacheLineInfo,
+/// and the detector's own counters are relaxed atomics (stats() takes a
+/// snapshot). Building with -DCHEETAH_LOCKED_TABLE=ON restores the PR-1
+/// striped line mutexes for A/B benchmarking.
 ///
 //===----------------------------------------------------------------------===//
 

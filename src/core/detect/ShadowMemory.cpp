@@ -8,7 +8,9 @@
 
 #include "support/Assert.h"
 
+#if CHEETAH_LOCKED_TABLE
 #include <bit>
+#endif
 
 using namespace cheetah;
 using namespace cheetah::core;
@@ -111,6 +113,7 @@ CacheLineInfo &ShadowMemory::materializeDetail(uint64_t Address) {
   return *Existing;
 }
 
+#if CHEETAH_LOCKED_TABLE
 std::mutex &ShadowMemory::lineLock(uint64_t Address) {
   // Fibonacci hash of the line index spreads adjacent lines across stripes;
   // the top bits of the product index the stripe array.
@@ -120,6 +123,7 @@ std::mutex &ShadowMemory::lineLock(uint64_t Address) {
   uint64_t Line = Address >> Geometry.lineShift();
   return LockStripes[(Line * 0x9e3779b97f4a7c15ull) >> Shift];
 }
+#endif
 
 size_t ShadowMemory::shadowBytes() const {
   size_t Bytes = 0;
@@ -129,9 +133,7 @@ size_t ShadowMemory::shadowBytes() const {
     for (size_t I = 0; I < Region.Lines; ++I)
       if (const CacheLineInfo *Info =
               Region.Details[I].load(std::memory_order_acquire))
-        Bytes += sizeof(CacheLineInfo) +
-                 Info->words().size() * sizeof(WordStats) +
-                 Info->threads().size() * sizeof(ThreadLineStats);
+        Bytes += Info->footprintBytes();
   }
   return Bytes;
 }

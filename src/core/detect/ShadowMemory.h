@@ -13,12 +13,17 @@
 /// only materialized for lines whose write count crosses the susceptibility
 /// threshold.
 ///
-/// The arrays are safe to update from many ingesting threads concurrently:
-/// write counters are per-slab arrays of relaxed atomics, detail pointers
-/// are published with a compare-and-swap (losers delete their allocation),
-/// and mutation of a materialized CacheLineInfo is serialized by a striped
-/// lock obtained via lineLock(). Readers that run after ingestion quiesces
+/// The arrays are safe to update from many ingesting threads concurrently
+/// with no locking: write counters are per-slab arrays of relaxed atomics,
+/// detail pointers are published with a compare-and-swap (losers delete
+/// their allocation), and a materialized CacheLineInfo is internally
+/// lock-free (single-word CAS table, relaxed atomic counters), so the whole
+/// ingestion path is mutex-free. Readers that run after ingestion quiesces
 /// (report generation, tests) see fully published state.
+///
+/// Building with -DCHEETAH_LOCKED_TABLE=ON restores the PR-1 striped line
+/// mutexes around detail mutation for A/B benchmarking of the lock-free
+/// hot path; the default build contains no mutex here at all.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -28,12 +33,15 @@
 #include "core/detect/CacheLineInfo.h"
 #include "mem/CacheGeometry.h"
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#if CHEETAH_LOCKED_TABLE
+#include <array>
+#include <mutex>
+#endif
 
 namespace cheetah {
 namespace core {
@@ -74,10 +82,12 @@ public:
   /// Safe to race: exactly one allocation wins publication.
   CacheLineInfo &materializeDetail(uint64_t Address);
 
-  /// The striped lock serializing mutation of \p Address's line detail
-  /// (CacheLineInfo and its embedded CacheLineTable). All ingestion paths
-  /// must hold it around CacheLineInfo::recordAccess.
+#if CHEETAH_LOCKED_TABLE
+  /// The PR-1 striped lock serializing mutation of \p Address's line detail.
+  /// Only exists in the locked A/B build; the default ingestion path is
+  /// lock-free and this member is compiled out.
   std::mutex &lineLock(uint64_t Address);
+#endif
 
   /// First byte address of the line containing \p Address.
   uint64_t lineBase(uint64_t Address) const {
@@ -100,8 +110,10 @@ public:
     return MaterializedCount.load(std::memory_order_relaxed);
   }
 
-  /// Approximate bytes of shadow metadata currently allocated (for the
-  /// memory ablation).
+  /// Bytes of shadow metadata currently allocated: the flat per-line slab
+  /// arrays plus the exact footprint of every materialized CacheLineInfo
+  /// (word slots and per-thread stats chunks included), so the memory
+  /// ablation reports honest numbers.
   size_t shadowBytes() const;
 
   const CacheGeometry &geometry() const { return Geometry; }
@@ -115,15 +127,16 @@ private:
     std::unique_ptr<std::atomic<CacheLineInfo *>[]> Details;  // one per line
   };
 
-  static constexpr size_t LockStripeCount = 64;
-
   const Slab *slabFor(uint64_t Address) const;
   Slab *slabFor(uint64_t Address);
   size_t lineIndexIn(const Slab &Region, uint64_t Address) const;
 
   CacheGeometry Geometry;
   std::vector<Slab> Slabs;
+#if CHEETAH_LOCKED_TABLE
+  static constexpr size_t LockStripeCount = 64;
   std::array<std::mutex, LockStripeCount> LockStripes;
+#endif
   std::atomic<size_t> MaterializedCount{0};
 };
 

@@ -24,10 +24,16 @@ const char *cheetah::core::sharingKindName(SharingKind Kind) {
 }
 
 LineClassification SharingClassifier::classify(const CacheLineInfo &Info) const {
-  LineClassification Result;
-  Result.Threads = static_cast<uint32_t>(Info.threadCount());
+  return classify(Info.words(), static_cast<uint32_t>(Info.threadCount()));
+}
 
-  for (const WordStats &Word : Info.words()) {
+LineClassification
+SharingClassifier::classify(const std::vector<WordStats> &Words,
+                            uint32_t ThreadsOnLine) const {
+  LineClassification Result;
+  Result.Threads = ThreadsOnLine;
+
+  for (const WordStats &Word : Words) {
     if (Word.accesses() == 0)
       continue;
     if (Word.MultiThread)

@@ -19,6 +19,7 @@
 #include "core/detect/CacheLineInfo.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace cheetah {
 namespace core {
@@ -74,6 +75,12 @@ public:
 
   /// Classifies one line from its word-level evidence.
   LineClassification classify(const CacheLineInfo &Info) const;
+
+  /// Same, over an already-taken words() snapshot — callers that need the
+  /// snapshot for other work too (the report builder) avoid materializing
+  /// it twice. \p ThreadsOnLine is the line's distinct-thread count.
+  LineClassification classify(const std::vector<WordStats> &Words,
+                              uint32_t ThreadsOnLine) const;
 
 private:
   ClassifierConfig Config;

@@ -1,0 +1,228 @@
+//===- core/report/ReportBuilder.cpp - Incremental report builder ---------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/report/ReportBuilder.h"
+
+#include <algorithm>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+/// Aggregation bucket: one reportable object (heap object or global) plus
+/// everything observed on its cache lines.
+struct ReportBuilder::ObjectAggregate {
+  ReportedObject Object;
+  ObjectAccessProfile Profile;
+  uint32_t Lines = 0;
+  uint64_t SharedWordAccesses = 0;
+  uint64_t TotalWordAccesses = 0;
+  uint32_t FalseLines = 0, TrueLines = 0, MixedLines = 0, SharedLines = 0;
+  std::vector<WordReportEntry> Words;
+  uint32_t MaxThreadsOnLine = 0;
+};
+
+ReportBuilder::ReportBuilder(const runtime::HeapAllocator &Heap,
+                             const runtime::GlobalRegistry &Globals,
+                             const runtime::CallsiteTable &Callsites,
+                             const SharingClassifier &Classifier,
+                             const CacheGeometry &Geometry,
+                             const ReportGate &Gate)
+    : Heap(Heap), Globals(Globals), Callsites(Callsites),
+      Classifier(Classifier), Geometry(Geometry), Gate(Gate) {}
+
+ReportBuilder::~ReportBuilder() = default;
+
+ReportBuilder::ObjectAggregate &ReportBuilder::aggregateFor(uint64_t LineBase) {
+  // Key: the object start address packed with a 2-bit tag in the top bits —
+  // heap object start (tag 0), global start (tag 1), or raw line base
+  // (tag 2) for unattributed heap-range lines. Addresses are user-space
+  // (< 2^48), so the tag can never collide with address bits.
+  auto PackKey = [](int Tag, uint64_t Start) {
+    return (static_cast<uint64_t>(Tag) << 62) | Start;
+  };
+
+  if (const runtime::HeapObject *Object = Heap.objectAt(LineBase)) {
+    ObjectAggregate &Aggregate = Aggregates[PackKey(0, Object->Start)];
+    if (Aggregate.Lines == 0) {
+      Aggregate.Object.IsHeap = true;
+      Aggregate.Object.Start = Object->Start;
+      Aggregate.Object.Size = Object->Size;
+      Aggregate.Object.RequestedSize = Object->RequestedSize;
+      Aggregate.Object.AllocatedBy = Object->Owner;
+      Aggregate.Object.CallsiteFrames = Callsites.get(Object->Site).Frames;
+    }
+    return Aggregate;
+  }
+  if (const runtime::GlobalVariable *Var = Globals.globalAt(LineBase)) {
+    ObjectAggregate &Aggregate = Aggregates[PackKey(1, Var->Start)];
+    if (Aggregate.Lines == 0) {
+      Aggregate.Object.IsHeap = false;
+      Aggregate.Object.GlobalName = Var->Name;
+      Aggregate.Object.Start = Var->Start;
+      Aggregate.Object.Size = Var->Size;
+    }
+    return Aggregate;
+  }
+  // Line inside the arena but before any object (allocator metadata or a
+  // freed region): report it as an anonymous range.
+  ObjectAggregate &Aggregate = Aggregates[PackKey(2, LineBase)];
+  if (Aggregate.Lines == 0) {
+    Aggregate.Object.IsHeap = Heap.covers(LineBase);
+    Aggregate.Object.Start = LineBase;
+    Aggregate.Object.Size = Geometry.lineSize();
+  }
+  return Aggregate;
+}
+
+void ReportBuilder::addLine(uint64_t LineBase, const CacheLineInfo &Info) {
+  if (Info.accesses() == 0)
+    return;
+  ObjectAggregate &Aggregate = aggregateFor(LineBase);
+
+  // One snapshot of each lock-free structure serves every use below:
+  // words feed classification and the per-word entries, threads feed the
+  // per-thread merge and the classifier's distinct-thread count.
+  const std::vector<WordStats> Words = Info.words();
+  const std::vector<ThreadLineStats> LineThreads = Info.threads();
+
+  ++Aggregate.Lines;
+  Aggregate.Profile.SampledAccesses += Info.accesses();
+  Aggregate.Profile.SampledWrites += Info.writes();
+  Aggregate.Profile.SampledCycles += Info.cycles();
+  Aggregate.Profile.Invalidations += Info.invalidations();
+
+  for (const ThreadLineStats &Stats : LineThreads) {
+    auto &PerThread = Aggregate.Profile.PerThread;
+    auto It = std::lower_bound(PerThread.begin(), PerThread.end(), Stats.Tid,
+                               [](const ThreadLineStats &S, ThreadId T) {
+                                 return S.Tid < T;
+                               });
+    if (It != PerThread.end() && It->Tid == Stats.Tid) {
+      It->Accesses += Stats.Accesses;
+      It->Cycles += Stats.Cycles;
+    } else {
+      PerThread.insert(It, Stats);
+    }
+  }
+
+  LineClassification Verdict =
+      Classifier.classify(Words, static_cast<uint32_t>(LineThreads.size()));
+  Aggregate.SharedWordAccesses += Verdict.SharedWordAccesses;
+  Aggregate.TotalWordAccesses +=
+      Verdict.SharedWordAccesses + Verdict.PrivateWordAccesses;
+  Aggregate.MaxThreadsOnLine =
+      std::max(Aggregate.MaxThreadsOnLine, Verdict.Threads);
+  switch (Verdict.Kind) {
+  case SharingKind::FalseSharing:
+    ++Aggregate.FalseLines;
+    ++Aggregate.SharedLines;
+    break;
+  case SharingKind::TrueSharing:
+    ++Aggregate.TrueLines;
+    ++Aggregate.SharedLines;
+    break;
+  case SharingKind::Mixed:
+    ++Aggregate.MixedLines;
+    ++Aggregate.SharedLines;
+    break;
+  case SharingKind::NotShared:
+    break;
+  }
+
+  // Per-word entries, offsets relative to the object.
+  for (size_t W = 0; W < Words.size(); ++W) {
+    if (Words[W].accesses() == 0)
+      continue;
+    WordReportEntry Entry;
+    uint64_t WordAddress = LineBase + W * WordSize;
+    Entry.Offset = WordAddress >= Aggregate.Object.Start
+                       ? WordAddress - Aggregate.Object.Start
+                       : 0;
+    Entry.Reads = Words[W].Reads;
+    Entry.Writes = Words[W].Writes;
+    Entry.Cycles = Words[W].Cycles;
+    Entry.FirstThread = Words[W].FirstThread;
+    Entry.MultiThread = Words[W].MultiThread;
+    Aggregate.Words.push_back(Entry);
+  }
+}
+
+FalseSharingReport
+ReportBuilder::buildReport(const ObjectAggregate &Aggregate,
+                           const Assessor &Assess, uint64_t AppRuntime) const {
+  FalseSharingReport Report;
+  Report.Object = Aggregate.Object;
+  Report.LinesTracked = Aggregate.Lines;
+  Report.SampledAccesses = Aggregate.Profile.SampledAccesses;
+  Report.SampledWrites = Aggregate.Profile.SampledWrites;
+  Report.Invalidations = Aggregate.Profile.Invalidations;
+  Report.LatencyCycles = Aggregate.Profile.SampledCycles;
+  Report.ThreadsObserved =
+      static_cast<uint32_t>(Aggregate.Profile.PerThread.size());
+  Report.SharedWordFraction =
+      Aggregate.TotalWordAccesses
+          ? static_cast<double>(Aggregate.SharedWordAccesses) /
+                static_cast<double>(Aggregate.TotalWordAccesses)
+          : 0.0;
+
+  // Object-level sharing verdict from the per-line verdicts.
+  if (Aggregate.SharedLines == 0)
+    Report.Kind = SharingKind::NotShared;
+  else if (Aggregate.FalseLines > 0 && Aggregate.TrueLines == 0 &&
+           Aggregate.MixedLines == 0)
+    Report.Kind = SharingKind::FalseSharing;
+  else if (Aggregate.TrueLines > 0 && Aggregate.FalseLines == 0 &&
+           Aggregate.MixedLines == 0)
+    Report.Kind = SharingKind::TrueSharing;
+  else
+    Report.Kind = SharingKind::Mixed;
+
+  Report.Impact = Assess.assess(Aggregate.Profile, AppRuntime);
+
+  // Hottest words first for the padding-guidance table.
+  Report.Words = Aggregate.Words;
+  std::sort(Report.Words.begin(), Report.Words.end(),
+            [](const WordReportEntry &A, const WordReportEntry &B) {
+              return A.Reads + A.Writes > B.Reads + B.Writes;
+            });
+  return Report;
+}
+
+ReportBuilder::Output ReportBuilder::finalize(const Assessor &Assess,
+                                              uint64_t AppRuntime,
+                                              ReportSink *Sink) {
+  std::vector<std::pair<FalseSharingReport, bool>> Instances;
+  Instances.reserve(Aggregates.size());
+  for (const auto &[Key, Aggregate] : Aggregates) {
+    FalseSharingReport Report = buildReport(Aggregate, Assess, AppRuntime);
+    bool Significant =
+        (Report.Kind == SharingKind::FalseSharing ||
+         (Gate.ReportMixedSharing && Report.Kind == SharingKind::Mixed)) &&
+        Report.Invalidations >= Gate.MinInvalidations &&
+        Report.Impact.ImprovementFactor >= Gate.MinImprovementFactor;
+    Instances.emplace_back(std::move(Report), Significant);
+  }
+
+  std::sort(Instances.begin(), Instances.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first.Impact.ImprovementFactor !=
+                  B.first.Impact.ImprovementFactor)
+                return A.first.Impact.ImprovementFactor >
+                       B.first.Impact.ImprovementFactor;
+              return A.first.Object.Start < B.first.Object.Start;
+            });
+
+  Output Result;
+  Result.AllInstances.reserve(Instances.size());
+  for (auto &[Report, Significant] : Instances) {
+    if (Sink)
+      Sink->finding(Report, Significant);
+    if (Significant)
+      Result.Reports.push_back(Report);
+    Result.AllInstances.push_back(std::move(Report));
+  }
+  return Result;
+}

@@ -1,0 +1,179 @@
+//===- core/report/ReportSink.cpp - Streaming report consumers ------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/report/ReportSink.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+//===----------------------------------------------------------------------===//
+// TextReportSink
+//===----------------------------------------------------------------------===//
+
+void TextReportSink::beginRun(const ReportRunInfo &Info) {
+  // Run identity is the caller's banner in text mode (the CLI prints its
+  // own header); the text stream carries findings and the run totals only.
+  (void)Info;
+}
+
+void TextReportSink::finding(const FalseSharingReport &Report,
+                             bool Significant) {
+  if (!Significant && !Opts.IncludeInsignificant)
+    return;
+  Out += formatReport(Report, Opts.Format);
+  Out += "\n";
+  // The summary table only reads scalar fields and the leading callsite
+  // frame; buffer a trimmed copy so streaming does not hold every
+  // finding's word table and thread predictions until endRun.
+  FalseSharingReport Row = Report;
+  Row.Words.clear();
+  Row.Impact.Threads.clear();
+  if (Row.Object.CallsiteFrames.size() > 1)
+    Row.Object.CallsiteFrames.resize(1);
+  SummaryRows.push_back(std::move(Row));
+  ++Rendered;
+}
+
+void TextReportSink::endRun(const ReportRunStats &Stats) {
+  if (Rendered == 0)
+    Out += "No significant false sharing detected.\n";
+  else
+    Out += formatSummaryTable(SummaryRows);
+  // Distinct wording from the CLI's own "runtime ... cycles" banner so the
+  // two lines never read (or grep) as duplicates.
+  Out += formatString(
+      "report totals: %s findings (%s significant) from %s samples over "
+      "%s cycles\n",
+      formatWithCommas(Stats.Findings).c_str(),
+      formatWithCommas(Stats.SignificantFindings).c_str(),
+      formatWithCommas(Stats.SamplesDelivered).c_str(),
+      formatWithCommas(Stats.AppRuntime).c_str());
+}
+
+//===----------------------------------------------------------------------===//
+// JsonReportSink
+//===----------------------------------------------------------------------===//
+
+void JsonReportSink::beginRun(const ReportRunInfo &Info) {
+  Writer.beginObject();
+  Writer.member("schema", "cheetah-report-v1");
+  Writer.key("run");
+  Writer.beginObject();
+  Writer.member("tool", Info.Tool);
+  Writer.member("workload", Info.Workload);
+  Writer.member("threads", Info.Threads);
+  Writer.member("scale", Info.Scale);
+  Writer.member("line_size", Info.LineSize);
+  Writer.member("sampling_period", Info.SamplingPeriod);
+  Writer.member("seed", Info.Seed);
+  Writer.member("fix_applied", Info.FixApplied);
+  Writer.endObject();
+  Writer.key("findings");
+  Writer.beginArray();
+}
+
+void JsonReportSink::finding(const FalseSharingReport &Report,
+                             bool Significant) {
+  Writer.beginObject();
+
+  Writer.key("object");
+  Writer.beginObject();
+  const ReportedObject &Object = Report.Object;
+  if (!Object.IsHeap) {
+    Writer.member("kind", "global");
+    Writer.member("name", Object.GlobalName);
+  } else if (!Object.CallsiteFrames.empty()) {
+    Writer.member("kind", "heap");
+    Writer.member("name", Object.CallsiteFrames.front());
+  } else {
+    // Arena line with no attributable allocation (allocator metadata or a
+    // freed region).
+    Writer.member("kind", "range");
+    Writer.member("name", "");
+  }
+  Writer.key("callsite");
+  Writer.beginArray();
+  for (const std::string &Frame : Object.CallsiteFrames)
+    Writer.value(Frame);
+  Writer.endArray();
+  Writer.member("start", Object.Start);
+  Writer.member("size", Object.Size);
+  Writer.member("requested_size", Object.RequestedSize);
+  Writer.member("allocated_by", Object.AllocatedBy);
+  Writer.endObject();
+
+  Writer.member("sharing", sharingKindName(Report.Kind));
+  Writer.member("significant", Significant);
+  Writer.member("lines_tracked", Report.LinesTracked);
+  Writer.member("accesses", Report.SampledAccesses);
+  Writer.member("writes", Report.SampledWrites);
+  Writer.member("invalidations", Report.Invalidations);
+  Writer.member("latency_cycles", Report.LatencyCycles);
+  Writer.member("threads_observed", Report.ThreadsObserved);
+  Writer.member("shared_word_fraction", Report.SharedWordFraction);
+
+  const Assessment &Impact = Report.Impact;
+  Writer.key("assessment");
+  Writer.beginObject();
+  Writer.member("improvement_factor", Impact.ImprovementFactor);
+  Writer.member("improvement_percent", Impact.improvementPercent());
+  Writer.member("real_runtime_cycles", Impact.RealAppRuntime);
+  Writer.member("predicted_runtime_cycles", Impact.PredictedAppRuntime);
+  Writer.member("average_nofs_latency", Impact.AverageNoFsLatency);
+  Writer.member("used_default_latency", Impact.UsedDefaultLatency);
+  Writer.member("fork_join_model", Impact.ForkJoinModel);
+  Writer.endObject();
+
+  Writer.key("words");
+  Writer.beginArray();
+  size_t Limit = Opts.MaxWords == 0
+                     ? Report.Words.size()
+                     : std::min(Opts.MaxWords, Report.Words.size());
+  for (size_t I = 0; I < Limit; ++I) {
+    const WordReportEntry &Word = Report.Words[I];
+    Writer.beginObject();
+    Writer.member("offset", Word.Offset);
+    Writer.member("reads", Word.Reads);
+    Writer.member("writes", Word.Writes);
+    Writer.member("cycles", Word.Cycles);
+    Writer.member("first_thread", Word.FirstThread);
+    Writer.member("multi_thread", Word.MultiThread);
+    Writer.endObject();
+  }
+  Writer.endArray();
+
+  Writer.endObject();
+}
+
+void JsonReportSink::endRun(const ReportRunStats &Stats) {
+  Writer.endArray();
+  Writer.key("summary");
+  Writer.beginObject();
+  Writer.member("findings", Stats.Findings);
+  Writer.member("significant_findings", Stats.SignificantFindings);
+  Writer.member("app_runtime_cycles", Stats.AppRuntime);
+  Writer.member("samples", Stats.SamplesDelivered);
+  Writer.member("serial_samples", Stats.SerialSamples);
+  Writer.member("serial_avg_latency", Stats.SerialAverageLatency);
+  Writer.member("fork_join", Stats.ForkJoinVerified);
+  Writer.member("materialized_lines",
+                static_cast<uint64_t>(Stats.MaterializedLines));
+  Writer.member("shadow_bytes", static_cast<uint64_t>(Stats.ShadowBytes));
+  Writer.key("detector");
+  Writer.beginObject();
+  Writer.member("seen", Stats.Detection.SamplesSeen);
+  Writer.member("filtered", Stats.Detection.SamplesFiltered);
+  Writer.member("recorded", Stats.Detection.SamplesRecorded);
+  Writer.member("invalidations", Stats.Detection.Invalidations);
+  Writer.endObject();
+  Writer.endObject();
+  Writer.endObject();
+  Out += "\n";
+}

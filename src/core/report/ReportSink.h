@@ -1,0 +1,162 @@
+//===- core/report/ReportSink.h - Streaming report consumers ---*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The streaming side of the report pipeline: instead of the profiler
+/// aggregating everything and callers formatting a finished vector, report
+/// generation pushes findings through a ReportSink one object at a time as
+/// the builder finalizes them. Two implementations ship: TextReportSink
+/// renders the paper's Figure-5 text format, JsonReportSink emits a stable
+/// machine-readable schema (`cheetah-report-v1`) for multi-run comparison
+/// tooling. Both append to a caller-owned string so the caller chooses the
+/// final destination (stdout, a file, a golden-test buffer).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_REPORT_REPORTSINK_H
+#define CHEETAH_CORE_REPORT_REPORTSINK_H
+
+#include "core/detect/Detector.h"
+#include "core/report/Report.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cheetah {
+namespace core {
+
+/// Run-level identification emitted before any finding. Fill what you
+/// know; empty/zero fields are omitted or emitted as-is per sink.
+struct ReportRunInfo {
+  /// Producing tool, e.g. "cheetah-profile".
+  std::string Tool;
+  std::string Workload;
+  uint32_t Threads = 0;
+  double Scale = 1.0;
+  uint64_t LineSize = 0;
+  uint64_t SamplingPeriod = 0;
+  uint64_t Seed = 0;
+  /// True when the workload ran with the padding fix applied.
+  bool FixApplied = false;
+};
+
+/// Run-level outcome emitted after the last finding.
+struct ReportRunStats {
+  uint64_t AppRuntime = 0;
+  uint64_t SamplesDelivered = 0;
+  uint64_t SerialSamples = 0;
+  double SerialAverageLatency = 0.0;
+  bool ForkJoinVerified = true;
+  DetectorStats Detection;
+  size_t MaterializedLines = 0;
+  size_t ShadowBytes = 0;
+  /// Counts over the findings that passed through the sink.
+  uint64_t Findings = 0;
+  uint64_t SignificantFindings = 0;
+};
+
+/// Consumer of a stream of per-object findings. Calls arrive in order:
+/// beginRun, then finding() once per object (highest predicted improvement
+/// first), then endRun. Implementations must tolerate zero findings.
+class ReportSink {
+public:
+  virtual ~ReportSink() = default;
+
+  virtual void beginRun(const ReportRunInfo &Info) = 0;
+
+  /// One per-object finding. \p Significant mirrors the profiler's report
+  /// gate (kind + invalidation + predicted-improvement thresholds).
+  virtual void finding(const FalseSharingReport &Report, bool Significant) = 0;
+
+  virtual void endRun(const ReportRunStats &Stats) = 0;
+};
+
+/// Figure-5-style text, streamed finding by finding. Per-finding detail is
+/// appended as each finding arrives; the one-line-per-object summary table
+/// is rendered at endRun (a streaming sink cannot print a table of rows it
+/// has not seen yet), together with the run totals.
+class TextReportSink : public ReportSink {
+public:
+  struct Options {
+    /// Also render findings that failed the significance gate.
+    bool IncludeInsignificant = false;
+    ReportFormatOptions Format;
+  };
+
+  explicit TextReportSink(std::string &Out)
+      : TextReportSink(Out, Options()) {}
+  TextReportSink(std::string &Out, const Options &Opts)
+      : Out(Out), Opts(Opts) {}
+
+  void beginRun(const ReportRunInfo &Info) override;
+  void finding(const FalseSharingReport &Report, bool Significant) override;
+  void endRun(const ReportRunStats &Stats) override;
+
+private:
+  std::string &Out;
+  Options Opts;
+  std::vector<FalseSharingReport> SummaryRows;
+  uint64_t Rendered = 0;
+};
+
+/// Stable machine-readable schema:
+///
+/// \code{.json}
+/// {
+///   "schema": "cheetah-report-v1",
+///   "run": { "tool", "workload", "threads", "scale", "line_size",
+///            "sampling_period", "seed", "fix_applied" },
+///   "findings": [ {
+///     "object": { "kind": "heap"|"global"|"range", "name", "callsite": [],
+///                 "start", "size", "requested_size", "allocated_by" },
+///     "sharing": "false-sharing"|"true-sharing"|"mixed-sharing"|"not-shared",
+///     "significant": bool,
+///     "lines_tracked", "accesses", "writes", "invalidations",
+///     "latency_cycles", "threads_observed", "shared_word_fraction",
+///     "assessment": { "improvement_factor", "improvement_percent",
+///                     "real_runtime_cycles", "predicted_runtime_cycles",
+///                     "average_nofs_latency", "used_default_latency",
+///                     "fork_join_model" },
+///     "words": [ { "offset", "reads", "writes", "cycles", "first_thread",
+///                  "multi_thread" } ]
+///   } ],
+///   "summary": { "findings", "significant_findings", "app_runtime_cycles",
+///                "samples", "serial_samples", "serial_avg_latency",
+///                "fork_join", "materialized_lines", "shadow_bytes",
+///                "detector": { "seen", "filtered", "recorded",
+///                              "invalidations" } }
+/// }
+/// \endcode
+///
+/// Schema evolution contract: fields are only ever added, never renamed or
+/// removed, within a `cheetah-report-v1` document.
+class JsonReportSink : public ReportSink {
+public:
+  struct Options {
+    /// Cap on per-finding word entries (hottest first); 0 = all.
+    size_t MaxWords = 0;
+  };
+
+  explicit JsonReportSink(std::string &Out)
+      : JsonReportSink(Out, Options()) {}
+  JsonReportSink(std::string &Out, const Options &Opts)
+      : Out(Out), Opts(Opts), Writer(Out) {}
+
+  void beginRun(const ReportRunInfo &Info) override;
+  void finding(const FalseSharingReport &Report, bool Significant) override;
+  void endRun(const ReportRunStats &Stats) override;
+
+private:
+  std::string &Out;
+  Options Opts;
+  JsonWriter Writer;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_REPORT_REPORTSINK_H

@@ -1,0 +1,108 @@
+//===- driver/PreloadBridge.cpp - interpose-to-profiler wiring ------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/PreloadBridge.h"
+
+#include "interpose/Preload.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace cheetah;
+using namespace cheetah::driver;
+
+PreloadProfilerBridge::PreloadProfilerBridge(core::Profiler &Profiler)
+    : Profiler(Profiler),
+      StartTimestamp(interpose::readTimestampCounter()) {
+  // Per-thread buffers drain straight into the profiler's batched ingest,
+  // which is safe from any number of application threads.
+  interpose::setSampleSink(
+      [&Profiler](const pmu::Sample *Samples, size_t Count) {
+        Profiler.ingestBatch(Samples, Count);
+      });
+  Profiler.onThreadStart(/*Tid=*/0, /*IsMain=*/true, /*Now=*/0);
+}
+
+PreloadProfilerBridge::~PreloadProfilerBridge() {
+  if (!Finished)
+    interpose::setSampleSink({});
+}
+
+uint64_t PreloadProfilerBridge::elapsedCycles() const {
+  return interpose::readTimestampCounter() - StartTimestamp;
+}
+
+void PreloadProfilerBridge::attachThread(ThreadId Tid) {
+  CHEETAH_ASSERT(Tid != 0, "thread 0 is the bridge's main thread");
+  uint64_t Now = elapsedCycles();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    CHEETAH_ASSERT(!Finished, "attach after finish");
+    Attached.push_back(Tid);
+  }
+  // No interpose::threadAttach() here: that registers the *calling*
+  // thread's sample buffer, and attachThread may run on a coordinator. The
+  // Tid thread's own buffer registers lazily on its first recordSample()
+  // (or its own threadAttach() call).
+  interpose::noteThreadCreate();
+  Profiler.onThreadStart(Tid, /*IsMain=*/false, Now);
+}
+
+void PreloadProfilerBridge::detachThread(ThreadId Tid) {
+  // The thread's staged samples must reach the detector while the thread
+  // is still a live phase member.
+  interpose::flushAllSamples();
+  uint64_t Now = elapsedCycles();
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = std::find(Attached.begin(), Attached.end(), Tid);
+    CHEETAH_ASSERT(It != Attached.end(), "detach of unattached thread");
+    Attached.erase(It);
+  }
+  interpose::noteThreadJoin();
+  sim::ThreadRecord Record;
+  Record.Tid = Tid;
+  Record.EndCycle = Now;
+  Record.IsMain = false;
+  Profiler.onThreadEnd(Record);
+}
+
+core::ProfileResult PreloadProfilerBridge::finish(core::ReportSink *Sink) {
+  std::vector<ThreadId> Remaining;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    CHEETAH_ASSERT(!Finished, "finish twice");
+    Remaining = Attached;
+  }
+  for (ThreadId Tid : Remaining)
+    detachThread(Tid);
+  // Catch samples recorded after the last detach.
+  interpose::flushAllSamples();
+  interpose::setSampleSink({});
+
+  uint64_t Now = elapsedCycles();
+  sim::ThreadRecord Main;
+  Main.Tid = 0;
+  Main.EndCycle = Now;
+  Main.IsMain = true;
+  Profiler.onThreadEnd(Main);
+
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Finished = true;
+  }
+  sim::SimulationResult Run;
+  Run.TotalCycles = Now;
+  if (Sink) {
+    // The bridge owns the run lifecycle for the LD_PRELOAD path, so it
+    // provides the beginRun bookend the profiler's finish() expects the
+    // caller to have sent (the simulator path gets it from the driver).
+    core::ReportRunInfo Info;
+    Info.Tool = "cheetah-preload";
+    Sink->beginRun(Info);
+  }
+  return Profiler.finish(Run, Sink);
+}

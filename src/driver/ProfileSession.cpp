@@ -35,8 +35,29 @@ cheetah::driver::buildProgram(const workloads::Workload &Workload,
   return Workload.build(Ctx, Config.Workload);
 }
 
+core::ReportRunInfo
+cheetah::driver::makeRunInfo(const workloads::Workload &Workload,
+                             const SessionConfig &Config) {
+  core::ReportRunInfo Info;
+  Info.Tool = "cheetah";
+  Info.Workload = Workload.name();
+  Info.Threads = Config.Workload.Threads;
+  Info.Scale = Config.Workload.Scale;
+  Info.LineSize = Config.Profiler.Geometry.lineSize();
+  Info.SamplingPeriod = Config.Profiler.Pmu.SamplingPeriod;
+  Info.Seed = Config.Workload.Seed;
+  Info.FixApplied = Config.Workload.FixFalseSharing;
+  return Info;
+}
+
 SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,
                                            const SessionConfig &Config) {
+  return runWorkload(Workload, Config, /*Sink=*/nullptr);
+}
+
+SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,
+                                           const SessionConfig &Config,
+                                           core::ReportSink *Sink) {
   SessionResult Result;
   Result.ProfilerEnabled = Config.EnableProfiler;
 
@@ -47,8 +68,11 @@ SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,
   if (Config.EnableProfiler)
     Sim.addObserver(&Profiler);
   Result.Run = Sim.run(Program);
-  if (Config.EnableProfiler)
-    Result.Profile = Profiler.finish(Result.Run);
+  if (Config.EnableProfiler) {
+    if (Sink)
+      Sink->beginRun(makeRunInfo(Workload, Config));
+    Result.Profile = Profiler.finish(Result.Run, Sink);
+  }
   return Result;
 }
 

@@ -48,10 +48,22 @@ sim::ForkJoinProgram buildProgram(const workloads::Workload &Workload,
                                   core::Profiler &Profiler,
                                   const SessionConfig &Config);
 
+/// Fills the sink-facing run identification from a session configuration.
+core::ReportRunInfo makeRunInfo(const workloads::Workload &Workload,
+                                const SessionConfig &Config);
+
 /// Runs \p Workload under the Cheetah profiler (or natively when
 /// EnableProfiler is false).
 SessionResult runWorkload(const workloads::Workload &Workload,
                           const SessionConfig &Config);
+
+/// Same, routing the report through the streaming sink API: the sink sees
+/// beginRun (run identification), one finding() per tracked object in
+/// descending predicted improvement, and endRun (run stats). The returned
+/// SessionResult still carries the full vectors for programmatic use.
+SessionResult runWorkload(const workloads::Workload &Workload,
+                          const SessionConfig &Config,
+                          core::ReportSink *Sink);
 
 /// Result of a Predator-style full-instrumentation run.
 struct FullTrackResult {

@@ -1,0 +1,445 @@
+//===- support/Json.cpp - Minimal JSON writer and parser ------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include "support/Assert.h"
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <charconv>
+#include <clocale>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+using namespace cheetah;
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string cheetah::jsonEscape(const std::string &Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (unsigned char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (C < 0x20)
+        Out += formatString("\\u%04x", C);
+      else
+        Out += static_cast<char>(C);
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::separate() {
+  if (PendingKey) {
+    // The value after key() never takes a comma of its own.
+    PendingKey = false;
+    return;
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out += ',';
+    NeedComma.back() = true;
+  }
+}
+
+void JsonWriter::beginObject() {
+  separate();
+  Out += '{';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endObject() {
+  CHEETAH_ASSERT(!NeedComma.empty() && !PendingKey, "misnested endObject");
+  NeedComma.pop_back();
+  Out += '}';
+}
+
+void JsonWriter::beginArray() {
+  separate();
+  Out += '[';
+  NeedComma.push_back(false);
+}
+
+void JsonWriter::endArray() {
+  CHEETAH_ASSERT(!NeedComma.empty() && !PendingKey, "misnested endArray");
+  NeedComma.pop_back();
+  Out += ']';
+}
+
+void JsonWriter::key(const std::string &Name) {
+  CHEETAH_ASSERT(!PendingKey, "key() twice without a value");
+  separate();
+  Out += '"';
+  Out += jsonEscape(Name);
+  Out += "\":";
+  PendingKey = true;
+}
+
+void JsonWriter::value(const std::string &Text) {
+  separate();
+  Out += '"';
+  Out += jsonEscape(Text);
+  Out += '"';
+}
+
+void JsonWriter::value(const char *Text) { value(std::string(Text)); }
+
+void JsonWriter::value(double Number) {
+  separate();
+  if (!std::isfinite(Number)) {
+    // JSON has no NaN/Inf; null is the conventional stand-in.
+    Out += "null";
+    return;
+  }
+#if defined(__cpp_lib_to_chars)
+  // Shortest exact representation, locale-independent — printf %g honors
+  // LC_NUMERIC and would emit "1,5" inside a host application that set a
+  // European locale (the LD_PRELOAD deployment cannot control that).
+  char Buffer[32];
+  auto [End, Ec] = std::to_chars(Buffer, Buffer + sizeof(Buffer), Number);
+  CHEETAH_ASSERT(Ec == std::errc(), "double did not fit to_chars buffer");
+  Out.append(Buffer, End);
+#else
+  // Fallback: shortest of %.15g/%.16g/%.17g that parses back exactly,
+  // with the locale's decimal point normalized to '.'.
+  std::string Text;
+  for (int Precision = 15; Precision <= 17; ++Precision) {
+    Text = formatString("%.*g", Precision, Number);
+    if (std::strtod(Text.c_str(), nullptr) == Number)
+      break;
+  }
+  if (const char *Point = std::localeconv()->decimal_point)
+    if (*Point && *Point != '.')
+      for (char &C : Text)
+        if (C == *Point)
+          C = '.';
+  Out += Text;
+#endif
+}
+
+void JsonWriter::value(uint64_t Number) {
+  separate();
+  Out += formatString("%llu", static_cast<unsigned long long>(Number));
+}
+
+void JsonWriter::value(int64_t Number) {
+  separate();
+  Out += formatString("%lld", static_cast<long long>(Number));
+}
+
+void JsonWriter::value(bool Flag) {
+  separate();
+  Out += Flag ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  separate();
+  Out += "null";
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace cheetah {
+
+/// Recursive-descent parser over the whole input string.
+class JsonParser {
+public:
+  JsonParser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool run(JsonValue &Result) {
+    skipSpace();
+    if (!parseValue(Result, 0))
+      return false;
+    skipSpace();
+    if (Pos != Text.size())
+      return fail("trailing characters after document");
+    return true;
+  }
+
+private:
+  static constexpr unsigned MaxDepth = 128;
+
+  bool fail(const std::string &Message) {
+    Error = formatString("JSON error at offset %zu: %s", Pos,
+                         Message.c_str());
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = std::strlen(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(formatString("expected '%s'", Word));
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Out, Depth);
+    case '[':
+      return parseArray(Out, Depth);
+    case '"':
+      Out.NodeKind = JsonValue::Kind::String;
+      return parseString(Out.StringValue);
+    case 't':
+      Out.NodeKind = JsonValue::Kind::Bool;
+      Out.BoolValue = true;
+      return literal("true");
+    case 'f':
+      Out.NodeKind = JsonValue::Kind::Bool;
+      Out.BoolValue = false;
+      return literal("false");
+    case 'n':
+      Out.NodeKind = JsonValue::Kind::Null;
+      return literal("null");
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    Out.NodeKind = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipSpace();
+    if (consume('}'))
+      return true;
+    for (;;) {
+      skipSpace();
+      std::string Key;
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key");
+      if (!parseString(Key))
+        return false;
+      skipSpace();
+      if (!consume(':'))
+        return fail("expected ':' after key");
+      skipSpace();
+      JsonValue Member;
+      if (!parseValue(Member, Depth + 1))
+        return false;
+      Out.Members.emplace_back(std::move(Key), std::move(Member));
+      skipSpace();
+      if (consume('}'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    Out.NodeKind = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipSpace();
+    if (consume(']'))
+      return true;
+    for (;;) {
+      skipSpace();
+      JsonValue Element;
+      if (!parseValue(Element, Depth + 1))
+        return false;
+      Out.Elements.push_back(std::move(Element));
+      skipSpace();
+      if (consume(']'))
+        return true;
+      if (!consume(','))
+        return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseString(std::string &Out) {
+    ++Pos; // opening quote
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        break;
+      char Escape = Text[Pos++];
+      switch (Escape) {
+      case '"':
+      case '\\':
+      case '/':
+        Out += Escape;
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail("truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= H - '0';
+          else if (H >= 'a' && H <= 'f')
+            Code |= H - 'a' + 10;
+          else if (H >= 'A' && H <= 'F')
+            Code |= H - 'A' + 10;
+          else
+            return fail("bad hex digit in \\u escape");
+        }
+        // UTF-8 encode the BMP code point (surrogate pairs unsupported —
+        // Cheetah never emits them; decode as-is for robustness).
+        if (Code < 0x80) {
+          Out += static_cast<char>(Code);
+        } else if (Code < 0x800) {
+          Out += static_cast<char>(0xC0 | (Code >> 6));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        } else {
+          Out += static_cast<char>(0xE0 | (Code >> 12));
+          Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+          Out += static_cast<char>(0x80 | (Code & 0x3F));
+        }
+        break;
+      }
+      default:
+        return fail("unknown escape character");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    consume('-');
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail("expected a value");
+    std::string Number = Text.substr(Start, Pos - Start);
+    char *End = nullptr;
+    double Value = std::strtod(Number.c_str(), &End);
+    if (End != Number.c_str() + Number.size())
+      return fail("malformed number");
+    Out.NodeKind = JsonValue::Kind::Number;
+    Out.NumberValue = Value;
+    return true;
+  }
+
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+};
+
+} // namespace cheetah
+
+bool JsonValue::parse(const std::string &Text, JsonValue &Result,
+                      std::string &Error) {
+  Result = JsonValue();
+  return JsonParser(Text, Error).run(Result);
+}
+
+bool JsonValue::asBool() const {
+  CHEETAH_ASSERT(NodeKind == Kind::Bool, "not a bool");
+  return BoolValue;
+}
+
+double JsonValue::asNumber() const {
+  CHEETAH_ASSERT(NodeKind == Kind::Number, "not a number");
+  return NumberValue;
+}
+
+uint64_t JsonValue::asUint() const {
+  double N = asNumber();
+  CHEETAH_ASSERT(N >= 0, "negative number read as unsigned");
+  // Integer tokens below 2^53 parse exactly; truncation is the identity on
+  // them, whereas adding 0.5 would round odd values >= 2^52 up by one.
+  return static_cast<uint64_t>(N);
+}
+
+const std::string &JsonValue::asString() const {
+  CHEETAH_ASSERT(NodeKind == Kind::String, "not a string");
+  return StringValue;
+}
+
+const std::vector<JsonValue> &JsonValue::elements() const {
+  CHEETAH_ASSERT(NodeKind == Kind::Array, "not an array");
+  return Elements;
+}
+
+const JsonValue *JsonValue::find(const std::string &Name) const {
+  if (NodeKind != Kind::Object)
+    return nullptr;
+  for (const auto &[Key, Value] : Members)
+    if (Key == Name)
+      return &Value;
+  return nullptr;
+}
+
+size_t JsonValue::size() const {
+  return NodeKind == Kind::Object ? Members.size() : Elements.size();
+}

@@ -1,0 +1,118 @@
+//===- support/Json.h - Minimal JSON writer and parser ----------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free JSON toolkit sized for Cheetah's needs: a streaming
+/// writer the report pipeline uses to serialize findings incrementally
+/// (one finding at a time, no document tree in memory), and a small
+/// recursive-descent parser used by tests and multi-run comparison tooling
+/// to read reports back. Both cover the full JSON grammar; numbers are
+/// stored as doubles (exact for the counter magnitudes Cheetah emits,
+/// < 2^53).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_SUPPORT_JSON_H
+#define CHEETAH_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cheetah {
+
+/// \returns \p Text with JSON string escaping applied (quotes, backslash,
+/// control characters), without surrounding quotes.
+std::string jsonEscape(const std::string &Text);
+
+/// Streaming JSON emitter appending to a caller-owned string. Handles
+/// comma placement and string escaping; the caller provides structure via
+/// begin/end calls. Misnesting is a programming error (asserted).
+class JsonWriter {
+public:
+  explicit JsonWriter(std::string &Out) : Out(Out) {}
+
+  /// Value emitters, usable at the top level, as array elements, or after
+  /// key().
+  void beginObject();
+  void endObject();
+  void beginArray();
+  void endArray();
+  void value(const std::string &Text);
+  void value(const char *Text);
+  void value(double Number);
+  void value(uint64_t Number);
+  void value(int64_t Number);
+  void value(int Number) { value(static_cast<int64_t>(Number)); }
+  void value(unsigned Number) { value(static_cast<uint64_t>(Number)); }
+  void value(bool Flag);
+  void null();
+
+  /// Emits an object member key; the next emitted value belongs to it.
+  void key(const std::string &Name);
+
+  /// key() + value() in one call.
+  template <typename T> void member(const std::string &Name, const T &Value) {
+    key(Name);
+    value(Value);
+  }
+
+private:
+  void separate();
+
+  std::string &Out;
+  /// One frame per open object/array: whether a separator is needed before
+  /// the next value at that level.
+  std::vector<bool> NeedComma;
+  bool PendingKey = false;
+};
+
+/// A parsed JSON document node.
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  /// Parses \p Text into \p Result. On failure returns false and describes
+  /// the problem (with byte offset) in \p Error.
+  static bool parse(const std::string &Text, JsonValue &Result,
+                    std::string &Error);
+
+  Kind kind() const { return NodeKind; }
+  bool isNull() const { return NodeKind == Kind::Null; }
+  bool isObject() const { return NodeKind == Kind::Object; }
+  bool isArray() const { return NodeKind == Kind::Array; }
+
+  /// Typed accessors; the node must have the matching kind.
+  bool asBool() const;
+  double asNumber() const;
+  /// asNumber() rounded to uint64 — counters round-trip exactly below 2^53.
+  uint64_t asUint() const;
+  const std::string &asString() const;
+  const std::vector<JsonValue> &elements() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const JsonValue *find(const std::string &Name) const;
+  /// Number of object members / array elements.
+  size_t size() const;
+
+private:
+  friend class JsonParser;
+
+  Kind NodeKind = Kind::Null;
+  bool BoolValue = false;
+  double NumberValue = 0.0;
+  std::string StringValue;
+  std::vector<JsonValue> Elements;
+  /// Object members in document order (schema stability is part of the
+  /// report contract, so order is preserved rather than sorted).
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+} // namespace cheetah
+
+#endif // CHEETAH_SUPPORT_JSON_H

@@ -123,9 +123,181 @@ TEST(CacheLineTableTest, EntriesAlwaysDistinctThreads) {
     ThreadId Tid = static_cast<ThreadId>(Rng.nextBelow(6));
     AccessKind Kind = Rng.nextBool(0.5) ? AccessKind::Read : AccessKind::Write;
     Table.recordAccess(Tid, Kind);
-    if (Table.size() == 2)
+    if (Table.size() == 2) {
       EXPECT_NE(Table.entry(0).Tid, Table.entry(1).Tid);
+    }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Packed-table state machine: every reachable state, every transition
+//===----------------------------------------------------------------------===//
+
+// The packed atomic word has exactly four reachable state shapes: empty, a
+// single read entry, a single write entry, and a full table whose second
+// entry is always a read (writes only ever enter a flushed table). These
+// tests pin each documented transition out of each shape; the exhaustive
+// sequence enumeration below then closes the gaps no hand-picked case
+// covers.
+
+TEST(PackedTableStateTest, EmptyState) {
+  CacheLineTable Table;
+  EXPECT_EQ(Table.size(), 0u);
+  EXPECT_FALSE(Table.containsThread(0));
+  EXPECT_FALSE(Table.containsThread(1));
+}
+
+TEST(PackedTableStateTest, EmptyToSingleRead) {
+  CacheLineTable Table;
+  EXPECT_FALSE(Table.recordAccess(5, AccessKind::Read));
+  ASSERT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.entry(0).Tid, 5u);
+  EXPECT_EQ(Table.entry(0).Kind, AccessKind::Read);
+}
+
+TEST(PackedTableStateTest, EmptyToSingleWriteInvalidates) {
+  CacheLineTable Table;
+  EXPECT_TRUE(Table.recordAccess(5, AccessKind::Write));
+  ASSERT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.entry(0).Tid, 5u);
+  EXPECT_EQ(Table.entry(0).Kind, AccessKind::Write);
+}
+
+TEST(PackedTableStateTest, SingleReadSelfTransitionsAreNoOps) {
+  CacheLineTable Table;
+  Table.recordAccess(5, AccessKind::Read);
+  EXPECT_FALSE(Table.recordAccess(5, AccessKind::Read));  // ignored
+  EXPECT_FALSE(Table.recordAccess(5, AccessKind::Write)); // skipped
+  ASSERT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.entry(0).Kind, AccessKind::Read); // entry not updated
+}
+
+TEST(PackedTableStateTest, SingleReadOtherReadFills) {
+  CacheLineTable Table;
+  Table.recordAccess(5, AccessKind::Read);
+  EXPECT_FALSE(Table.recordAccess(6, AccessKind::Read));
+  ASSERT_EQ(Table.size(), 2u);
+  EXPECT_EQ(Table.entry(0).Tid, 5u);
+  EXPECT_EQ(Table.entry(1).Tid, 6u);
+  EXPECT_EQ(Table.entry(1).Kind, AccessKind::Read);
+}
+
+TEST(PackedTableStateTest, SingleReadOtherWriteFlushes) {
+  CacheLineTable Table;
+  Table.recordAccess(5, AccessKind::Read);
+  EXPECT_TRUE(Table.recordAccess(6, AccessKind::Write));
+  ASSERT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.entry(0).Tid, 6u);
+  EXPECT_EQ(Table.entry(0).Kind, AccessKind::Write);
+  EXPECT_FALSE(Table.containsThread(5));
+}
+
+TEST(PackedTableStateTest, SingleWriteSelfTransitionsAreNoOps) {
+  CacheLineTable Table;
+  Table.recordAccess(5, AccessKind::Write);
+  EXPECT_FALSE(Table.recordAccess(5, AccessKind::Write));
+  EXPECT_FALSE(Table.recordAccess(5, AccessKind::Read));
+  ASSERT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.entry(0).Kind, AccessKind::Write);
+}
+
+TEST(PackedTableStateTest, SingleWriteOtherReadFills) {
+  CacheLineTable Table;
+  Table.recordAccess(5, AccessKind::Write);
+  EXPECT_FALSE(Table.recordAccess(6, AccessKind::Read));
+  ASSERT_EQ(Table.size(), 2u);
+  EXPECT_EQ(Table.entry(0).Kind, AccessKind::Write);
+  EXPECT_EQ(Table.entry(1).Kind, AccessKind::Read);
+}
+
+TEST(PackedTableStateTest, SingleWriteOtherWriteFlushes) {
+  CacheLineTable Table;
+  Table.recordAccess(5, AccessKind::Write);
+  EXPECT_TRUE(Table.recordAccess(6, AccessKind::Write));
+  ASSERT_EQ(Table.size(), 1u);
+  EXPECT_EQ(Table.entry(0).Tid, 6u);
+}
+
+TEST(PackedTableStateTest, FullTableReadsIgnoredFromAnyThread) {
+  CacheLineTable Table;
+  Table.recordAccess(5, AccessKind::Read);
+  Table.recordAccess(6, AccessKind::Read);
+  EXPECT_FALSE(Table.recordAccess(5, AccessKind::Read)); // member
+  EXPECT_FALSE(Table.recordAccess(7, AccessKind::Read)); // third thread
+  ASSERT_EQ(Table.size(), 2u);
+  EXPECT_FALSE(Table.containsThread(7));
+}
+
+TEST(PackedTableStateTest, FullTableWriteAlwaysFlushesAndInvalidates) {
+  for (ThreadId Writer : {5u, 6u, 7u}) { // member 0, member 1, outsider
+    CacheLineTable Table;
+    Table.recordAccess(5, AccessKind::Read);
+    Table.recordAccess(6, AccessKind::Read);
+    EXPECT_TRUE(Table.recordAccess(Writer, AccessKind::Write));
+    ASSERT_EQ(Table.size(), 1u);
+    EXPECT_EQ(Table.entry(0).Tid, Writer);
+    EXPECT_EQ(Table.entry(0).Kind, AccessKind::Write);
+  }
+}
+
+TEST(PackedTableStateTest, FlushRestoresEmptyState) {
+  CacheLineTable Table;
+  Table.recordAccess(1, AccessKind::Read);
+  Table.recordAccess(2, AccessKind::Read);
+  Table.flush();
+  EXPECT_EQ(Table.size(), 0u);
+  EXPECT_FALSE(Table.containsThread(1));
+  // First write into the flushed table counts again (empty-table rule).
+  EXPECT_TRUE(Table.recordAccess(1, AccessKind::Write));
+}
+
+TEST(PackedTableStateTest, ExhaustiveSequencesMatchReferenceModel) {
+  // Every access sequence of length 6 over three threads and both kinds
+  // (6^6 = 46656 sequences) must agree with the unbounded reference model
+  // step by step, and the packed invariants must hold in every state:
+  // occupancy <= 2, entries from distinct threads, entry 1 (filled second)
+  // is always a read.
+  constexpr unsigned Length = 6;
+  constexpr unsigned Choices = 6; // 3 tids x {read, write}
+  unsigned Total = 1;
+  for (unsigned I = 0; I < Length; ++I)
+    Total *= Choices;
+
+  for (unsigned Encoded = 0; Encoded < Total; ++Encoded) {
+    CacheLineTable Table;
+    baseline::ReferenceLineModel Reference;
+    unsigned Rest = Encoded;
+    for (unsigned Step = 0; Step < Length; ++Step) {
+      unsigned Choice = Rest % Choices;
+      Rest /= Choices;
+      ThreadId Tid = 1 + Choice % 3;
+      AccessKind Kind = Choice < 3 ? AccessKind::Read : AccessKind::Write;
+
+      bool FromTable = Table.recordAccess(Tid, Kind);
+      bool FromReference = Reference.recordAccess(Tid, Kind);
+      ASSERT_EQ(FromTable, FromReference)
+          << "sequence " << Encoded << " step " << Step;
+
+      unsigned Count = Table.size();
+      ASSERT_LE(Count, 2u);
+      if (Count == 2) {
+        ASSERT_NE(Table.entry(0).Tid, Table.entry(1).Tid);
+        ASSERT_EQ(Table.entry(1).Kind, AccessKind::Read)
+            << "second entry can only ever be a recorded read";
+      }
+    }
+  }
+}
+
+TEST(PackedTableStateTest, ThreadIdsNearPackingLimit) {
+  // 30-bit tid storage: ids below 2^30 round-trip exactly.
+  constexpr ThreadId Big = (1u << 30) - 1;
+  CacheLineTable Table;
+  Table.recordAccess(Big, AccessKind::Read);
+  EXPECT_TRUE(Table.containsThread(Big));
+  EXPECT_EQ(Table.entry(0).Tid, Big);
+  EXPECT_FALSE(Table.recordAccess(Big, AccessKind::Write)); // self skip
+  EXPECT_TRUE(Table.recordAccess(Big - 1, AccessKind::Write));
 }
 
 //===----------------------------------------------------------------------===//

@@ -4,7 +4,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/PreloadBridge.h"
 #include "interpose/Preload.h"
+#include "support/Json.h"
 
 #include <gtest/gtest.h>
 
@@ -69,6 +71,81 @@ TEST_F(InterposeTest, PmuStatusIsAlwaysExplained) {
   // Either live sampling or a concrete reason (e.g. perf_event_paranoid).
   EXPECT_FALSE(Summary.PmuStatus.empty());
   endProfiling();
+}
+
+//===----------------------------------------------------------------------===//
+// Preload-to-profiler bridge: LD_PRELOAD-path samples become real reports.
+//===----------------------------------------------------------------------===//
+
+TEST_F(InterposeTest, BridgeDeliversInterposeSamplesToProfiler) {
+  core::ProfilerConfig Config;
+  Config.Report.MinInvalidations = 1;
+  Config.Report.MinImprovementFactor = 0.0;
+  Config.Detect.WriteThreshold = 0; // record every write in detail
+  core::Profiler Profiler(Config);
+  driver::PreloadProfilerBridge Bridge(Profiler);
+
+  // Two "application" threads ping-pong writing disjoint words of one
+  // monitored line through the per-thread interpose buffers.
+  constexpr unsigned SamplesPerThread = 4000;
+  std::vector<std::thread> Threads;
+  for (ThreadId Tid : {1u, 2u}) {
+    Bridge.attachThread(Tid);
+    Threads.emplace_back([&, Tid] {
+      threadAttach();
+      for (unsigned I = 0; I < SamplesPerThread; ++I) {
+        pmu::Sample Sample;
+        Sample.Address = Config.HeapArenaBase + Tid * 8;
+        Sample.Tid = Tid;
+        Sample.IsWrite = true;
+        Sample.LatencyCycles = 50;
+        recordSample(Sample);
+      }
+      flushThreadSamples();
+    });
+  }
+  for (std::thread &Thread : Threads)
+    Thread.join();
+
+  // Finish through the JSON sink: the bridge must provide the full
+  // beginRun/finding/endRun lifecycle so the document is well-formed.
+  std::string JsonText;
+  core::JsonReportSink Sink(JsonText);
+  core::ProfileResult Result = Bridge.finish(&Sink);
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(JsonText, Document, Error)) << Error;
+  EXPECT_EQ(Document.find("run")->find("tool")->asString(),
+            "cheetah-preload");
+  EXPECT_EQ(Document.find("summary")->find("findings")->asUint(),
+            Result.AllInstances.size());
+
+  // Every buffered sample reached the profiler's detector.
+  InterposeSummary Summary = summary();
+  EXPECT_EQ(Summary.SamplesBuffered, uint64_t(2) * SamplesPerThread);
+  EXPECT_EQ(Summary.SamplesIngested, uint64_t(2) * SamplesPerThread);
+  EXPECT_EQ(Result.Detection.SamplesSeen, uint64_t(2) * SamplesPerThread);
+  EXPECT_EQ(Result.Detection.SamplesFiltered, 0u);
+  EXPECT_GT(Result.Detection.Invalidations, 0u);
+
+  // And the LD_PRELOAD path produced a real finding, not just counters.
+  ASSERT_FALSE(Result.AllInstances.empty());
+  const core::FalseSharingReport &Report = Result.AllInstances.front();
+  EXPECT_EQ(Report.ThreadsObserved, 2u);
+  EXPECT_EQ(Report.Kind, core::SharingKind::FalseSharing);
+  EXPECT_EQ(Report.SampledWrites, uint64_t(2) * SamplesPerThread);
+}
+
+TEST_F(InterposeTest, BridgeDetachStopsParallelPhase) {
+  core::ProfilerConfig Config;
+  core::Profiler Profiler(Config);
+  driver::PreloadProfilerBridge Bridge(Profiler);
+  EXPECT_FALSE(Profiler.phases().inParallelPhase());
+  Bridge.attachThread(1);
+  EXPECT_TRUE(Profiler.phases().inParallelPhase());
+  Bridge.detachThread(1);
+  EXPECT_FALSE(Profiler.phases().inParallelPhase());
+  Bridge.finish();
 }
 
 TEST_F(InterposeTest, CountersThreadSafeUnderContention) {

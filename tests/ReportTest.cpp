@@ -1,0 +1,312 @@
+//===- tests/ReportTest.cpp - streaming report pipeline tests --------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the streaming report pipeline: the ReportSink contract, the
+/// Figure-5 text sink, and the machine-readable JSON sink. The JSON
+/// golden test runs a known simulated workload, parses the emitted
+/// document with the support-layer parser, and round-trips every summary
+/// counter and per-finding field against the in-memory ProfileResult —
+/// the schema (`cheetah-report-v1`) is a compatibility contract for
+/// multi-run comparison tooling, so key names are pinned here.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/report/ReportBuilder.h"
+#include "core/report/ReportSink.h"
+#include "driver/ProfileSession.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+namespace {
+
+/// A deterministic profiled run with real false sharing: the paper's
+/// linear_regression model, sampled densely enough to gate reports.
+driver::SessionResult runKnownWorkload(std::string &JsonText) {
+  auto Workload = workloads::createWorkload("linear_regression");
+  EXPECT_NE(Workload, nullptr);
+  driver::SessionConfig Config;
+  Config.Profiler.Pmu = Config.Profiler.Pmu.withScaledPeriod(512);
+  Config.Workload.Threads = 8;
+  Config.Workload.Seed = 0x43484545;
+  JsonReportSink Sink(JsonText);
+  return driver::runWorkload(*Workload, Config, &Sink);
+}
+
+TEST(JsonReportGoldenTest, DocumentParsesAndRoundTripsCounters) {
+  std::string JsonText;
+  driver::SessionResult Result = runKnownWorkload(JsonText);
+  const ProfileResult &Profile = Result.Profile;
+
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(JsonText, Document, Error)) << Error;
+  ASSERT_TRUE(Document.isObject());
+
+  // Schema identity.
+  ASSERT_NE(Document.find("schema"), nullptr);
+  EXPECT_EQ(Document.find("schema")->asString(), "cheetah-report-v1");
+
+  // Run identification written by the driver's beginRun.
+  const JsonValue *Run = Document.find("run");
+  ASSERT_NE(Run, nullptr);
+  EXPECT_EQ(Run->find("workload")->asString(), "linear_regression");
+  EXPECT_EQ(Run->find("threads")->asUint(), 8u);
+  EXPECT_EQ(Run->find("line_size")->asUint(), 64u);
+  EXPECT_EQ(Run->find("sampling_period")->asUint(), 512u);
+  EXPECT_FALSE(Run->find("fix_applied")->asBool());
+
+  // Summary counters round-trip against the in-memory result.
+  const JsonValue *Summary = Document.find("summary");
+  ASSERT_NE(Summary, nullptr);
+  EXPECT_EQ(Summary->find("findings")->asUint(),
+            Profile.AllInstances.size());
+  EXPECT_EQ(Summary->find("significant_findings")->asUint(),
+            Profile.Reports.size());
+  EXPECT_EQ(Summary->find("app_runtime_cycles")->asUint(),
+            Profile.AppRuntime);
+  EXPECT_EQ(Summary->find("samples")->asUint(), Profile.SamplesDelivered);
+  EXPECT_EQ(Summary->find("serial_samples")->asUint(),
+            Profile.SerialSamples);
+  EXPECT_NEAR(Summary->find("serial_avg_latency")->asNumber(),
+              Profile.SerialAverageLatency, 1e-9);
+  EXPECT_EQ(Summary->find("fork_join")->asBool(),
+            Profile.ForkJoinVerified);
+
+  const JsonValue *Detector = Summary->find("detector");
+  ASSERT_NE(Detector, nullptr);
+  EXPECT_EQ(Detector->find("seen")->asUint(),
+            Profile.Detection.SamplesSeen);
+  EXPECT_EQ(Detector->find("filtered")->asUint(),
+            Profile.Detection.SamplesFiltered);
+  EXPECT_EQ(Detector->find("recorded")->asUint(),
+            Profile.Detection.SamplesRecorded);
+  EXPECT_EQ(Detector->find("invalidations")->asUint(),
+            Profile.Detection.Invalidations);
+
+  // Findings stream in AllInstances order with matching fields.
+  const JsonValue *Findings = Document.find("findings");
+  ASSERT_NE(Findings, nullptr);
+  ASSERT_TRUE(Findings->isArray());
+  ASSERT_EQ(Findings->size(), Profile.AllInstances.size());
+  ASSERT_GT(Findings->size(), 0u) << "workload must produce findings";
+
+  size_t SignificantSeen = 0;
+  for (size_t I = 0; I < Findings->size(); ++I) {
+    const JsonValue &Finding = Findings->elements()[I];
+    const FalseSharingReport &Expected = Profile.AllInstances[I];
+    const JsonValue *Object = Finding.find("object");
+    ASSERT_NE(Object, nullptr);
+    EXPECT_EQ(Object->find("start")->asUint(), Expected.Object.Start);
+    EXPECT_EQ(Object->find("size")->asUint(), Expected.Object.Size);
+    EXPECT_EQ(Finding.find("sharing")->asString(),
+              sharingKindName(Expected.Kind));
+    EXPECT_EQ(Finding.find("accesses")->asUint(), Expected.SampledAccesses);
+    EXPECT_EQ(Finding.find("writes")->asUint(), Expected.SampledWrites);
+    EXPECT_EQ(Finding.find("invalidations")->asUint(),
+              Expected.Invalidations);
+    EXPECT_EQ(Finding.find("latency_cycles")->asUint(),
+              Expected.LatencyCycles);
+    EXPECT_EQ(Finding.find("threads_observed")->asUint(),
+              Expected.ThreadsObserved);
+    EXPECT_NEAR(Finding.find("assessment")
+                    ->find("improvement_factor")
+                    ->asNumber(),
+                Expected.Impact.ImprovementFactor, 1e-12);
+    if (Finding.find("significant")->asBool())
+      ++SignificantSeen;
+    // Word entries mirror the hottest-first report words.
+    const JsonValue *Words = Finding.find("words");
+    ASSERT_NE(Words, nullptr);
+    ASSERT_EQ(Words->size(), Expected.Words.size());
+    for (size_t W = 0; W < Words->size(); ++W) {
+      EXPECT_EQ(Words->elements()[W].find("reads")->asUint(),
+                Expected.Words[W].Reads);
+      EXPECT_EQ(Words->elements()[W].find("writes")->asUint(),
+                Expected.Words[W].Writes);
+    }
+  }
+  EXPECT_EQ(SignificantSeen, Profile.Reports.size());
+
+  // The known workload's false sharing is present and significant.
+  ASSERT_FALSE(Profile.Reports.empty());
+  EXPECT_EQ(Profile.Reports.front().Kind, SharingKind::FalseSharing);
+}
+
+TEST(JsonReportGoldenTest, DocumentIsByteStableAcrossRuns) {
+  // Same workload, same seed: the serialized document must be identical —
+  // the property multi-run diffing tools depend on.
+  std::string First, Second;
+  runKnownWorkload(First);
+  runKnownWorkload(Second);
+  EXPECT_EQ(First, Second);
+  EXPECT_FALSE(First.empty());
+  EXPECT_EQ(First.back(), '\n');
+}
+
+//===----------------------------------------------------------------------===//
+// Sink behavior on synthetic findings
+//===----------------------------------------------------------------------===//
+
+FalseSharingReport makeSyntheticReport() {
+  FalseSharingReport Report;
+  Report.Object.IsHeap = true;
+  Report.Object.CallsiteFrames = {"alloc.c:42", "main.c:7"};
+  Report.Object.Start = 0x40001000;
+  Report.Object.Size = 256;
+  Report.Object.RequestedSize = 250;
+  Report.Object.AllocatedBy = 0;
+  Report.Kind = SharingKind::FalseSharing;
+  Report.LinesTracked = 4;
+  Report.SampledAccesses = 1000;
+  Report.SampledWrites = 400;
+  Report.Invalidations = 123;
+  Report.LatencyCycles = 50000;
+  Report.ThreadsObserved = 8;
+  Report.SharedWordFraction = 0.25;
+  Report.Impact.ImprovementFactor = 1.5;
+  Report.Impact.RealAppRuntime = 3000000;
+  Report.Impact.PredictedAppRuntime = 2000000.0;
+  Report.Words.push_back({0, 500, 200, 25000, 1, false});
+  Report.Words.push_back({64, 300, 200, 25000, 2, true});
+  return Report;
+}
+
+TEST(ReportSinkTest, JsonEscapesHostileObjectNames) {
+  std::string Out;
+  JsonReportSink Sink(Out);
+  Sink.beginRun(ReportRunInfo{});
+  FalseSharingReport Report = makeSyntheticReport();
+  Report.Object.IsHeap = false;
+  Report.Object.CallsiteFrames.clear();
+  Report.Object.GlobalName = "weird\"name\\with\nnewline\tand\x01ctl";
+  Sink.finding(Report, true);
+  Sink.endRun(ReportRunStats{});
+
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Out, Document, Error)) << Error;
+  const JsonValue &Finding = Document.find("findings")->elements()[0];
+  EXPECT_EQ(Finding.find("object")->find("name")->asString(),
+            Report.Object.GlobalName);
+}
+
+TEST(ReportSinkTest, JsonMaxWordsCapsHottestFirst) {
+  std::string Out;
+  JsonReportSink::Options Options;
+  Options.MaxWords = 1;
+  JsonReportSink Sink(Out, Options);
+  Sink.beginRun(ReportRunInfo{});
+  Sink.finding(makeSyntheticReport(), true);
+  Sink.endRun(ReportRunStats{});
+
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Out, Document, Error)) << Error;
+  const JsonValue *Words =
+      Document.find("findings")->elements()[0].find("words");
+  ASSERT_EQ(Words->size(), 1u);
+  EXPECT_EQ(Words->elements()[0].find("reads")->asUint(), 500u);
+}
+
+TEST(ReportSinkTest, TextSinkFiltersInsignificantByDefault) {
+  std::string Out;
+  TextReportSink Sink(Out);
+  Sink.beginRun(ReportRunInfo{});
+  Sink.finding(makeSyntheticReport(), /*Significant=*/false);
+  ReportRunStats Stats;
+  Stats.Findings = 1;
+  Sink.endRun(Stats);
+  EXPECT_NE(Out.find("No significant false sharing detected"),
+            std::string::npos);
+  EXPECT_EQ(Out.find("alloc.c:42"), std::string::npos);
+}
+
+TEST(ReportSinkTest, TextSinkIncludesInsignificantWhenAsked) {
+  std::string Out;
+  TextReportSink::Options Options;
+  Options.IncludeInsignificant = true;
+  TextReportSink Sink(Out, Options);
+  Sink.beginRun(ReportRunInfo{});
+  Sink.finding(makeSyntheticReport(), /*Significant=*/false);
+  Sink.endRun(ReportRunStats{});
+  EXPECT_NE(Out.find("alloc.c:42"), std::string::npos);
+  EXPECT_NE(Out.find("false-sharing"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// ReportBuilder streaming order
+//===----------------------------------------------------------------------===//
+
+/// Sink that records the stream for order/flag assertions.
+struct RecordingSink : ReportSink {
+  std::vector<std::pair<uint64_t, bool>> Findings; // (object start, flag)
+  unsigned Begins = 0, Ends = 0;
+
+  void beginRun(const ReportRunInfo &) override { ++Begins; }
+  void finding(const FalseSharingReport &Report, bool Significant) override {
+    Findings.emplace_back(Report.Object.Start, Significant);
+  }
+  void endRun(const ReportRunStats &) override { ++Ends; }
+};
+
+TEST(ReportBuilderTest, StreamsFindingsInImprovementOrderWithFlags) {
+  // Drive the profiler directly: a parallel phase with two threads
+  // ping-pong writing two disjoint lines, then finish through a recording
+  // sink. Stream order must equal AllInstances order (descending
+  // improvement), flags must match the significant set, and the profiler
+  // must call endRun exactly once (beginRun belongs to the caller).
+  ProfilerConfig Config;
+  Config.Report.MinInvalidations = 1;
+  Config.Report.MinImprovementFactor = 0.0;
+  Profiler Prof(Config);
+  Prof.internCallsite("report_test.c", 1);
+  Prof.onThreadStart(0, /*IsMain=*/true, 0);
+  Prof.onThreadStart(1, /*IsMain=*/false, 10);
+  Prof.onThreadStart(2, /*IsMain=*/false, 10);
+
+  // Two disjoint lines, each ping-pong written by both child threads on
+  // private words: classic false sharing on both.
+  std::vector<pmu::Sample> Samples;
+  for (unsigned I = 0; I < 128; ++I) {
+    ThreadId Tid = 1 + (I % 2);
+    pmu::Sample Sample;
+    Sample.Address =
+        Config.HeapArenaBase + ((I / 2) % 2) * 1024 + Tid * 4;
+    Sample.Tid = Tid;
+    Sample.IsWrite = true;
+    Sample.LatencyCycles = 100;
+    Samples.push_back(Sample);
+  }
+  Prof.ingestBatch(Samples.data(), Samples.size());
+
+  RecordingSink Sink;
+  sim::SimulationResult Run;
+  Run.TotalCycles = 100000;
+  ProfileResult Result = Prof.finish(Run, &Sink);
+
+  EXPECT_EQ(Sink.Begins, 0u);
+  EXPECT_EQ(Sink.Ends, 1u);
+  ASSERT_EQ(Sink.Findings.size(), Result.AllInstances.size());
+  size_t Significant = 0;
+  for (size_t I = 0; I < Sink.Findings.size(); ++I) {
+    EXPECT_EQ(Sink.Findings[I].first, Result.AllInstances[I].Object.Start);
+    Significant += Sink.Findings[I].second ? 1 : 0;
+    if (I > 0) {
+      EXPECT_GE(Result.AllInstances[I - 1].Impact.ImprovementFactor,
+                Result.AllInstances[I].Impact.ImprovementFactor);
+    }
+  }
+  EXPECT_EQ(Significant, Result.Reports.size());
+}
+
+} // namespace

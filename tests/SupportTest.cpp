@@ -6,6 +6,7 @@
 
 #include "support/CommandLine.h"
 #include "support/Generator.h"
+#include "support/Json.h"
 #include "support/Random.h"
 #include "support/Statistics.h"
 #include "support/StringUtils.h"
@@ -363,6 +364,116 @@ TEST(CommandLineTest, UsageListsFlags) {
   EXPECT_NE(Usage.find("alpha"), std::string::npos);
   EXPECT_NE(Usage.find("the alpha knob"), std::string::npos);
   EXPECT_NE(Usage.find("3"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// JSON writer
+//===----------------------------------------------------------------------===//
+
+TEST(JsonWriterTest, NestedStructureWithCommas) {
+  std::string Out;
+  JsonWriter Writer(Out);
+  Writer.beginObject();
+  Writer.member("a", uint64_t(1));
+  Writer.key("b");
+  Writer.beginArray();
+  Writer.value(uint64_t(2));
+  Writer.value("three");
+  Writer.beginObject();
+  Writer.member("c", true);
+  Writer.endObject();
+  Writer.endArray();
+  Writer.member("d", false);
+  Writer.endObject();
+  EXPECT_EQ(Out, "{\"a\":1,\"b\":[2,\"three\",{\"c\":true}],\"d\":false}");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(jsonEscape("a\"b\\c\nd\te"), "a\\\"b\\\\c\\nd\\te");
+  EXPECT_EQ(jsonEscape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(JsonWriterTest, DoublesRoundTripShortest) {
+  std::string Out;
+  JsonWriter Writer(Out);
+  Writer.beginArray();
+  Writer.value(0.25);
+  Writer.value(1.5);
+  Writer.value(1.0 / 3.0);
+  Writer.endArray();
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Out, Document, Error)) << Error;
+  EXPECT_EQ(Document.elements()[0].asNumber(), 0.25);
+  EXPECT_EQ(Document.elements()[1].asNumber(), 1.5);
+  EXPECT_EQ(Document.elements()[2].asNumber(), 1.0 / 3.0);
+}
+
+TEST(JsonWriterTest, LargeCountersExact) {
+  std::string Out;
+  JsonWriter Writer(Out);
+  Writer.value(uint64_t(9007199254740992ull)); // 2^53
+  EXPECT_EQ(Out, "9007199254740992");
+}
+
+//===----------------------------------------------------------------------===//
+// JSON parser
+//===----------------------------------------------------------------------===//
+
+TEST(JsonParserTest, ParsesEveryValueKind) {
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(
+      " { \"s\": \"hi\", \"n\": -2.5e2, \"t\": true, \"f\": false, "
+      "\"z\": null, \"a\": [1, 2], \"o\": {\"k\": 3} } ",
+      Document, Error))
+      << Error;
+  EXPECT_EQ(Document.find("s")->asString(), "hi");
+  EXPECT_EQ(Document.find("n")->asNumber(), -250.0);
+  EXPECT_TRUE(Document.find("t")->asBool());
+  EXPECT_FALSE(Document.find("f")->asBool());
+  EXPECT_TRUE(Document.find("z")->isNull());
+  ASSERT_EQ(Document.find("a")->size(), 2u);
+  EXPECT_EQ(Document.find("a")->elements()[1].asUint(), 2u);
+  EXPECT_EQ(Document.find("o")->find("k")->asUint(), 3u);
+  EXPECT_EQ(Document.find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, DecodesEscapes) {
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse("\"a\\\"b\\\\c\\nd\\u0041e\"", Document,
+                               Error))
+      << Error;
+  EXPECT_EQ(Document.asString(), "a\"b\\c\ndAe");
+}
+
+TEST(JsonParserTest, RejectsMalformedDocuments) {
+  JsonValue Document;
+  std::string Error;
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}", Document, Error));
+  EXPECT_FALSE(JsonValue::parse("[1,", Document, Error));
+  EXPECT_FALSE(JsonValue::parse("\"unterminated", Document, Error));
+  EXPECT_FALSE(JsonValue::parse("{} trailing", Document, Error));
+  EXPECT_FALSE(JsonValue::parse("tru", Document, Error));
+  EXPECT_FALSE(JsonValue::parse("", Document, Error));
+  EXPECT_NE(Error.find("JSON error"), std::string::npos);
+}
+
+TEST(JsonParserTest, RoundTripsWriterOutput) {
+  std::string Out;
+  JsonWriter Writer(Out);
+  Writer.beginObject();
+  Writer.member("name", "weird\"chars\\\n");
+  Writer.member("count", uint64_t(1234567890123ull));
+  Writer.member("ratio", 0.125);
+  Writer.endObject();
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(Out, Document, Error)) << Error;
+  EXPECT_EQ(Document.find("name")->asString(), "weird\"chars\\\n");
+  EXPECT_EQ(Document.find("count")->asUint(), 1234567890123ull);
+  EXPECT_EQ(Document.find("ratio")->asNumber(), 0.125);
 }
 
 } // namespace

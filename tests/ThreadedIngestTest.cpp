@@ -174,6 +174,119 @@ TEST(ThreadedIngestTest, ContendedLinesLoseNoSamples) {
 }
 
 //===----------------------------------------------------------------------===//
+// Lock-free CacheLineInfo: 8 threads hammering ONE shared line. The
+// worst case for the packed CAS table and the per-line atomics — every
+// update contends. Run under TSan to prove the mutex-free hot path clean.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadedIngestTest, SingleSharedLineHammerLosesNoUpdates) {
+  constexpr unsigned SamplesPerThread = 30000;
+  constexpr uint64_t WordsPerLine = 16;
+  CacheLineInfo Info(WordsPerLine);
+
+  std::atomic<uint64_t> WritesIssued{0}, Invalidations{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < IngestThreads; ++T)
+    Threads.emplace_back([&, T] {
+      SplitMix64 Rng(0x51E ^ T);
+      uint64_t LocalWrites = 0, LocalInvalidations = 0;
+      for (unsigned I = 0; I < SamplesPerThread; ++I) {
+        AccessKind Kind =
+            Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read;
+        LocalWrites += Kind == AccessKind::Write ? 1 : 0;
+        LocalInvalidations += Info.recordAccess(
+            static_cast<ThreadId>(T), Kind, Rng.nextBelow(WordsPerLine),
+            /*WordSpan=*/1, /*LatencyCycles=*/10);
+      }
+      WritesIssued.fetch_add(LocalWrites);
+      Invalidations.fetch_add(LocalInvalidations);
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+
+  constexpr uint64_t Total = uint64_t(IngestThreads) * SamplesPerThread;
+  EXPECT_EQ(Info.accesses(), Total);
+  EXPECT_EQ(Info.writes(), WritesIssued.load());
+  EXPECT_EQ(Info.cycles(), Total * 10);
+  // Every caller's observed invalidation was counted exactly once.
+  EXPECT_EQ(Info.invalidations(), Invalidations.load());
+  EXPECT_GT(Info.invalidations(), 0u);
+  EXPECT_LE(Info.invalidations(), Info.writes());
+
+  // Word totals conserve the access population.
+  uint64_t WordAccesses = 0, WordCycles = 0;
+  for (const WordStats &Word : Info.words()) {
+    WordAccesses += Word.accesses();
+    WordCycles += Word.Cycles;
+    EXPECT_TRUE(Word.MultiThread || Word.accesses() == 0 ||
+                Word.FirstThread != NoThread);
+  }
+  EXPECT_EQ(WordAccesses, Total);
+  EXPECT_EQ(WordCycles, Total * 10);
+
+  // Exactly one per-thread slot per hammering thread, each conserved.
+  std::vector<ThreadLineStats> PerThread = Info.threads();
+  ASSERT_EQ(PerThread.size(), size_t(IngestThreads));
+  for (unsigned T = 0; T < IngestThreads; ++T) {
+    EXPECT_EQ(PerThread[T].Tid, T);
+    EXPECT_EQ(PerThread[T].Accesses, SamplesPerThread);
+    EXPECT_EQ(PerThread[T].Cycles, uint64_t(SamplesPerThread) * 10);
+  }
+
+  // The table's packed invariants survived the hammering.
+  EXPECT_LE(Info.table().size(), 2u);
+  if (Info.table().size() == 2) {
+    EXPECT_NE(Info.table().entry(0).Tid, Info.table().entry(1).Tid);
+  }
+}
+
+TEST(ThreadedIngestTest, SingleSharedLineDetectorHammer) {
+  // Same single-line contention shape through the full detector stage-1 +
+  // stage-2 path (threshold 0 so the line materializes on first write).
+  constexpr unsigned SamplesPerThread = 20000;
+  CacheGeometry Geometry(LineSize);
+  ShadowMemory Shadow(Geometry, {{RegionBase, LineSize}});
+  DetectorConfig Config;
+  Config.WriteThreshold = 0;
+  Detector Detect(Geometry, Shadow, Config);
+
+  std::atomic<uint64_t> WritesIssued{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < IngestThreads; ++T)
+    Threads.emplace_back([&, T] {
+      SplitMix64 Rng(0xBEEF ^ T);
+      uint64_t LocalWrites = 0;
+      for (unsigned I = 0; I < SamplesPerThread; ++I) {
+        pmu::Sample Sample;
+        Sample.Address = RegionBase + Rng.nextBelow(16) * 4;
+        Sample.Tid = static_cast<ThreadId>(T);
+        Sample.IsWrite = Rng.nextBool(0.6);
+        Sample.LatencyCycles = 25;
+        LocalWrites += Sample.IsWrite ? 1 : 0;
+        Detect.handleSample(Sample, /*InParallelPhase=*/true);
+      }
+      WritesIssued.fetch_add(LocalWrites);
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+
+  constexpr uint64_t Total = uint64_t(IngestThreads) * SamplesPerThread;
+  DetectorStats Stats = Detect.stats();
+  EXPECT_EQ(Stats.SamplesSeen, Total);
+  EXPECT_EQ(Stats.SamplesFiltered, 0u);
+  EXPECT_EQ(Shadow.materializedLines(), 1u);
+  EXPECT_EQ(Shadow.writeCount(RegionBase), WritesIssued.load());
+
+  const CacheLineInfo *Info = Shadow.detail(RegionBase);
+  ASSERT_NE(Info, nullptr);
+  EXPECT_EQ(Info->accesses(), Stats.SamplesRecorded);
+  EXPECT_EQ(Info->writes(), WritesIssued.load());
+  EXPECT_EQ(Info->invalidations(), Stats.Invalidations);
+  EXPECT_GT(Info->invalidations(), 0u);
+  EXPECT_EQ(Info->threadCount(), size_t(IngestThreads));
+}
+
+//===----------------------------------------------------------------------===//
 // Profiler: the batched ingest API from many application threads.
 //===----------------------------------------------------------------------===//
 

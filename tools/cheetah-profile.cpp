@@ -6,12 +6,14 @@
 ///
 /// \file
 /// Command-line front end: run any modeled workload under the Cheetah
-/// profiler and print its reports, optionally comparing against the padded
+/// profiler and stream its report — Figure-5 text or machine-readable JSON
+/// (`cheetah-report-v1`) — optionally comparing against the padded
 /// ("fixed") variant and against a native (unprofiled) run.
 ///
 /// Examples:
 ///   cheetah-profile --workload=linear_regression --threads=16
 ///   cheetah-profile --workload=streamcluster --fix --verify
+///   cheetah-profile --workload=histogram --format=json --output=run.json
 ///   cheetah-profile --list
 ///
 //===----------------------------------------------------------------------===//
@@ -21,8 +23,34 @@
 #include "support/StringUtils.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace cheetah;
+
+namespace {
+
+/// Writes \p Text to \p Path ("" or "-" = stdout). \returns false on I/O
+/// failure.
+bool writeOutput(const std::string &Path, const std::string &Text) {
+  if (Path.empty() || Path == "-") {
+    std::fputs(Text.c_str(), stdout);
+    return true;
+  }
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 Path.c_str());
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  bool Closed = std::fclose(File) == 0;
+  bool Ok = Written == Text.size() && Closed;
+  if (!Ok)
+    std::fprintf(stderr, "error: short write to '%s'\n", Path.c_str());
+  return Ok;
+}
+
+} // namespace
 
 int main(int Argc, char **Argv) {
   FlagSet Flags;
@@ -31,6 +59,9 @@ int main(int Argc, char **Argv) {
   Flags.addDouble("scale", 1.0, "work multiplier");
   Flags.addInt("sampling-period", 8192, "instructions between PMU samples");
   Flags.addInt("line-size", 64, "cache line size in bytes");
+  Flags.addString("format", "text", "report format: text or json");
+  Flags.addString("output", "",
+                  "write the report to this file (default: stdout)");
   Flags.addBool("fix", false, "apply the padding fix to known FS sites");
   Flags.addBool("verify", false,
                 "also run the fixed variant and compare against the "
@@ -61,6 +92,18 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  const std::string &Format = Flags.getString("format");
+  if (Format != "text" && Format != "json") {
+    std::fprintf(stderr, "error: --format must be 'text' or 'json' "
+                         "(got '%s')\n",
+                 Format.c_str());
+    return 1;
+  }
+  bool Json = Format == "json";
+  // In JSON mode the report stream must stay parseable: auxiliary human
+  // commentary goes to stderr instead of interleaving with the document.
+  std::FILE *Aux = Json ? stderr : stdout;
+
   std::string Name = Flags.getString("workload");
   auto Workload = workloads::createWorkload(Name);
   if (!Workload) {
@@ -79,30 +122,46 @@ int main(int Argc, char **Argv) {
   Config.Workload.FixFalseSharing = Flags.getBool("fix");
   Config.Workload.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
 
-  driver::SessionResult Result = driver::runWorkload(*Workload, Config);
+  // The report streams through the sink API; everything the sink renders
+  // lands in ReportText for the chosen destination.
+  std::string ReportText;
+  std::unique_ptr<core::ReportSink> Sink;
+  if (Json) {
+    Sink = std::make_unique<core::JsonReportSink>(ReportText);
+  } else {
+    core::TextReportSink::Options Options;
+    Options.IncludeInsignificant = Flags.getBool("all-instances");
+    Options.Format.HexCounters = Flags.getBool("hex");
+    Sink = std::make_unique<core::TextReportSink>(ReportText, Options);
+  }
+
+  driver::SessionResult Result =
+      driver::runWorkload(*Workload, Config, Sink.get());
   const core::ProfileResult &Profile = Result.Profile;
 
-  std::printf("== %s (threads=%u scale=%.2f fix=%s) ==\n", Name.c_str(),
-              Config.Workload.Threads, Config.Workload.Scale,
-              Config.Workload.FixFalseSharing ? "yes" : "no");
-  std::printf("runtime %s cycles, %s samples (%s filtered), "
-              "serial avg latency %.2f cycles, fork-join %s\n",
-              formatWithCommas(Profile.AppRuntime).c_str(),
-              formatWithCommas(Profile.SamplesDelivered).c_str(),
-              formatWithCommas(Profile.Detection.SamplesFiltered).c_str(),
-              Profile.SerialAverageLatency,
-              Profile.ForkJoinVerified ? "verified" : "NOT fork-join");
+  std::fprintf(Aux, "== %s (threads=%u scale=%.2f fix=%s) ==\n", Name.c_str(),
+               Config.Workload.Threads, Config.Workload.Scale,
+               Config.Workload.FixFalseSharing ? "yes" : "no");
+  std::fprintf(Aux,
+               "runtime %s cycles, %s samples (%s filtered), "
+               "serial avg latency %.2f cycles, fork-join %s\n",
+               formatWithCommas(Profile.AppRuntime).c_str(),
+               formatWithCommas(Profile.SamplesDelivered).c_str(),
+               formatWithCommas(Profile.Detection.SamplesFiltered).c_str(),
+               Profile.SerialAverageLatency,
+               Profile.ForkJoinVerified ? "verified" : "NOT fork-join");
 
   const sim::CoherenceStats &Coherence = Result.Run.Coherence;
-  std::printf("coherence: %s accesses, %s hits, %s cold, %s clean-xfer, "
-              "%s dirty-xfer, %s upgrades, %s invalidations-sent\n",
-              formatWithCommas(Coherence.Accesses).c_str(),
-              formatWithCommas(Coherence.LocalHits).c_str(),
-              formatWithCommas(Coherence.ColdMisses).c_str(),
-              formatWithCommas(Coherence.CleanTransfers).c_str(),
-              formatWithCommas(Coherence.DirtyTransfers).c_str(),
-              formatWithCommas(Coherence.Upgrades).c_str(),
-              formatWithCommas(Coherence.InvalidationsSent).c_str());
+  std::fprintf(Aux,
+               "coherence: %s accesses, %s hits, %s cold, %s clean-xfer, "
+               "%s dirty-xfer, %s upgrades, %s invalidations-sent\n",
+               formatWithCommas(Coherence.Accesses).c_str(),
+               formatWithCommas(Coherence.LocalHits).c_str(),
+               formatWithCommas(Coherence.ColdMisses).c_str(),
+               formatWithCommas(Coherence.CleanTransfers).c_str(),
+               formatWithCommas(Coherence.DirtyTransfers).c_str(),
+               formatWithCommas(Coherence.Upgrades).c_str(),
+               formatWithCommas(Coherence.InvalidationsSent).c_str());
 
   if (Flags.getBool("dump-threads")) {
     TextTable Table;
@@ -120,7 +179,7 @@ int main(int Argc, char **Argv) {
                                                    Record.MemoryCycles) /
                                                    Record.MemoryAccesses
                                              : 0.0)});
-    std::fputs(Table.render().c_str(), stdout);
+    std::fputs(Table.render().c_str(), Aux);
     TextTable PhaseTable;
     PhaseTable.setHeader({"phase", "kind", "start", "end", "span", "members"});
     for (const auto &Phase : Result.Run.Phases)
@@ -129,23 +188,15 @@ int main(int Argc, char **Argv) {
                          formatWithCommas(Phase.EndCycle),
                          formatWithCommas(Phase.span()),
                          std::to_string(Phase.Members.size())});
-    std::fputs(PhaseTable.render().c_str(), stdout);
+    std::fputs(PhaseTable.render().c_str(), Aux);
   }
 
-  core::ReportFormatOptions Options;
-  Options.HexCounters = Flags.getBool("hex");
-
-  const auto &ToPrint = Flags.getBool("all-instances") ? Profile.AllInstances
-                                                       : Profile.Reports;
-  if (ToPrint.empty()) {
-    std::printf("\nNo significant false sharing detected.\n");
-  } else {
-    std::printf("\n%s\n", core::formatSummaryTable(ToPrint).c_str());
-    for (const auto &Report : ToPrint) {
-      std::fputs(core::formatReport(Report, Options).c_str(), stdout);
-      std::fputs("\n", stdout);
-    }
-  }
+  const std::string &OutputPath = Flags.getString("output");
+  bool ReportOnStdout = OutputPath.empty() || OutputPath == "-";
+  if (!Json && ReportOnStdout)
+    std::fputs("\n", stdout); // separate the banner from the report
+  if (!writeOutput(OutputPath, ReportText))
+    return 1;
 
   if (Flags.getBool("native")) {
     driver::SessionConfig Native = Config;
@@ -154,9 +205,9 @@ int main(int Argc, char **Argv) {
     double Overhead = static_cast<double>(Result.Run.TotalCycles) /
                           static_cast<double>(NativeRun.Run.TotalCycles) -
                       1.0;
-    std::printf("native runtime %s cycles; Cheetah overhead %.2f%%\n",
-                formatWithCommas(NativeRun.Run.TotalCycles).c_str(),
-                Overhead * 100.0);
+    std::fprintf(Aux, "native runtime %s cycles; Cheetah overhead %.2f%%\n",
+                 formatWithCommas(NativeRun.Run.TotalCycles).c_str(),
+                 Overhead * 100.0);
   }
 
   if (Flags.getBool("verify") && !Profile.Reports.empty()) {
@@ -167,9 +218,10 @@ int main(int Argc, char **Argv) {
     double Real = static_cast<double>(Profile.AppRuntime) /
                   static_cast<double>(FixedRun.Run.TotalCycles);
     double Predicted = Profile.Reports.front().Impact.ImprovementFactor;
-    std::printf("verification: predicted %.2fx, actual (padded rerun) "
-                "%.2fx, diff %+.1f%%\n",
-                Predicted, Real, (Predicted / Real - 1.0) * 100.0);
+    std::fprintf(Aux,
+                 "verification: predicted %.2fx, actual (padded rerun) "
+                 "%.2fx, diff %+.1f%%\n",
+                 Predicted, Real, (Predicted / Real - 1.0) * 100.0);
   }
   return 0;
 }
