@@ -25,7 +25,10 @@
 #include "core/Profiler.h"
 #include "core/detect/CacheLineTable.h"
 #include "core/detect/Detector.h"
+#include "core/detect/PageInfo.h"
+#include "core/detect/PageTable.h"
 #include "core/detect/ShadowMemory.h"
+#include "mem/NumaTopology.h"
 #include "runtime/HeapAllocator.h"
 #include "sim/CoherenceModel.h"
 #include "support/Random.h"
@@ -241,6 +244,103 @@ void BM_ThreadedIngestStripedLock(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ThreadedIngestStripedLock)->ThreadRange(1, 8)->UseRealTime();
+
+//===----------------------------------------------------------------------===//
+// Page-granularity (NUMA) hot path
+//===----------------------------------------------------------------------===//
+
+/// Single-thread cost of one page-stage detail record (packed node table
+/// CAS + per-line histogram + per-node accumulators).
+void BM_PageInfoRecord(benchmark::State &State) {
+  core::PageInfo Info(4096 / 64);
+  SplitMix64 Rng(6);
+  for (auto _ : State) {
+    NodeId Node = static_cast<NodeId>(Rng.nextBelow(2));
+    bool Invalidation = Info.recordAccess(
+        Node, Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read,
+        Rng.nextBelow(64), 40, Node != 0);
+    benchmark::DoNotOptimize(Invalidation);
+  }
+}
+BENCHMARK(BM_PageInfoRecord);
+
+/// The packed node table under genuine contention: every benchmark thread
+/// hammers one shared PageInfo from its own simulated node — the worst
+/// case for the page layer's single-word CAS, mirroring
+/// BM_TwoEntryTableContended one level up.
+void BM_PageInfoContended(benchmark::State &State) {
+  static core::PageInfo *Info = nullptr;
+  if (State.thread_index() == 0)
+    Info = new core::PageInfo(4096 / 64);
+
+  SplitMix64 Rng(60 + State.thread_index());
+  NodeId Node = static_cast<NodeId>(State.thread_index() % 2);
+  for (auto _ : State) {
+    bool Invalidation = Info->recordAccess(
+        Node, Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read,
+        Rng.nextBelow(64), 40, Node != 0);
+    benchmark::DoNotOptimize(Invalidation);
+  }
+  State.SetItemsProcessed(State.iterations());
+
+  if (State.thread_index() == 0) {
+    delete Info;
+    Info = nullptr;
+  }
+}
+BENCHMARK(BM_PageInfoContended)->ThreadRange(1, 8)->UseRealTime();
+
+/// Aggregate ingest throughput with the page stage on (line + page): the
+/// page-mode counterpart of BM_ThreadedIngest, comparable row-for-row to
+/// measure what the second granularity costs, in both CHEETAH_LOCKED_TABLE
+/// build modes (the locked build serializes page detail through the
+/// striped page mutexes exactly like the line path).
+void BM_ThreadedIngestPageMode(benchmark::State &State) {
+  struct PageHarness {
+    NumaTopology Topology{2, 4096};
+    CacheGeometry Geometry{64};
+    core::ShadowMemory Shadow;
+    core::PageTable Pages;
+    core::Detector Detect;
+
+    explicit PageHarness(uint64_t Lines)
+        : Shadow(Geometry, {{0x4000'0000, Lines * 64}}),
+          Pages(Topology, Geometry, {{0x4000'0000, Lines * 64}}),
+          Detect(Geometry, Shadow, [] {
+            core::DetectorConfig Config;
+            Config.TrackPages = true;
+            return Config;
+          }()) {
+      Detect.attachPageTable(Pages, Topology);
+    }
+  };
+  static PageHarness *Harness = nullptr;
+  if (State.thread_index() == 0)
+    Harness = new PageHarness(LinesPerIngestThread * State.threads());
+
+  uint64_t SliceBase =
+      0x4000'0000 +
+      uint64_t(State.thread_index()) * LinesPerIngestThread * 64;
+  SplitMix64 Rng(500 + State.thread_index());
+  pmu::Sample Sample;
+  for (auto _ : State) {
+    Sample.Address =
+        SliceBase + Rng.nextBelow(LinesPerIngestThread) * 64 +
+        Rng.nextBelow(16) * 4;
+    Sample.Tid =
+        static_cast<ThreadId>(State.thread_index() * 4 + Rng.nextBelow(4));
+    Sample.IsWrite = Rng.nextBool(0.7);
+    Sample.LatencyCycles = 40;
+    benchmark::DoNotOptimize(Harness->Detect.handleSample(Sample, true));
+  }
+  State.SetItemsProcessed(State.iterations());
+
+  if (State.thread_index() == 0) {
+    delete Harness;
+    Harness = nullptr;
+  }
+}
+BENCHMARK(BM_ThreadedIngestPageMode)->ThreadRange(1, 8)->UseRealTime();
 
 /// Same scaling through the profiler's batched ingest API, including the
 /// per-batch registry/phase bookkeeping the per-thread buffers amortize.

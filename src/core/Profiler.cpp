@@ -6,6 +6,7 @@
 
 #include "core/Profiler.h"
 
+#include "core/report/PageReportBuilder.h"
 #include "core/report/ReportBuilder.h"
 #include "support/Assert.h"
 
@@ -35,6 +36,14 @@ Profiler::Profiler(const ProfilerConfig &Config)
               {Config.GlobalSegmentBase, Config.GlobalSegmentSize}}),
       Detect(Config.Geometry, Shadow, Config.Detect),
       Classifier(Config.Classify), Pmu(Config.Pmu) {
+  if (Config.Detect.TrackPages) {
+    Pages = std::make_unique<PageTable>(
+        Config.Topology, Config.Geometry,
+        std::vector<ShadowRegion>{
+            {Config.HeapArenaBase, Config.HeapArenaSize},
+            {Config.GlobalSegmentBase, Config.GlobalSegmentSize}});
+    Detect.attachPageTable(*Pages, this->Config.Topology);
+  }
   Pmu.setHandler([this](const pmu::Sample &Sample) { handleSample(Sample); });
 }
 
@@ -192,6 +201,10 @@ ReportRunStats Profiler::runStats(uint64_t AppRuntime) const {
   Stats.Detection = Detect.stats();
   Stats.MaterializedLines = Shadow.materializedLines();
   Stats.ShadowBytes = Shadow.shadowBytes();
+  if (Pages) {
+    Stats.MaterializedPages = Pages->materializedPages();
+    Stats.PageShadowBytes = Pages->pageBytes();
+  }
   return Stats;
 }
 
@@ -220,10 +233,27 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
   Result.Reports = std::move(Built.Reports);
   Result.AllInstances = std::move(Built.AllInstances);
 
+  // Page-granularity findings stream after the object findings (the JSON
+  // sink closes one array and opens the other on this boundary).
+  if (Pages) {
+    PageReportBuilder PageBuilder(Heap, Globals, Callsites, Classifier,
+                                  Config.Topology, Config.Geometry,
+                                  Config.PageReport);
+    Pages->forEachPage(
+        [&](uint64_t PageBase, NodeId Home, const PageInfo &Info) {
+          PageBuilder.addPage(PageBase, Home, Info);
+        });
+    PageReportBuilder::Output PageBuilt = PageBuilder.finalize(Sink);
+    Result.PageReports = std::move(PageBuilt.Reports);
+    Result.AllPageInstances = std::move(PageBuilt.AllInstances);
+  }
+
   if (Sink) {
     ReportRunStats Stats = runStats(Run.TotalCycles);
     Stats.Findings = Result.AllInstances.size();
     Stats.SignificantFindings = Result.Reports.size();
+    Stats.PageFindings = Result.AllPageInstances.size();
+    Stats.SignificantPageFindings = Result.PageReports.size();
     Sink->endRun(Stats);
   }
   return Result;

@@ -30,10 +30,13 @@
 
 #include "core/assess/Assessor.h"
 #include "core/detect/Detector.h"
+#include "core/detect/PageTable.h"
 #include "core/detect/SharingClassifier.h"
+#include "core/report/PageReportBuilder.h"
 #include "core/report/Report.h"
 #include "core/report/ReportBuilder.h"
 #include "core/report/ReportSink.h"
+#include "mem/NumaTopology.h"
 #include "pmu/PmuConfig.h"
 #include "pmu/SimPmu.h"
 #include "runtime/GlobalRegistry.h"
@@ -57,6 +60,10 @@ struct ProfilerConfig {
   DetectorConfig Detect;
   ClassifierConfig Classify;
   AssessorConfig Assess;
+  /// Simulated NUMA machine (node count, page size, thread affinity). Only
+  /// consulted when Detect.TrackPages is on; the default single-node
+  /// topology keeps all line-granularity behavior untouched.
+  NumaTopology Topology;
 
   /// Simulated heap arena (the paper's pre-allocated mmap block). The base
   /// mirrors the 0x40000000-ish addresses in Figure 5.
@@ -69,6 +76,8 @@ struct ProfilerConfig {
   /// Report gating thresholds; the defaults live on ReportGate itself so
   /// the profiler and direct ReportBuilder users can never diverge.
   ReportGate Report;
+  /// Page-finding gate, same convention.
+  PageReportGate PageReport;
 };
 
 /// Output of one profiled execution.
@@ -79,6 +88,12 @@ struct ProfileResult {
   /// Every object with detailed tracking (including true sharing and
   /// insignificant instances) for tests and ablations.
   std::vector<FalseSharingReport> AllInstances;
+
+  /// Significant page-granularity (NUMA) findings, worst first; empty
+  /// unless page tracking ran.
+  std::vector<PageSharingReport> PageReports;
+  /// Every tracked page, same order.
+  std::vector<PageSharingReport> AllPageInstances;
 
   DetectorStats Detection;
   uint64_t SamplesDelivered = 0;
@@ -137,6 +152,8 @@ public:
   const runtime::PhaseTracker &phases() const { return Phases; }
   const runtime::ThreadRegistry &threadRegistry() const { return Threads; }
   const ShadowMemory &shadow() const { return Shadow; }
+  /// The page table (nullptr when Detect.TrackPages is off).
+  const PageTable *pages() const { return Pages.get(); }
   const pmu::SimPmu &pmu() const { return Pmu; }
 
   // SimObserver implementation.
@@ -155,6 +172,8 @@ private:
   runtime::ThreadRegistry Threads;
   runtime::PhaseTracker Phases;
   ShadowMemory Shadow;
+  /// Page-granularity metadata, allocated only when page tracking is on.
+  std::unique_ptr<PageTable> Pages;
   Detector Detect;
   SharingClassifier Classifier;
   pmu::SimPmu Pmu;

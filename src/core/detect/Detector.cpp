@@ -13,6 +13,49 @@
 using namespace cheetah;
 using namespace cheetah::core;
 
+bool Detector::handlePageSample(const pmu::Sample &Sample,
+                                bool InParallelPhase) {
+  // Page stage 1 mirrors the line stage: cheap write counting plus the
+  // first-touch home publication, on every covered sample. Homes are set
+  // even during serial phases — placement happens at first touch no matter
+  // who is running, exactly like the OS policy being modeled.
+  NodeId Node = Topology->nodeOf(Sample.Tid);
+  uint32_t PageWrites = Sample.IsWrite ? Pages->noteWrite(Sample.Address)
+                                       : Pages->writeCount(Sample.Address);
+  NodeId Home = Pages->noteTouch(Sample.Address, Node);
+
+  if (Config.OnlyParallelPhases && !InParallelPhase)
+    return false;
+
+  // Page stage 2: detailed tracking only for susceptible pages.
+  PageInfo *Info = Pages->detail(Sample.Address);
+  if (!Info) {
+    if (PageWrites <= Config.PageWriteThreshold)
+      return false;
+    Info = &Pages->materializeDetail(Sample.Address);
+  }
+
+  bool Remote = Node != Home;
+  uint64_t LineIndex = Pages->lineIndexInPage(Sample.Address);
+  bool Invalidation;
+  {
+#if CHEETAH_LOCKED_TABLE
+    // A/B build only: serialize page detail mutation with a striped mutex
+    // so the locked-vs-lock-free sweep covers the page path too.
+    std::lock_guard<std::mutex> Lock(Pages->pageLock(Sample.Address));
+#endif
+    Invalidation = Info->recordAccess(
+        Node, Sample.IsWrite ? AccessKind::Write : AccessKind::Read,
+        LineIndex, Sample.LatencyCycles, Remote);
+  }
+  if (Invalidation)
+    PageInvalidations.fetch_add(1, std::memory_order_relaxed);
+  if (Remote)
+    RemoteSamples.fetch_add(1, std::memory_order_relaxed);
+  PageSamplesRecorded.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,
                             uint8_t AccessBytes) {
   SamplesSeen.fetch_add(1, std::memory_order_relaxed);
@@ -21,6 +64,12 @@ bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,
     SamplesFiltered.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+
+  bool PageRecorded = false;
+  if (Pages && Config.TrackPages)
+    PageRecorded = handlePageSample(Sample, InParallelPhase);
+  if (!Config.TrackLines)
+    return PageRecorded;
 
   // Stage 1: cheap write counting on every covered sample. This is what
   // makes write-once memory never pay for detailed tracking. Atomic, so
@@ -32,13 +81,13 @@ bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,
     LineWrites = Shadow.writeCount(Sample.Address);
 
   if (Config.OnlyParallelPhases && !InParallelPhase)
-    return false;
+    return PageRecorded;
 
   // Stage 2: detailed tracking only for susceptible lines.
   CacheLineInfo *Info = Shadow.detail(Sample.Address);
   if (!Info) {
     if (LineWrites <= Config.WriteThreshold)
-      return false;
+      return PageRecorded;
     Info = &Shadow.materializeDetail(Sample.Address);
   }
 

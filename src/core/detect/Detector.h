@@ -26,8 +26,10 @@
 #ifndef CHEETAH_CORE_DETECT_DETECTOR_H
 #define CHEETAH_CORE_DETECT_DETECTOR_H
 
+#include "core/detect/PageTable.h"
 #include "core/detect/ShadowMemory.h"
 #include "mem/CacheGeometry.h"
+#include "mem/NumaTopology.h"
 #include "pmu/Sample.h"
 
 #include <atomic>
@@ -44,14 +46,26 @@ struct DetectorConfig {
   uint32_t WriteThreshold = 2;
   /// Record detailed accesses only while child threads are live.
   bool OnlyParallelPhases = true;
+  /// Run the line-granularity (cache false sharing) stage.
+  bool TrackLines = true;
+  /// Run the page-granularity (NUMA / remote-DRAM sharing) stage; requires
+  /// attachPageTable.
+  bool TrackPages = false;
+  /// Pages with at most this many sampled writes never get detailed page
+  /// tracking (the stage-1 susceptibility filter, one level up).
+  uint32_t PageWriteThreshold = 2;
 };
 
 /// Counters describing what the detector has seen.
 struct DetectorStats {
   uint64_t SamplesSeen = 0;
   uint64_t SamplesFiltered = 0; // outside monitored regions
-  uint64_t SamplesRecorded = 0; // reached detailed tracking
+  uint64_t SamplesRecorded = 0; // reached detailed line tracking
   uint64_t Invalidations = 0;
+  // Page-granularity stage (zero unless TrackPages).
+  uint64_t PageSamplesRecorded = 0; // reached detailed page tracking
+  uint64_t PageInvalidations = 0;   // cross-node invalidations
+  uint64_t RemoteSamples = 0;       // recorded from a non-home node
 };
 
 /// Sample-driven false-sharing detection state machine.
@@ -61,10 +75,20 @@ public:
            const DetectorConfig &Config)
       : Geometry(Geometry), Shadow(Shadow), Config(Config) {}
 
+  /// Enables the page-granularity stage: samples additionally update
+  /// \p PageTable, with thread ids mapped to NUMA nodes through
+  /// \p Topology. Both must outlive the detector. Call before ingestion
+  /// starts (not thread-safe against concurrent handleSample).
+  void attachPageTable(PageTable &Table, const NumaTopology &T) {
+    Pages = &Table;
+    Topology = &T;
+  }
+
   /// Processes one PMU sample. \p InParallelPhase reflects the phase
   /// tracker's state at delivery time. \p AccessBytes is the access width
   /// for word marking. Thread-safe.
-  /// \returns true if the sample was recorded in detailed tracking.
+  /// \returns true if the sample was recorded in detailed tracking (at
+  /// either granularity).
   bool handleSample(const pmu::Sample &Sample, bool InParallelPhase,
                     uint8_t AccessBytes = 4);
 
@@ -75,6 +99,11 @@ public:
     Result.SamplesFiltered = SamplesFiltered.load(std::memory_order_relaxed);
     Result.SamplesRecorded = SamplesRecorded.load(std::memory_order_relaxed);
     Result.Invalidations = Invalidations.load(std::memory_order_relaxed);
+    Result.PageSamplesRecorded =
+        PageSamplesRecorded.load(std::memory_order_relaxed);
+    Result.PageInvalidations =
+        PageInvalidations.load(std::memory_order_relaxed);
+    Result.RemoteSamples = RemoteSamples.load(std::memory_order_relaxed);
     return Result;
   }
 
@@ -82,14 +111,27 @@ public:
   ShadowMemory &shadow() { return Shadow; }
   const ShadowMemory &shadow() const { return Shadow; }
 
+  /// The attached page table (nullptr when page tracking is off).
+  PageTable *pageTable() { return Pages; }
+  const PageTable *pageTable() const { return Pages; }
+
 private:
+  /// The page-granularity stage for one covered sample.
+  /// \returns true if it reached detailed page tracking.
+  bool handlePageSample(const pmu::Sample &Sample, bool InParallelPhase);
+
   CacheGeometry Geometry;
   ShadowMemory &Shadow;
   DetectorConfig Config;
+  PageTable *Pages = nullptr;
+  const NumaTopology *Topology = nullptr;
   std::atomic<uint64_t> SamplesSeen{0};
   std::atomic<uint64_t> SamplesFiltered{0};
   std::atomic<uint64_t> SamplesRecorded{0};
   std::atomic<uint64_t> Invalidations{0};
+  std::atomic<uint64_t> PageSamplesRecorded{0};
+  std::atomic<uint64_t> PageInvalidations{0};
+  std::atomic<uint64_t> RemoteSamples{0};
 };
 
 } // namespace core

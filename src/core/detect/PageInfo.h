@@ -1,0 +1,148 @@
+//===- core/detect/PageInfo.h - Per-page detailed tracking ------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Detailed per-page state for NUMA (remote-DRAM) sharing detection — the
+/// paper's two-entry-table + per-word-histogram design lifted one level up
+/// the memory hierarchy. The actors become NUMA *nodes* instead of threads
+/// and the histogram buckets become the page's *cache lines* instead of
+/// 4-byte words, but the machinery is identical:
+///
+///  - The packed-atomic-word CAS state machine from CacheLineTable.h is
+///    reused verbatim with node ids as the stored "thread" ids. A write
+///    from one node to a page recently touched by another node is a
+///    cross-node invalidation — the remote-DRAM traffic signature, the way
+///    a cache invalidation is the false-sharing signature.
+///  - The per-line histogram distinguishes *false page sharing* (nodes
+///    touch disjoint lines of the page: fixable by page-aligned placement
+///    or node-local allocation) from *true page sharing* (nodes touch the
+///    same lines: genuine communication). SharingClassifier consumes these
+///    snapshots unchanged.
+///  - Per-node accumulators feed the remote-traffic accounting; node
+///    populations are tiny (NumaTopology::MaxNodes) so they live in fixed
+///    arrays rather than CacheLineInfo's chunk chain.
+///
+/// Like CacheLineInfo, every mutable field is a relaxed atomic and the
+/// table transition is a single-word CAS, so recordAccess is lock-free from
+/// any number of ingesting threads.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_DETECT_PAGEINFO_H
+#define CHEETAH_CORE_DETECT_PAGEINFO_H
+
+#include "core/detect/CacheLineInfo.h"
+#include "core/detect/CacheLineTable.h"
+#include "mem/NumaTopology.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// Per-node access/cycle accumulator on one page.
+struct NodePageStats {
+  NodeId Node = 0;
+  uint64_t Accesses = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+};
+
+/// Everything Cheetah tracks about one susceptible page.
+class PageInfo {
+public:
+  explicit PageInfo(uint64_t LinesPerPage);
+
+  PageInfo(const PageInfo &) = delete;
+  PageInfo &operator=(const PageInfo &) = delete;
+
+  /// Records one sampled access landing on this page. Lock-free; safe from
+  /// any number of ingesting threads.
+  /// \param Node the accessing thread's NUMA node.
+  /// \param LineIndex index of the touched cache line within the page.
+  /// \param Remote true when \p Node differs from the page's home node.
+  /// \returns true if the access incurred a cross-node invalidation.
+  bool recordAccess(NodeId Node, AccessKind Kind, uint64_t LineIndex,
+                    uint64_t LatencyCycles, bool Remote);
+
+  /// Cross-node invalidation count (the page-sharing significance signal).
+  uint64_t invalidations() const {
+    return Invalidations.load(std::memory_order_relaxed);
+  }
+
+  /// Total sampled accesses / writes / cycles on the page.
+  uint64_t accesses() const {
+    return Accesses.load(std::memory_order_relaxed);
+  }
+  uint64_t writes() const { return Writes.load(std::memory_order_relaxed); }
+  uint64_t cycles() const { return Cycles.load(std::memory_order_relaxed); }
+
+  /// Sampled accesses issued from a node other than the page's home, and
+  /// the latency cycles they accumulated (remote-DRAM traffic).
+  uint64_t remoteAccesses() const {
+    return RemoteAccesses.load(std::memory_order_relaxed);
+  }
+  uint64_t remoteCycles() const {
+    return RemoteCycles.load(std::memory_order_relaxed);
+  }
+
+  /// Value snapshot of the per-line statistics, one entry per cache line of
+  /// the page. Reuses WordStats with node ids in the thread fields
+  /// (FirstThread = first node, MultiThread = multi-node) so
+  /// SharingClassifier applies unchanged at page granularity.
+  std::vector<WordStats> lines() const;
+
+  /// Value snapshot of the per-node accumulators, ordered by node id.
+  std::vector<NodePageStats> nodes() const;
+
+  /// Number of distinct nodes that accessed the page.
+  size_t nodeCount() const;
+
+  /// Access to the cross-node invalidation table (tests). This is the
+  /// packed single-word CAS state machine from CacheLineTable.h, storing
+  /// node ids.
+  const CacheLineTable &table() const { return Table; }
+
+  /// Exact bytes of heap memory behind this page's detailed tracking.
+  size_t footprintBytes() const;
+
+private:
+  /// Atomic backing store for one line's statistics (the per-word histogram
+  /// shape, at line granularity with node actors).
+  struct AtomicLineStats {
+    std::atomic<uint64_t> Reads{0};
+    std::atomic<uint64_t> Writes{0};
+    std::atomic<uint64_t> Cycles{0};
+    std::atomic<NodeId> FirstNode{NoNode};
+    std::atomic<bool> MultiNode{false};
+
+    void record(NodeId Node, AccessKind Kind, uint64_t LatencyCycles);
+    WordStats snapshot() const;
+  };
+
+  CacheLineTable Table; // node-granularity reuse of the packed CAS table
+  std::atomic<uint64_t> Invalidations{0};
+  std::atomic<uint64_t> Accesses{0};
+  std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> Cycles{0};
+  std::atomic<uint64_t> RemoteAccesses{0};
+  std::atomic<uint64_t> RemoteCycles{0};
+  std::unique_ptr<AtomicLineStats[]> Lines;
+  uint64_t LineCount;
+  /// Fixed per-node accumulators; node ids are bounded by
+  /// NumaTopology::MaxNodes.
+  std::atomic<uint64_t> NodeAccesses[NumaTopology::MaxNodes];
+  std::atomic<uint64_t> NodeWrites[NumaTopology::MaxNodes];
+  std::atomic<uint64_t> NodeCycles[NumaTopology::MaxNodes];
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_DETECT_PAGEINFO_H

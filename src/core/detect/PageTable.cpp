@@ -1,0 +1,163 @@
+//===- core/detect/PageTable.cpp - Address-to-page metadata ---------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/detect/PageTable.h"
+
+#include "support/Assert.h"
+
+#if CHEETAH_LOCKED_TABLE
+#include <bit>
+#endif
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+PageTable::PageTable(const NumaTopology &Topology,
+                     const CacheGeometry &Geometry,
+                     std::vector<ShadowRegion> Regions)
+    : Topology(Topology), Geometry(Geometry) {
+  CHEETAH_ASSERT(Geometry.lineSize() <= Topology.pageSize(),
+                 "cache lines must fit inside pages");
+  for (const ShadowRegion &Region : Regions) {
+    CHEETAH_ASSERT(Region.Size > 0, "empty page-table region");
+    CHEETAH_ASSERT((Region.Base & (Topology.pageSize() - 1)) == 0,
+                   "page-table region must be page-aligned");
+    Slab NewSlab;
+    NewSlab.Base = Region.Base;
+    NewSlab.Size = Region.Size;
+    NewSlab.Pages = static_cast<size_t>(
+        (Region.Size + Topology.pageSize() - 1) >> Topology.pageShift());
+    NewSlab.WriteCounts =
+        std::make_unique<std::atomic<uint32_t>[]>(NewSlab.Pages);
+    NewSlab.Homes = std::make_unique<std::atomic<NodeId>[]>(NewSlab.Pages);
+    NewSlab.Details =
+        std::make_unique<std::atomic<PageInfo *>[]>(NewSlab.Pages);
+    for (size_t I = 0; I < NewSlab.Pages; ++I) {
+      NewSlab.WriteCounts[I].store(0, std::memory_order_relaxed);
+      NewSlab.Homes[I].store(NoNode, std::memory_order_relaxed);
+      NewSlab.Details[I].store(nullptr, std::memory_order_relaxed);
+    }
+    Slabs.push_back(std::move(NewSlab));
+  }
+}
+
+PageTable::~PageTable() {
+  for (Slab &Region : Slabs)
+    for (size_t I = 0; I < Region.Pages; ++I)
+      delete Region.Details[I].load(std::memory_order_relaxed);
+}
+
+const PageTable::Slab *PageTable::slabFor(uint64_t Address) const {
+  for (const Slab &Region : Slabs)
+    if (Address >= Region.Base && Address < Region.Base + Region.Size)
+      return &Region;
+  return nullptr;
+}
+
+PageTable::Slab *PageTable::slabFor(uint64_t Address) {
+  return const_cast<Slab *>(
+      static_cast<const PageTable *>(this)->slabFor(Address));
+}
+
+size_t PageTable::pageIndexIn(const Slab &Region, uint64_t Address) const {
+  return static_cast<size_t>((Address - Region.Base) >> Topology.pageShift());
+}
+
+bool PageTable::covers(uint64_t Address) const {
+  return slabFor(Address) != nullptr;
+}
+
+uint32_t PageTable::noteWrite(uint64_t Address) {
+  Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "noteWrite outside monitored regions");
+  return Region->WriteCounts[pageIndexIn(*Region, Address)].fetch_add(
+             1, std::memory_order_relaxed) +
+         1;
+}
+
+uint32_t PageTable::writeCount(uint64_t Address) const {
+  const Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "writeCount outside monitored regions");
+  return Region->WriteCounts[pageIndexIn(*Region, Address)].load(
+      std::memory_order_relaxed);
+}
+
+NodeId PageTable::noteTouch(uint64_t Address, NodeId Node) {
+  Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "noteTouch outside monitored regions");
+  std::atomic<NodeId> &Home = Region->Homes[pageIndexIn(*Region, Address)];
+  NodeId Current = Home.load(std::memory_order_relaxed);
+  if (Current != NoNode)
+    return Current;
+  if (Home.compare_exchange_strong(Current, Node, std::memory_order_relaxed))
+    return Node;
+  // Another touch won first-touch publication; its node is the home.
+  return Current;
+}
+
+NodeId PageTable::homeNode(uint64_t Address) const {
+  const Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "homeNode outside monitored regions");
+  return Region->Homes[pageIndexIn(*Region, Address)].load(
+      std::memory_order_relaxed);
+}
+
+PageInfo *PageTable::detail(uint64_t Address) {
+  Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
+  return Region->Details[pageIndexIn(*Region, Address)].load(
+      std::memory_order_acquire);
+}
+
+const PageInfo *PageTable::detail(uint64_t Address) const {
+  const Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
+  return Region->Details[pageIndexIn(*Region, Address)].load(
+      std::memory_order_acquire);
+}
+
+PageInfo &PageTable::materializeDetail(uint64_t Address) {
+  Slab *Region = slabFor(Address);
+  CHEETAH_ASSERT(Region != nullptr, "materialize outside monitored regions");
+  std::atomic<PageInfo *> &Slot =
+      Region->Details[pageIndexIn(*Region, Address)];
+  PageInfo *Existing = Slot.load(std::memory_order_acquire);
+  if (Existing)
+    return *Existing;
+  auto *Fresh = new PageInfo(linesPerPage());
+  if (Slot.compare_exchange_strong(Existing, Fresh, std::memory_order_acq_rel,
+                                   std::memory_order_acquire)) {
+    MaterializedCount.fetch_add(1, std::memory_order_relaxed);
+    return *Fresh;
+  }
+  // Another ingesting thread won the race; use its published info.
+  delete Fresh;
+  return *Existing;
+}
+
+#if CHEETAH_LOCKED_TABLE
+std::mutex &PageTable::pageLock(uint64_t Address) {
+  static_assert((LockStripeCount & (LockStripeCount - 1)) == 0,
+                "stripe count must be a power of two");
+  constexpr unsigned Shift = 64 - std::bit_width(LockStripeCount - 1);
+  uint64_t Page = Address >> Topology.pageShift();
+  return LockStripes[(Page * 0x9e3779b97f4a7c15ull) >> Shift];
+}
+#endif
+
+size_t PageTable::pageBytes() const {
+  size_t Bytes = 0;
+  for (const Slab &Region : Slabs) {
+    Bytes += Region.Pages * sizeof(std::atomic<uint32_t>);
+    Bytes += Region.Pages * sizeof(std::atomic<NodeId>);
+    Bytes += Region.Pages * sizeof(std::atomic<PageInfo *>);
+    for (size_t I = 0; I < Region.Pages; ++I)
+      if (const PageInfo *Info =
+              Region.Details[I].load(std::memory_order_acquire))
+        Bytes += Info->footprintBytes();
+  }
+  return Bytes;
+}

@@ -1,0 +1,127 @@
+//===- core/report/PageReportBuilder.cpp - Page finding builder -----------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/report/PageReportBuilder.h"
+
+#include <algorithm>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+PageReportBuilder::PageReportBuilder(const runtime::HeapAllocator &Heap,
+                                     const runtime::GlobalRegistry &Globals,
+                                     const runtime::CallsiteTable &Callsites,
+                                     const SharingClassifier &Classifier,
+                                     const NumaTopology &Topology,
+                                     const CacheGeometry &Geometry,
+                                     const PageReportGate &Gate)
+    : Heap(Heap), Globals(Globals), Callsites(Callsites),
+      Classifier(Classifier), Topology(Topology), Geometry(Geometry),
+      Gate(Gate) {}
+
+PageSharingReport PageReportBuilder::buildReport(uint64_t PageBase,
+                                                 NodeId Home,
+                                                 const PageInfo &Info) const {
+  PageSharingReport Report;
+  Report.PageBase = PageBase;
+  Report.PageSize = Topology.pageSize();
+  Report.HomeNode = Home;
+  Report.SampledAccesses = Info.accesses();
+  Report.SampledWrites = Info.writes();
+  Report.RemoteAccesses = Info.remoteAccesses();
+  Report.Invalidations = Info.invalidations();
+  Report.LatencyCycles = Info.cycles();
+  Report.RemoteLatencyCycles = Info.remoteCycles();
+  Report.NodesObserved = static_cast<uint32_t>(Info.nodeCount());
+
+  // One snapshot serves classification and the per-line entries. The
+  // classifier is the word-granularity one applied unchanged: lines are the
+  // page's "words", nodes are its "threads".
+  const std::vector<WordStats> Lines = Info.lines();
+  LineClassification Verdict =
+      Classifier.classify(Lines, Report.NodesObserved);
+  Report.Kind = Verdict.Kind;
+  Report.SharedLineFraction = Verdict.sharedFraction();
+
+  for (size_t L = 0; L < Lines.size(); ++L) {
+    if (Lines[L].accesses() == 0)
+      continue;
+    PageLineEntry Entry;
+    Entry.Offset = L << Geometry.lineShift();
+    Entry.Reads = Lines[L].Reads;
+    Entry.Writes = Lines[L].Writes;
+    Entry.Cycles = Lines[L].Cycles;
+    Entry.FirstNode = Lines[L].FirstThread; // node id in the thread field
+    Entry.MultiNode = Lines[L].MultiThread;
+    Report.Lines.push_back(Entry);
+
+    // Attribute the touched line to its owning object so the finding names
+    // what to move, not just a raw page address.
+    uint64_t LineAddress = PageBase + Entry.Offset;
+    std::string Name;
+    if (const runtime::HeapObject *Object = Heap.objectAt(LineAddress)) {
+      const auto &Frames = Callsites.get(Object->Site).Frames;
+      Name = Frames.empty() ? std::string("<heap>") : Frames.front();
+    } else if (const runtime::GlobalVariable *Var =
+                   Globals.globalAt(LineAddress)) {
+      Name = Var->Name;
+    }
+    if (!Name.empty() &&
+        std::find(Report.Objects.begin(), Report.Objects.end(), Name) ==
+            Report.Objects.end())
+      Report.Objects.push_back(Name);
+  }
+
+  // Hottest lines first for the placement-guidance table.
+  std::sort(Report.Lines.begin(), Report.Lines.end(),
+            [](const PageLineEntry &A, const PageLineEntry &B) {
+              if (A.Reads + A.Writes != B.Reads + B.Writes)
+                return A.Reads + A.Writes > B.Reads + B.Writes;
+              return A.Offset < B.Offset;
+            });
+  return Report;
+}
+
+void PageReportBuilder::addPage(uint64_t PageBase, NodeId Home,
+                                const PageInfo &Info) {
+  if (Info.accesses() == 0)
+    return;
+  Pending.push_back(buildReport(PageBase, Home, Info));
+}
+
+PageReportBuilder::Output PageReportBuilder::finalize(ReportSink *Sink) {
+  // Worst first: cross-node invalidations, then remote traffic, then the
+  // address for determinism.
+  std::sort(Pending.begin(), Pending.end(),
+            [](const PageSharingReport &A, const PageSharingReport &B) {
+              if (A.Invalidations != B.Invalidations)
+                return A.Invalidations > B.Invalidations;
+              if (A.RemoteAccesses != B.RemoteAccesses)
+                return A.RemoteAccesses > B.RemoteAccesses;
+              return A.PageBase < B.PageBase;
+            });
+
+  Output Result;
+  Result.AllInstances.reserve(Pending.size());
+  for (PageSharingReport &Report : Pending) {
+    bool MultiNodeSharing = Report.NodesObserved >= 2 &&
+                            Report.Invalidations >= Gate.MinInvalidations;
+    // The placement gate is for pages *without* node contention: a
+    // multi-node page below the invalidation bar is insignificant sharing,
+    // not a misplacement finding.
+    bool RemotePlacement = Gate.ReportRemotePlacement &&
+                           Report.NodesObserved < 2 &&
+                           Report.RemoteAccesses >= Gate.MinRemoteAccesses;
+    bool Significant = MultiNodeSharing || RemotePlacement;
+    if (Sink)
+      Sink->pageFinding(Report, Significant);
+    if (Significant)
+      Result.Reports.push_back(Report);
+    Result.AllInstances.push_back(std::move(Report));
+  }
+  Pending.clear();
+  return Result;
+}

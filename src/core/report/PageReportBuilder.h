@@ -1,0 +1,92 @@
+//===- core/report/PageReportBuilder.h - Page finding builder ---*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds per-page NUMA sharing findings from materialized PageInfo state,
+/// the page-granularity mirror of ReportBuilder: pages stream in one at a
+/// time as they quiesce (addPage), finalize() classifies each with the
+/// unchanged SharingClassifier (nodes over lines instead of threads over
+/// words), attributes the overlapping heap/global objects, applies the page
+/// gate, sorts worst-first, and streams the findings through the sink's
+/// pageFinding channel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_REPORT_PAGEREPORTBUILDER_H
+#define CHEETAH_CORE_REPORT_PAGEREPORTBUILDER_H
+
+#include "core/detect/PageInfo.h"
+#include "core/detect/SharingClassifier.h"
+#include "core/report/Report.h"
+#include "core/report/ReportSink.h"
+#include "mem/NumaTopology.h"
+#include "runtime/Callsite.h"
+#include "runtime/GlobalRegistry.h"
+#include "runtime/HeapAllocator.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// Significance gate for page findings. A page matters when nodes actually
+/// contend on it (cross-node invalidations) or when its placement forces
+/// steady remote-DRAM traffic even without sharing.
+struct PageReportGate {
+  /// Multi-node pages need at least this many cross-node invalidations.
+  uint64_t MinInvalidations = 8;
+  /// Single-node pages homed elsewhere need at least this many remote
+  /// sampled accesses to surface as a placement finding.
+  uint64_t MinRemoteAccesses = 32;
+  /// Report single-node remote-placement pages at all.
+  bool ReportRemotePlacement = true;
+};
+
+/// Streams materialized pages in, page findings out.
+class PageReportBuilder {
+public:
+  PageReportBuilder(const runtime::HeapAllocator &Heap,
+                    const runtime::GlobalRegistry &Globals,
+                    const runtime::CallsiteTable &Callsites,
+                    const SharingClassifier &Classifier,
+                    const NumaTopology &Topology, const CacheGeometry &Geometry,
+                    const PageReportGate &Gate);
+
+  /// Folds one quiesced page in. Pages with zero recorded accesses are
+  /// skipped.
+  void addPage(uint64_t PageBase, NodeId Home, const PageInfo &Info);
+
+  /// Everything finalize() produces.
+  struct Output {
+    /// Significant page findings, most invalidations first.
+    std::vector<PageSharingReport> Reports;
+    /// Every tracked page, same order, for tests and ablations.
+    std::vector<PageSharingReport> AllInstances;
+  };
+
+  /// Sorts, gates, and — when \p Sink is non-null — streams each finding
+  /// through Sink->pageFinding() (sink order matches AllInstances).
+  Output finalize(ReportSink *Sink = nullptr);
+
+private:
+  PageSharingReport buildReport(uint64_t PageBase, NodeId Home,
+                                const PageInfo &Info) const;
+
+  const runtime::HeapAllocator &Heap;
+  const runtime::GlobalRegistry &Globals;
+  const runtime::CallsiteTable &Callsites;
+  const SharingClassifier &Classifier;
+  NumaTopology Topology;
+  CacheGeometry Geometry;
+  PageReportGate Gate;
+  std::vector<PageSharingReport> Pending;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_REPORT_PAGEREPORTBUILDER_H

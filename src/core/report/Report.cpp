@@ -104,6 +104,65 @@ std::string cheetah::core::formatReport(const FalseSharingReport &Report,
   return Out;
 }
 
+std::string
+cheetah::core::formatPageReport(const PageSharingReport &Report,
+                                const ReportFormatOptions &Options) {
+  std::string Out;
+  Out += formatString(
+      "Detecting page sharing at the page: start 0x%llx end 0x%llx "
+      "(with size %llu), home node %u.\n",
+      static_cast<unsigned long long>(Report.PageBase),
+      static_cast<unsigned long long>(Report.PageBase + Report.PageSize),
+      static_cast<unsigned long long>(Report.PageSize), Report.HomeNode);
+  Out += formatString(
+      "Accesses %s cross-node invalidations %s writes %s remote %s "
+      "(%.1f%%) total latency %s cycles (%s remote).\n",
+      counter(Report.SampledAccesses, Options.HexCounters).c_str(),
+      counter(Report.Invalidations, Options.HexCounters).c_str(),
+      counter(Report.SampledWrites, Options.HexCounters).c_str(),
+      counter(Report.RemoteAccesses, Options.HexCounters).c_str(),
+      Report.remoteFraction() * 100.0,
+      counter(Report.LatencyCycles, Options.HexCounters).c_str(),
+      counter(Report.RemoteLatencyCycles, Options.HexCounters).c_str());
+  Out += formatString("Sharing classification: %s (shared-line fraction "
+                      "%.2f over %u nodes).\n",
+                      sharingKindName(Report.Kind),
+                      Report.SharedLineFraction, Report.NodesObserved);
+  if (Report.NodesObserved < 2 && Report.RemoteAccesses > 0)
+    Out += "note: single-node page homed on another node — a first-touch "
+           "placement problem, not sharing.\n";
+
+  if (!Report.Objects.empty()) {
+    Out += "Objects on this page:\n";
+    for (const std::string &Name : Report.Objects)
+      Out += Name + "\n";
+  }
+
+  if (Options.ShowWords && !Report.Lines.empty()) {
+    Out += "Line-level accesses (offset within page):\n";
+    TextTable Table;
+    Table.setHeader({"offset", "reads", "writes", "cycles", "nodes"});
+    size_t Limit = Options.MaxWords == 0
+                       ? Report.Lines.size()
+                       : std::min(Options.MaxWords, Report.Lines.size());
+    for (size_t I = 0; I < Limit; ++I) {
+      const PageLineEntry &Line = Report.Lines[I];
+      Table.addRow({formatString("+%llu",
+                                 static_cast<unsigned long long>(Line.Offset)),
+                    std::to_string(Line.Reads), std::to_string(Line.Writes),
+                    std::to_string(Line.Cycles),
+                    Line.MultiNode
+                        ? std::string("multiple")
+                        : formatString("node %u", Line.FirstNode)});
+    }
+    Out += Table.render();
+    if (Limit < Report.Lines.size())
+      Out += formatString("... %zu more lines elided\n",
+                          Report.Lines.size() - Limit);
+  }
+  return Out;
+}
+
 std::string cheetah::core::formatSummaryTable(
     const std::vector<FalseSharingReport> &Reports) {
   TextTable Table;

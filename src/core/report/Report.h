@@ -17,6 +17,7 @@
 
 #include "core/assess/Assessor.h"
 #include "core/detect/SharingClassifier.h"
+#include "mem/NumaTopology.h"
 
 #include <cstdint>
 #include <string>
@@ -72,6 +73,51 @@ struct FalseSharingReport {
   std::vector<WordReportEntry> Words;
 };
 
+/// One cache line of a page's per-line breakdown (the page-granularity
+/// analogue of WordReportEntry, with NUMA nodes as the actors).
+struct PageLineEntry {
+  /// Byte offset of the line from the page start.
+  uint64_t Offset = 0;
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  NodeId FirstNode = 0;
+  bool MultiNode = false;
+};
+
+/// A full per-page NUMA sharing finding. Kind reuses the line vocabulary at
+/// page granularity: FalseSharing = nodes touch disjoint lines of the page
+/// (fixable by page-aligned / node-local placement), TrueSharing = nodes
+/// touch the same lines, NotShared = one node — which still surfaces as a
+/// finding when the accesses are remote (a first-touch placement problem).
+struct PageSharingReport {
+  uint64_t PageBase = 0;
+  uint64_t PageSize = 0;
+  /// First-touch home node of the page (NoNode if somehow untouched).
+  NodeId HomeNode = 0;
+  uint32_t NodesObserved = 0;
+  SharingKind Kind = SharingKind::NotShared;
+  uint64_t SampledAccesses = 0;
+  uint64_t SampledWrites = 0;
+  /// Accesses issued from a node other than the home (remote-DRAM traffic).
+  uint64_t RemoteAccesses = 0;
+  uint64_t Invalidations = 0; // cross-node invalidations
+  uint64_t LatencyCycles = 0;
+  uint64_t RemoteLatencyCycles = 0;
+  /// Fraction of accesses on lines shared by multiple nodes.
+  double SharedLineFraction = 0.0;
+  /// Names of the objects overlapping the page (heap callsites / globals).
+  std::vector<std::string> Objects;
+  /// Hottest lines (by access count), for placement guidance.
+  std::vector<PageLineEntry> Lines;
+
+  double remoteFraction() const {
+    return SampledAccesses ? static_cast<double>(RemoteAccesses) /
+                                 static_cast<double>(SampledAccesses)
+                           : 0.0;
+  }
+};
+
 /// Formatting options for the text report.
 struct ReportFormatOptions {
   /// Include the per-word table.
@@ -89,6 +135,10 @@ std::string formatReport(const FalseSharingReport &Report,
 
 /// Renders a one-line-per-object summary table for a set of reports.
 std::string formatSummaryTable(const std::vector<FalseSharingReport> &Reports);
+
+/// Renders one page-granularity finding in the same style.
+std::string formatPageReport(const PageSharingReport &Report,
+                             const ReportFormatOptions &Options = {});
 
 } // namespace core
 } // namespace cheetah

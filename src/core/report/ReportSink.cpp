@@ -41,11 +41,27 @@ void TextReportSink::finding(const FalseSharingReport &Report,
   ++Rendered;
 }
 
+void TextReportSink::pageFinding(const PageSharingReport &Report,
+                                 bool Significant) {
+  if (!Significant && !Opts.IncludeInsignificant)
+    return;
+  Out += formatPageReport(Report, Opts.Format);
+  Out += "\n";
+  ++PagesRendered;
+}
+
 void TextReportSink::endRun(const ReportRunStats &Stats) {
-  if (Rendered == 0)
+  if (Rendered == 0 && PagesRendered == 0)
     Out += "No significant false sharing detected.\n";
-  else
+  else if (Rendered > 0)
     Out += formatSummaryTable(SummaryRows);
+  if (Stats.PageFindings)
+    Out += formatString(
+        "page totals: %s page findings (%s significant) over %s "
+        "materialized pages\n",
+        formatWithCommas(Stats.PageFindings).c_str(),
+        formatWithCommas(Stats.SignificantPageFindings).c_str(),
+        formatWithCommas(Stats.MaterializedPages).c_str());
   // Distinct wording from the CLI's own "runtime ... cycles" banner so the
   // two lines never read (or grep) as duplicates.
   Out += formatString(
@@ -62,8 +78,9 @@ void TextReportSink::endRun(const ReportRunStats &Stats) {
 //===----------------------------------------------------------------------===//
 
 void JsonReportSink::beginRun(const ReportRunInfo &Info) {
+  InPageArray = false;
   Writer.beginObject();
-  Writer.member("schema", "cheetah-report-v1");
+  Writer.member("schema", "cheetah-report-v2");
   Writer.key("run");
   Writer.beginObject();
   Writer.member("tool", Info.Tool);
@@ -74,6 +91,9 @@ void JsonReportSink::beginRun(const ReportRunInfo &Info) {
   Writer.member("sampling_period", Info.SamplingPeriod);
   Writer.member("seed", Info.Seed);
   Writer.member("fix_applied", Info.FixApplied);
+  Writer.member("numa_nodes", Info.NumaNodes);
+  Writer.member("page_size", Info.PageSize);
+  Writer.member("granularity", Info.Granularity);
   Writer.endObject();
   Writer.key("findings");
   Writer.beginArray();
@@ -152,12 +172,72 @@ void JsonReportSink::finding(const FalseSharingReport &Report,
   Writer.endObject();
 }
 
-void JsonReportSink::endRun(const ReportRunStats &Stats) {
+void JsonReportSink::startPageArray() {
+  if (InPageArray)
+    return;
+  Writer.endArray(); // findings
+  Writer.key("pageFindings");
+  Writer.beginArray();
+  InPageArray = true;
+}
+
+void JsonReportSink::pageFinding(const PageSharingReport &Report,
+                                 bool Significant) {
+  startPageArray();
+  Writer.beginObject();
+  Writer.member("page", Report.PageBase);
+  Writer.member("page_size", Report.PageSize);
+  Writer.member("home_node", Report.HomeNode);
+  Writer.member("nodes", Report.NodesObserved);
+  Writer.member("sharing", sharingKindName(Report.Kind));
+  Writer.member("significant", Significant);
+  Writer.member("accesses", Report.SampledAccesses);
+  Writer.member("writes", Report.SampledWrites);
+  Writer.member("remote_accesses", Report.RemoteAccesses);
+  Writer.member("remote_fraction", Report.remoteFraction());
+  Writer.member("invalidations", Report.Invalidations);
+  Writer.member("latency_cycles", Report.LatencyCycles);
+  Writer.member("remote_latency_cycles", Report.RemoteLatencyCycles);
+  Writer.member("shared_line_fraction", Report.SharedLineFraction);
+
+  Writer.key("objects");
+  Writer.beginArray();
+  for (const std::string &Name : Report.Objects)
+    Writer.value(Name);
   Writer.endArray();
+
+  Writer.key("lines");
+  Writer.beginArray();
+  size_t Limit = Opts.MaxWords == 0
+                     ? Report.Lines.size()
+                     : std::min(Opts.MaxWords, Report.Lines.size());
+  for (size_t I = 0; I < Limit; ++I) {
+    const PageLineEntry &Line = Report.Lines[I];
+    Writer.beginObject();
+    Writer.member("offset", Line.Offset);
+    Writer.member("reads", Line.Reads);
+    Writer.member("writes", Line.Writes);
+    Writer.member("cycles", Line.Cycles);
+    Writer.member("first_node", Line.FirstNode);
+    Writer.member("multi_node", Line.MultiNode);
+    Writer.endObject();
+  }
+  Writer.endArray();
+
+  Writer.endObject();
+}
+
+void JsonReportSink::endRun(const ReportRunStats &Stats) {
+  // The document always carries both arrays; a line-only run emits an
+  // empty pageFindings so consumers never branch on key presence.
+  startPageArray();
+  Writer.endArray(); // pageFindings
   Writer.key("summary");
   Writer.beginObject();
   Writer.member("findings", Stats.Findings);
   Writer.member("significant_findings", Stats.SignificantFindings);
+  Writer.member("page_findings", Stats.PageFindings);
+  Writer.member("significant_page_findings", Stats.SignificantPageFindings);
   Writer.member("app_runtime_cycles", Stats.AppRuntime);
   Writer.member("samples", Stats.SamplesDelivered);
   Writer.member("serial_samples", Stats.SerialSamples);
@@ -166,12 +246,19 @@ void JsonReportSink::endRun(const ReportRunStats &Stats) {
   Writer.member("materialized_lines",
                 static_cast<uint64_t>(Stats.MaterializedLines));
   Writer.member("shadow_bytes", static_cast<uint64_t>(Stats.ShadowBytes));
+  Writer.member("materialized_pages",
+                static_cast<uint64_t>(Stats.MaterializedPages));
+  Writer.member("page_shadow_bytes",
+                static_cast<uint64_t>(Stats.PageShadowBytes));
   Writer.key("detector");
   Writer.beginObject();
   Writer.member("seen", Stats.Detection.SamplesSeen);
   Writer.member("filtered", Stats.Detection.SamplesFiltered);
   Writer.member("recorded", Stats.Detection.SamplesRecorded);
   Writer.member("invalidations", Stats.Detection.Invalidations);
+  Writer.member("page_recorded", Stats.Detection.PageSamplesRecorded);
+  Writer.member("page_invalidations", Stats.Detection.PageInvalidations);
+  Writer.member("remote_samples", Stats.Detection.RemoteSamples);
   Writer.endObject();
   Writer.endObject();
   Writer.endObject();

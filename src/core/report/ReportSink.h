@@ -10,7 +10,7 @@
 /// generation pushes findings through a ReportSink one object at a time as
 /// the builder finalizes them. Two implementations ship: TextReportSink
 /// renders the paper's Figure-5 text format, JsonReportSink emits a stable
-/// machine-readable schema (`cheetah-report-v1`) for multi-run comparison
+/// machine-readable schema (`cheetah-report-v2`) for multi-run comparison
 /// tooling. Both append to a caller-owned string so the caller chooses the
 /// final destination (stdout, a file, a golden-test buffer).
 ///
@@ -42,6 +42,12 @@ struct ReportRunInfo {
   uint64_t Seed = 0;
   /// True when the workload ran with the padding fix applied.
   bool FixApplied = false;
+  /// Simulated NUMA node count (1 = UMA).
+  uint32_t NumaNodes = 1;
+  /// Page size of the page-granularity detector (0 when line-only).
+  uint64_t PageSize = 0;
+  /// Detection granularity: "line", "page", or "both".
+  std::string Granularity = "line";
 };
 
 /// Run-level outcome emitted after the last finding.
@@ -57,11 +63,18 @@ struct ReportRunStats {
   /// Counts over the findings that passed through the sink.
   uint64_t Findings = 0;
   uint64_t SignificantFindings = 0;
+  // Page-granularity totals (zero when page tracking is off).
+  size_t MaterializedPages = 0;
+  size_t PageShadowBytes = 0;
+  uint64_t PageFindings = 0;
+  uint64_t SignificantPageFindings = 0;
 };
 
 /// Consumer of a stream of per-object findings. Calls arrive in order:
 /// beginRun, then finding() once per object (highest predicted improvement
-/// first), then endRun. Implementations must tolerate zero findings.
+/// first), then pageFinding() once per tracked page (worst first; only in
+/// page-granularity runs), then endRun. Implementations must tolerate zero
+/// findings of either kind.
 class ReportSink {
 public:
   virtual ~ReportSink() = default;
@@ -71,6 +84,13 @@ public:
   /// One per-object finding. \p Significant mirrors the profiler's report
   /// gate (kind + invalidation + predicted-improvement thresholds).
   virtual void finding(const FalseSharingReport &Report, bool Significant) = 0;
+
+  /// One per-page NUMA finding; default ignores them so line-only sinks
+  /// keep working unchanged.
+  virtual void pageFinding(const PageSharingReport &Report, bool Significant) {
+    (void)Report;
+    (void)Significant;
+  }
 
   virtual void endRun(const ReportRunStats &Stats) = 0;
 };
@@ -94,6 +114,8 @@ public:
 
   void beginRun(const ReportRunInfo &Info) override;
   void finding(const FalseSharingReport &Report, bool Significant) override;
+  void pageFinding(const PageSharingReport &Report,
+                   bool Significant) override;
   void endRun(const ReportRunStats &Stats) override;
 
 private:
@@ -101,15 +123,17 @@ private:
   Options Opts;
   std::vector<FalseSharingReport> SummaryRows;
   uint64_t Rendered = 0;
+  uint64_t PagesRendered = 0;
 };
 
 /// Stable machine-readable schema:
 ///
 /// \code{.json}
 /// {
-///   "schema": "cheetah-report-v1",
+///   "schema": "cheetah-report-v2",
 ///   "run": { "tool", "workload", "threads", "scale", "line_size",
-///            "sampling_period", "seed", "fix_applied" },
+///            "sampling_period", "seed", "fix_applied", "numa_nodes",
+///            "page_size", "granularity" },
 ///   "findings": [ {
 ///     "object": { "kind": "heap"|"global"|"range", "name", "callsite": [],
 ///                 "start", "size", "requested_size", "allocated_by" },
@@ -124,16 +148,33 @@ private:
 ///     "words": [ { "offset", "reads", "writes", "cycles", "first_thread",
 ///                  "multi_thread" } ]
 ///   } ],
-///   "summary": { "findings", "significant_findings", "app_runtime_cycles",
+///   "pageFindings": [ {
+///     "page", "page_size", "home_node", "nodes",
+///     "sharing": "false-sharing"|"true-sharing"|"mixed-sharing"|"not-shared",
+///     "significant": bool,
+///     "accesses", "writes", "remote_accesses", "remote_fraction",
+///     "invalidations", "latency_cycles", "remote_latency_cycles",
+///     "shared_line_fraction",
+///     "objects": [ "name" ],
+///     "lines": [ { "offset", "reads", "writes", "cycles", "first_node",
+///                  "multi_node" } ]
+///   } ],
+///   "summary": { "findings", "significant_findings", "page_findings",
+///                "significant_page_findings", "app_runtime_cycles",
 ///                "samples", "serial_samples", "serial_avg_latency",
 ///                "fork_join", "materialized_lines", "shadow_bytes",
+///                "materialized_pages", "page_shadow_bytes",
 ///                "detector": { "seen", "filtered", "recorded",
-///                              "invalidations" } }
+///                              "invalidations", "page_recorded",
+///                              "page_invalidations", "remote_samples" } }
 /// }
 /// \endcode
 ///
 /// Schema evolution contract: fields are only ever added, never renamed or
-/// removed, within a `cheetah-report-v1` document.
+/// removed, within one schema version. `cheetah-report-v2` is `v1` plus the
+/// page-granularity sections; the version string changed precisely so that
+/// `v1` consumers pinning the schema id fail loudly instead of silently
+/// ignoring pageFindings.
 class JsonReportSink : public ReportSink {
 public:
   struct Options {
@@ -148,12 +189,19 @@ public:
 
   void beginRun(const ReportRunInfo &Info) override;
   void finding(const FalseSharingReport &Report, bool Significant) override;
+  void pageFinding(const PageSharingReport &Report,
+                   bool Significant) override;
   void endRun(const ReportRunStats &Stats) override;
 
 private:
+  /// Closes the findings array and opens pageFindings (idempotent); the
+  /// document always carries both arrays, empty or not.
+  void startPageArray();
+
   std::string &Out;
   Options Opts;
   JsonWriter Writer;
+  bool InPageArray = false;
 };
 
 } // namespace core

@@ -47,6 +47,15 @@ cheetah::driver::makeRunInfo(const workloads::Workload &Workload,
   Info.SamplingPeriod = Config.Profiler.Pmu.SamplingPeriod;
   Info.Seed = Config.Workload.Seed;
   Info.FixApplied = Config.Workload.FixFalseSharing;
+  Info.NumaNodes = Config.Profiler.Topology.nodeCount();
+  Info.PageSize =
+      Config.Profiler.Detect.TrackPages ? Config.Profiler.Topology.pageSize()
+                                        : 0;
+  if (Config.Profiler.Detect.TrackPages)
+    Info.Granularity =
+        Config.Profiler.Detect.TrackLines ? "both" : "page";
+  else
+    Info.Granularity = "line";
   return Info;
 }
 
@@ -65,6 +74,10 @@ SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,
   sim::ForkJoinProgram Program = buildProgram(Workload, Profiler, Config);
 
   sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
+  // NUMA latency is a machine property, so native (unprofiled) runs model
+  // it too; the single-node default leaves the simulator untouched.
+  if (Config.Profiler.Topology.multiNode())
+    Sim.setTopology(&Config.Profiler.Topology);
   if (Config.EnableProfiler)
     Sim.addObserver(&Profiler);
   Result.Run = Sim.run(Program);
@@ -94,6 +107,8 @@ cheetah::driver::runFullTracking(const workloads::Workload &Workload,
       Tracker);
 
   sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
+  if (Config.Profiler.Topology.multiNode())
+    Sim.setTopology(&Config.Profiler.Topology);
   Sim.addObserver(&Full);
   Result.Run = Sim.run(Program);
   Result.Findings = Full.findings();

@@ -1,0 +1,107 @@
+//===- mem/NumaTopology.h - Simulated NUMA topology -------------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulated NUMA machine model: a node count, a page geometry, and a
+/// deterministic thread-to-node affinity. Pages are the placement
+/// granularity of NUMA systems the way cache lines are the coherence
+/// granularity of a socket, so the page-level sharing detector keys every
+/// decision on this model: a page's *home* node is the node of its first
+/// toucher (the OS first-touch placement policy), and an access is *remote*
+/// when the issuing thread's node differs from the page's home.
+///
+/// Affinity is interleaved by thread id (tid % nodes, main thread on node
+/// 0) — the deterministic analogue of a round-robin pthread pinning script
+/// such as prism's get-numa-config.sh topology probing. One node is the
+/// degenerate "UMA" topology: every access is local and the page detector
+/// can never observe cross-node sharing, which keeps all pre-NUMA behavior
+/// bit-identical.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_MEM_NUMATOPOLOGY_H
+#define CHEETAH_MEM_NUMATOPOLOGY_H
+
+#include "mem/MemoryAccess.h"
+#include "support/Assert.h"
+
+#include <cstdint>
+
+namespace cheetah {
+
+/// NUMA node identifier within one simulated machine.
+using NodeId = uint32_t;
+
+/// Sentinel for "no node recorded yet" (untouched pages).
+inline constexpr NodeId NoNode = ~static_cast<NodeId>(0);
+
+/// Node count, page geometry, and thread affinity of the simulated machine.
+class NumaTopology {
+public:
+  /// Page-detector metadata packs per-node slots into fixed arrays; real
+  /// testbeds top out far below this.
+  static constexpr uint32_t MaxNodes = 16;
+
+  /// \param Nodes number of NUMA nodes (1 = UMA, detection disabled-ish).
+  /// \param PageSize page size in bytes; power of two >= 256.
+  explicit NumaTopology(uint32_t Nodes = 1, uint64_t PageSize = 4096)
+      : Nodes(Nodes), PageBytes(PageSize) {
+    CHEETAH_ASSERT(Nodes >= 1 && Nodes <= MaxNodes,
+                   "node count must be in [1, MaxNodes]");
+    CHEETAH_ASSERT(PageSize >= 256 && (PageSize & (PageSize - 1)) == 0,
+                   "page size must be a power of two >= 256");
+    PageShiftBits = 0;
+    for (uint64_t S = PageSize; S > 1; S >>= 1)
+      ++PageShiftBits;
+  }
+
+  /// Number of NUMA nodes.
+  uint32_t nodeCount() const { return Nodes; }
+
+  /// True when the machine has more than one node (remote accesses exist).
+  bool multiNode() const { return Nodes > 1; }
+
+  /// Page size in bytes.
+  uint64_t pageSize() const { return PageBytes; }
+
+  /// log2(pageSize()); the page table maps addresses by bit shifting just
+  /// like the line-granularity shadow memory (paper Section 2.2).
+  unsigned pageShift() const { return PageShiftBits; }
+
+  /// \returns the global page index of \p Address.
+  uint64_t pageIndex(uint64_t Address) const {
+    return Address >> PageShiftBits;
+  }
+
+  /// \returns the first byte address of the page containing \p Address.
+  uint64_t pageBase(uint64_t Address) const {
+    return Address & ~(PageBytes - 1);
+  }
+
+  /// \returns the byte offset of \p Address within its page.
+  uint64_t offsetInPage(uint64_t Address) const {
+    return Address & (PageBytes - 1);
+  }
+
+  /// Deterministic interleaved affinity: thread \p Tid runs on node
+  /// tid % nodes (the main thread, tid 0, on node 0). Cheap enough for the
+  /// per-sample hot path.
+  NodeId nodeOf(ThreadId Tid) const { return Tid % Nodes; }
+
+  /// \returns true if \p AddressA and \p AddressB fall on a common page.
+  bool sharesPage(uint64_t AddressA, uint64_t AddressB) const {
+    return pageIndex(AddressA) == pageIndex(AddressB);
+  }
+
+private:
+  uint32_t Nodes;
+  uint64_t PageBytes;
+  unsigned PageShiftBits;
+};
+
+} // namespace cheetah
+
+#endif // CHEETAH_MEM_NUMATOPOLOGY_H

@@ -56,6 +56,18 @@ struct LatencyModel {
   uint32_t DirtyTransferCycles = 50;
   /// Shared-to-exclusive upgrade (invalidate other sharers, keep data).
   uint32_t UpgradeCycles = 30;
+  /// Extra cycles when a DRAM fetch is served by a *remote* NUMA node's
+  /// memory controller (first-touch page home != accessor's node). Only
+  /// applied on multi-node topologies; zero-node-distance accesses never
+  /// pay it.
+  uint32_t RemoteDramExtraCycles = 90;
+  /// Extra cycles for coherence activity (transfers, upgrades) on a page
+  /// whose *home directory* lives on another node. This models a
+  /// home-node directory protocol: the request is ordered through the
+  /// home node's directory regardless of where the supplying cache sits
+  /// (the 3-hop case), so locality is keyed to the page home, not to the
+  /// current holder.
+  uint32_t RemoteTransferExtraCycles = 30;
   /// Per-line serialization cost: each queued ownership transfer occupies
   /// the line's directory slot for this long. Concurrent writers to one
   /// line therefore see latency grow with the number of contenders.

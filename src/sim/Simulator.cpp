@@ -67,6 +67,25 @@ bool Simulator::step(RunningThread &Thread, CoherenceModel &Coherence,
 
   CoherenceResult Access =
       Coherence.access(Thread.Tid, Event.Access, Thread.Clock);
+  if (Topology && Topology->multiNode()) {
+    // First-touch placement: the page's home is the node of its first
+    // accessor. Cache-missing accesses from any other node detour through
+    // the home node (DRAM fetch from its controller, coherence ordered by
+    // its directory) and pay the remote surcharge — folded into the access
+    // latency so observers (PMU sampling) see the remote-DRAM cost.
+    NodeId Node = Topology->nodeOf(Thread.Tid);
+    auto [Home, Fresh] =
+        PageHomes.try_emplace(Topology->pageIndex(Event.Access.Address), Node);
+    (void)Fresh;
+    if (Home->second != Node && Access.Outcome != AccessOutcome::LocalHit) {
+      uint32_t Extra = Access.Outcome == AccessOutcome::ColdMiss
+                           ? Latency.RemoteDramExtraCycles
+                           : Latency.RemoteTransferExtraCycles;
+      Access.LatencyCycles += Extra;
+      ++Result.RemoteNumaAccesses;
+      Result.RemoteNumaExtraCycles += Extra;
+    }
+  }
   Thread.Clock += Access.LatencyCycles;
   Thread.Record.Instructions += 1;
   Thread.Record.MemoryAccesses += 1;
@@ -81,6 +100,7 @@ bool Simulator::step(RunningThread &Thread, CoherenceModel &Coherence,
 SimulationResult Simulator::run(const ForkJoinProgram &Program) {
   SimulationResult Result;
   CoherenceModel Coherence(Geometry, Latency);
+  PageHomes.clear();
 
   ThreadId NextTid = 0;
   uint64_t MainClock = 0;

@@ -25,12 +25,14 @@
 
 #include "mem/CacheGeometry.h"
 #include "mem/MemoryAccess.h"
+#include "mem/NumaTopology.h"
 #include "sim/CoherenceModel.h"
 #include "sim/ForkJoinProgram.h"
 #include "sim/LatencyModel.h"
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace cheetah {
@@ -71,6 +73,11 @@ struct SimulationResult {
   std::vector<ThreadRecord> Threads;
   std::vector<PhaseRecord> Phases;
   CoherenceStats Coherence;
+  /// NUMA accounting (zero on single-node topologies): accesses that missed
+  /// the local cache on a page homed on another node, and the interconnect
+  /// cycles they paid.
+  uint64_t RemoteNumaAccesses = 0;
+  uint64_t RemoteNumaExtraCycles = 0;
 
   const ThreadRecord &thread(ThreadId Tid) const;
 };
@@ -117,8 +124,20 @@ public:
   /// invoked in attachment order and all overhead cycles accumulate.
   void addObserver(SimObserver *Observer);
 
-  /// Runs \p Program to completion. May be called repeatedly; coherence and
-  /// clock state reset between runs.
+  /// Attaches a NUMA topology: on multi-node topologies the simulator
+  /// assigns each page a home node at its first touch (first-touch
+  /// placement) and charges the LatencyModel's remote surcharges to
+  /// cache-missing accesses issued from nodes other than the page's home —
+  /// DRAM fetches pay RemoteDramExtraCycles, coherence activity pays
+  /// RemoteTransferExtraCycles for the detour through the home node's
+  /// directory (locality is keyed to the home, not the supplying cache).
+  /// The surcharge lands in the access latency *before* observers run, so
+  /// sampled latencies carry the remote-DRAM cost. Null or single-node
+  /// leaves behavior untouched. \p Topology must outlive the simulator.
+  void setTopology(const NumaTopology *T) { Topology = T; }
+
+  /// Runs \p Program to completion. May be called repeatedly; coherence,
+  /// clock, and page-home state reset between runs.
   SimulationResult run(const ForkJoinProgram &Program);
 
 private:
@@ -136,6 +155,9 @@ private:
   CacheGeometry Geometry;
   LatencyModel Latency;
   std::vector<SimObserver *> Observers;
+  const NumaTopology *Topology = nullptr;
+  /// First-touch page homes of the current run (page index -> node).
+  std::unordered_map<uint64_t, NodeId> PageHomes;
 };
 
 } // namespace sim

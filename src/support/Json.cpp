@@ -372,6 +372,10 @@ private:
 
   bool parseNumber(JsonValue &Out) {
     size_t Start = Pos;
+    // JSON numbers never start with '+' (only exponents may carry it);
+    // strtod would accept it, so reject before the scan.
+    if (Pos < Text.size() && Text[Pos] == '+')
+      return fail("expected a value");
     consume('-');
     while (Pos < Text.size() &&
            (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||

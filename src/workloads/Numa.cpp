@@ -1,0 +1,193 @@
+//===- workloads/Numa.cpp - NUMA placement workload models ----------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Workloads whose pathology lives at *page* granularity, invisible to the
+/// line-level detector:
+///
+///  - `numa_interleaved`: every thread hammers its own cache line, but the
+///    lines are packed so one 4 KiB page carries lines owned by threads on
+///    different NUMA nodes — false *page* sharing. No cache line is ever
+///    shared, so `--granularity=line` reports nothing; the page detector
+///    sees cross-node invalidation ping-pong. The fix pads each thread's
+///    slot to its own page (node-local placement).
+///
+///  - `numa_first_touch`: the classic first-touch bug. The main thread
+///    initializes the whole array serially, homing every page on node 0;
+///    worker threads then scan private page-aligned blocks, so half of
+///    them stream from remote DRAM forever. No sharing at either
+///    granularity — a pure placement problem the page detector surfaces
+///    through its remote-access accounting. The fix replaces the serial
+///    initialization with a parallel first-touch phase that homes each
+///    block on its worker's node.
+///
+/// Thread-to-node affinity is NumaTopology's interleave (tid % nodes); the
+/// first-touch fix assumes an even thread count so the touch and work
+/// phases land on the same nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include "workloads/Patterns.h"
+
+#include <algorithm>
+
+using namespace cheetah;
+using namespace cheetah::workloads;
+
+namespace {
+
+/// Defines a named global sized and padded so that \p Bytes of usable space
+/// start on a page boundary. Ctx.global only guarantees line alignment, and
+/// the NUMA fixes are meaningless if "one page per slot group" can straddle
+/// page boundaries, so alignment is arranged explicitly rather than
+/// inherited from the segment layout.
+uint64_t pageAlignedGlobal(WorkloadContext &Ctx, const std::string &Name,
+                           uint64_t Bytes, uint64_t PageBytes) {
+  uint64_t Raw = Ctx.global(Name, Bytes + PageBytes, true);
+  return (Raw + PageBytes - 1) & ~(PageBytes - 1);
+}
+
+/// Per-line private work over one thread's block: read a word, compute,
+/// write an adjacent word — single-thread at line granularity, so the only
+/// cost that can differ between placements is where the page lives.
+Generator<ThreadEvent> blockWork(uint64_t Base, uint64_t Bytes,
+                                 uint64_t Passes, uint64_t LineStride) {
+  for (uint64_t Pass = 0; Pass < Passes; ++Pass)
+    for (uint64_t Offset = 0; Offset < Bytes; Offset += LineStride) {
+      co_yield ThreadEvent::read(Base + Offset, 4);
+      co_yield ThreadEvent::compute(2);
+      co_yield ThreadEvent::write(Base + Offset + 8, 4);
+    }
+}
+
+class NumaInterleavedWorkload : public Workload {
+public:
+  std::string name() const override { return "numa_interleaved"; }
+  std::string suite() const override { return "numa"; }
+  std::string description() const override {
+    return "per-thread cache lines packed into shared pages across NUMA "
+           "nodes: false page sharing the line detector cannot see";
+  }
+  std::string falseSharingSiteTag() const override {
+    return "numa_interleaved_slots";
+  }
+
+  sim::ForkJoinProgram build(WorkloadContext &Ctx,
+                             const WorkloadConfig &Config) const override {
+    sim::ForkJoinProgram Program;
+    Program.Name = name();
+
+    // One slot (one cache line) per thread. Unfixed they pack line-to-line
+    // into pages shared across nodes. The fix is node-local allocation:
+    // slots regroup by NUMA node (thread body T runs as tid T+1, node
+    // (T+1) % NumaNodes), each node's group page-aligned in its own page
+    // span, so no page is ever touched by two nodes and every first touch
+    // — and thus every page home — is node-local.
+    uint64_t LineStride = std::max<uint64_t>(Ctx.Geometry.lineSize(), 64);
+    uint32_t Nodes = std::max<uint32_t>(Config.NumaNodes, 1);
+    uint64_t SlotsPerNode = (Config.Threads + Nodes - 1) / Nodes;
+    uint64_t NodeSpan =
+        ((SlotsPerNode * LineStride + Config.PageBytes - 1) /
+         Config.PageBytes) *
+        Config.PageBytes;
+    uint64_t TotalBytes = Config.FixFalseSharing
+                              ? uint64_t(Nodes) * NodeSpan
+                              : uint64_t(Config.Threads) * LineStride;
+    uint64_t Slots = pageAlignedGlobal(Ctx, "numa_interleaved_slots",
+                                       TotalBytes, Config.PageBytes);
+
+    uint64_t Iterations = static_cast<uint64_t>(
+        std::max(1.0, 30000.0 * Config.Scale));
+
+    sim::PhaseSpec &Phase = Program.addPhase("hammer");
+    for (uint32_t T = 0; T < Config.Threads; ++T) {
+      uint64_t Slot;
+      if (Config.FixFalseSharing) {
+        uint32_t Node = (T + 1) % Nodes;
+        uint64_t RankInNode = T / Nodes;
+        Slot = Slots + Node * NodeSpan + RankInNode * LineStride;
+      } else {
+        Slot = Slots + uint64_t(T) * LineStride;
+      }
+      Phase.ParallelBodies.push_back(
+          [=]() { return hammerSlot(Slot, Iterations, 3, 4); });
+    }
+    return Program;
+  }
+};
+
+class NumaFirstTouchWorkload : public Workload {
+public:
+  std::string name() const override { return "numa_first_touch"; }
+  std::string suite() const override { return "numa"; }
+  std::string description() const override {
+    return "serial initialization homes every page on node 0, so half the "
+           "workers stream from remote DRAM; fix = parallel first touch";
+  }
+  std::string falseSharingSiteTag() const override {
+    return "numa_first_touch_blocks";
+  }
+
+  sim::ForkJoinProgram build(WorkloadContext &Ctx,
+                             const WorkloadConfig &Config) const override {
+    sim::ForkJoinProgram Program;
+    Program.Name = name();
+
+    uint64_t LineStride = std::max<uint64_t>(Ctx.Geometry.lineSize(), 64);
+    // Four pages of private data per worker, page-aligned blocks.
+    uint64_t BlockBytes = 4 * Config.PageBytes;
+    uint64_t Blocks =
+        pageAlignedGlobal(Ctx, "numa_first_touch_blocks",
+                          uint64_t(Config.Threads) * BlockBytes,
+                          Config.PageBytes);
+    uint64_t Passes = static_cast<uint64_t>(
+        std::max(4.0, 60.0 * Config.Scale));
+
+    if (Config.FixFalseSharing) {
+      // The fix: each worker first-touches (and initializes) its own block
+      // in a parallel phase, homing the pages on its node. Assumes an even
+      // thread count so this phase and the work phase interleave onto the
+      // same nodes.
+      sim::PhaseSpec &Touch = Program.addPhase("first_touch");
+      for (uint32_t T = 0; T < Config.Threads; ++T) {
+        uint64_t Block = Blocks + uint64_t(T) * BlockBytes;
+        Touch.ParallelBodies.push_back([=]() {
+          return writeInit(Block, BlockBytes, 1, 8);
+        });
+      }
+    }
+
+    sim::PhaseSpec &Work = Program.addPhase("scan");
+    if (!Config.FixFalseSharing) {
+      // The bug: node 0 (the main thread) touches everything first.
+      uint64_t Base = Blocks;
+      uint64_t Bytes = uint64_t(Config.Threads) * BlockBytes;
+      Work.SerialBody = [=]() { return writeInit(Base, Bytes, 1, 8); };
+    }
+    for (uint32_t T = 0; T < Config.Threads; ++T) {
+      uint64_t Block = Blocks + uint64_t(T) * BlockBytes;
+      Work.ParallelBodies.push_back([=]() {
+        return blockWork(Block, BlockBytes, Passes, LineStride);
+      });
+    }
+    return Program;
+  }
+};
+
+} // namespace
+
+namespace cheetah {
+namespace workloads {
+
+void appendNumaWorkloads(std::vector<std::unique_ptr<Workload>> &Out) {
+  Out.push_back(std::make_unique<NumaInterleavedWorkload>());
+  Out.push_back(std::make_unique<NumaFirstTouchWorkload>());
+}
+
+} // namespace workloads
+} // namespace cheetah

@@ -17,6 +17,7 @@ cheetah::workloads::createAllWorkloads() {
   appendPhoenixWorkloads(All);
   appendParsecWorkloads(All);
   appendMicroWorkloads(All);
+  appendNumaWorkloads(All);
   return All;
 }
 

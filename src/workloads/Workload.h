@@ -46,6 +46,11 @@ struct WorkloadConfig {
   bool FixFalseSharing = false;
   /// Seed for any stochastic access patterns.
   uint64_t Seed = 0x43484545;
+  /// Simulated NUMA node count the NUMA workloads lay their data out for;
+  /// should match the profiler topology (threads interleave tid % nodes).
+  uint32_t NumaNodes = 2;
+  /// Page size the NUMA workloads pad/align to; should match the topology.
+  uint64_t PageBytes = 4096;
 };
 
 /// Allocation services handed to a workload at build time (backed by the

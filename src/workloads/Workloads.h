@@ -31,6 +31,9 @@ void appendParsecWorkloads(std::vector<std::unique_ptr<Workload>> &Out);
 /// Appends the microbenchmarks (the Figure 1 array increment).
 void appendMicroWorkloads(std::vector<std::unique_ptr<Workload>> &Out);
 
+/// Appends the NUMA placement models (interleaved pages, first-touch bug).
+void appendNumaWorkloads(std::vector<std::unique_ptr<Workload>> &Out);
+
 } // namespace workloads
 } // namespace cheetah
 

@@ -16,13 +16,24 @@
 ///  - detection gates (no detail without writes above threshold, no
 ///    invalidations without a multi-thread line);
 ///  - the coherence model against a brute-force holder-set oracle;
-///  - determinism of the entire stack under a fixed seed.
+///  - determinism of the entire stack under a fixed seed;
+///  - the packed page table against a sequential reference model on random
+///    access sequences (the node-granularity mirror of the two-entry-table
+///    equivalence the line layer already pins);
+///  - the support/Json.h parser under fuzzed inputs: valid documents
+///    round-trip exactly, malformed/truncated/mutated input errors without
+///    ever crashing (the ASan CI job runs this suite).
 ///
 //===----------------------------------------------------------------------===//
 
+#include "baseline/ReferenceModel.h"
 #include "core/Profiler.h"
+#include "core/detect/PageInfo.h"
+#include "core/detect/PageTable.h"
 #include "driver/ProfileSession.h"
+#include "mem/NumaTopology.h"
 #include "sim/Simulator.h"
+#include "support/Json.h"
 #include "support/Random.h"
 #include "workloads/Workload.h"
 
@@ -386,5 +397,361 @@ TEST_P(GeometrySweepTest, PaddingToTheConfiguredLineSizeSilencesReports) {
 
 INSTANTIATE_TEST_SUITE_P(LineSizes, GeometrySweepTest,
                          ::testing::Values(16, 32, 64, 128, 256));
+
+//===----------------------------------------------------------------------===//
+// Packed page table vs sequential reference model
+//===----------------------------------------------------------------------===//
+
+/// Sequential reference for one page: the unbounded accessor-set rule with
+/// node actors (ReferenceLineModel reused with node ids) plus plain-integer
+/// mirrors of every counter PageInfo maintains.
+struct ReferencePageModel {
+  baseline::ReferenceLineModel Table;
+  uint64_t Accesses = 0, Writes = 0, Cycles = 0;
+  uint64_t RemoteAccesses = 0, RemoteCycles = 0;
+  std::map<uint64_t, std::pair<uint64_t, uint64_t>> LineReadsWrites;
+  std::map<NodeId, uint64_t> NodeAccessCounts;
+  std::set<uint64_t> MultiNodeLines;
+  std::map<uint64_t, NodeId> LineFirstNode;
+
+  bool record(NodeId Node, AccessKind Kind, uint64_t Line, uint64_t Latency,
+              bool Remote) {
+    ++Accesses;
+    Cycles += Latency;
+    if (Kind == AccessKind::Write)
+      ++Writes;
+    if (Remote) {
+      ++RemoteAccesses;
+      RemoteCycles += Latency;
+    }
+    if (Kind == AccessKind::Read)
+      ++LineReadsWrites[Line].first;
+    else
+      ++LineReadsWrites[Line].second;
+    ++NodeAccessCounts[Node];
+    auto [It, Fresh] = LineFirstNode.try_emplace(Line, Node);
+    if (!Fresh && It->second != Node)
+      MultiNodeLines.insert(Line);
+    return Table.recordAccess(Node, Kind);
+  }
+};
+
+struct PageFuzzParams {
+  uint32_t Nodes;
+  uint64_t Events;
+  double WriteFraction;
+  uint64_t Seed;
+};
+
+class PagePropertyTest : public ::testing::TestWithParam<PageFuzzParams> {};
+
+TEST_P(PagePropertyTest, PackedPageTableMatchesSequentialReference) {
+  const PageFuzzParams &Params = GetParam();
+  constexpr uint64_t LinesPerPage = 64;
+  core::PageInfo Info(LinesPerPage);
+  ReferencePageModel Reference;
+  NodeId Home = 0;
+
+  SplitMix64 Rng(Params.Seed);
+  for (uint64_t I = 0; I < Params.Events; ++I) {
+    NodeId Node = static_cast<NodeId>(Rng.nextBelow(Params.Nodes));
+    AccessKind Kind =
+        Rng.nextBool(Params.WriteFraction) ? AccessKind::Write
+                                           : AccessKind::Read;
+    uint64_t Line = Rng.nextBelow(LinesPerPage);
+    uint64_t Latency = 1 + Rng.nextBelow(100);
+    bool Remote = Node != Home;
+
+    bool Got = Info.recordAccess(Node, Kind, Line, Latency, Remote);
+    bool Want = Reference.record(Node, Kind, Line, Latency, Remote);
+    // Invalidation-for-invalidation equivalence with the unbounded set
+    // model — the "two entries suffice" claim at node granularity.
+    ASSERT_EQ(Got, Want) << "event " << I;
+  }
+
+  EXPECT_EQ(Info.invalidations(), Reference.Table.invalidations());
+  EXPECT_EQ(Info.accesses(), Reference.Accesses);
+  EXPECT_EQ(Info.writes(), Reference.Writes);
+  EXPECT_EQ(Info.cycles(), Reference.Cycles);
+  EXPECT_EQ(Info.remoteAccesses(), Reference.RemoteAccesses);
+  EXPECT_EQ(Info.remoteCycles(), Reference.RemoteCycles);
+  EXPECT_EQ(Info.nodeCount(), Reference.NodeAccessCounts.size());
+
+  std::vector<core::WordStats> Lines = Info.lines();
+  for (uint64_t L = 0; L < LinesPerPage; ++L) {
+    auto It = Reference.LineReadsWrites.find(L);
+    uint64_t WantReads = It == Reference.LineReadsWrites.end()
+                             ? 0
+                             : It->second.first;
+    uint64_t WantWrites = It == Reference.LineReadsWrites.end()
+                              ? 0
+                              : It->second.second;
+    EXPECT_EQ(Lines[L].Reads, WantReads) << "line " << L;
+    EXPECT_EQ(Lines[L].Writes, WantWrites) << "line " << L;
+    EXPECT_EQ(Lines[L].MultiThread, Reference.MultiNodeLines.count(L) > 0)
+        << "line " << L;
+    if (WantReads + WantWrites)
+      EXPECT_EQ(Lines[L].FirstThread, Reference.LineFirstNode.at(L));
+  }
+  for (const core::NodePageStats &Node : Info.nodes())
+    EXPECT_EQ(Node.Accesses, Reference.NodeAccessCounts.at(Node.Node));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Streams, PagePropertyTest,
+    ::testing::Values(PageFuzzParams{2, 20000, 0.5, 41},
+                      PageFuzzParams{2, 20000, 0.9, 42},
+                      PageFuzzParams{3, 15000, 0.3, 43},
+                      PageFuzzParams{4, 15000, 0.6, 44},
+                      PageFuzzParams{8, 10000, 0.5, 45},
+                      PageFuzzParams{16, 10000, 1.0, 46},
+                      PageFuzzParams{2, 5000, 0.05, 47}));
+
+TEST(PagePropertyTest, ConcurrentHammerMatchesSequentialTotalsPerPage) {
+  // The detector's page stage over disjoint page partitions must be
+  // indistinguishable from a serial run of the same per-page streams —
+  // the page-layer mirror of DisjointLinePartitionsMatchSerialReference
+  // in ThreadedIngestTest, checked here in its sequential form so the
+  // property suite stays single-threaded (TSan covers the parallel one).
+  constexpr uint64_t PageSizeBytes = 4096;
+  constexpr uint64_t Pages = 32;
+  NumaTopology Topology(4, PageSizeBytes);
+  CacheGeometry Geometry(64);
+  constexpr uint64_t Base = 0x4000'0000;
+
+  core::ShadowMemory Shadow(Geometry, {{Base, Pages * PageSizeBytes}});
+  core::PageTable Table(Topology, Geometry, {{Base, Pages * PageSizeBytes}});
+  core::DetectorConfig Config;
+  Config.TrackPages = true;
+  Config.PageWriteThreshold = 0;
+  core::Detector Detect(Geometry, Shadow, Config);
+  Detect.attachPageTable(Table, Topology);
+
+  std::map<uint64_t, ReferencePageModel> References;
+  std::map<uint64_t, NodeId> Homes;
+  std::map<uint64_t, uint64_t> PageWrites;
+  SplitMix64 Rng(0x9A6E5);
+  for (int I = 0; I < 60000; ++I) {
+    uint64_t Page = Rng.nextBelow(Pages);
+    uint64_t Offset = Rng.nextBelow(PageSizeBytes / 4) * 4;
+    pmu::Sample Sample;
+    Sample.Address = Base + Page * PageSizeBytes + Offset;
+    Sample.Tid = static_cast<ThreadId>(Rng.nextBelow(8));
+    Sample.IsWrite = Rng.nextBool(0.5);
+    Sample.LatencyCycles = 10 + static_cast<uint32_t>(Rng.nextBelow(40));
+    Detect.handleSample(Sample, /*InParallelPhase=*/true);
+
+    NodeId Node = Topology.nodeOf(Sample.Tid);
+    auto [Home, Fresh] = Homes.try_emplace(Page, Node);
+    (void)Fresh;
+    if (Sample.IsWrite)
+      ++PageWrites[Page];
+    // Mirror the stage-1 gate (threshold 0): reads before a page's first
+    // sampled write are filtered, writes always reach detail.
+    if (Sample.IsWrite || PageWrites[Page] > 0)
+      References[Page].record(Node,
+                              Sample.IsWrite ? AccessKind::Write
+                                             : AccessKind::Read,
+                              Offset / 64, Sample.LatencyCycles,
+                              Node != Home->second);
+  }
+
+  EXPECT_EQ(Table.materializedPages(), References.size());
+  for (const auto &[Page, Reference] : References) {
+    uint64_t Address = Base + Page * PageSizeBytes;
+    EXPECT_EQ(Table.homeNode(Address), Homes.at(Page));
+    const core::PageInfo *Info = Table.detail(Address);
+    ASSERT_NE(Info, nullptr);
+    EXPECT_EQ(Info->invalidations(), Reference.Table.invalidations());
+    EXPECT_EQ(Info->accesses(), Reference.Accesses);
+    EXPECT_EQ(Info->remoteAccesses(), Reference.RemoteAccesses);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// support/Json.h under fuzz: round-trips and hostile input
+//===----------------------------------------------------------------------===//
+
+/// Emits a random JSON value of bounded depth through the production
+/// writer, mirroring it into an expectation tree via the parser contract.
+void writeRandomValue(JsonWriter &Writer, SplitMix64 &Rng, unsigned Depth) {
+  switch (Depth == 0 ? Rng.nextBelow(4) : Rng.nextBelow(6)) {
+  case 0:
+    Writer.value(static_cast<uint64_t>(Rng.next() >> 12));
+    break;
+  case 1: {
+    // Doubles from a fixed grid so equality comparison is exact.
+    Writer.value(static_cast<double>(static_cast<int64_t>(Rng.nextBelow(
+                     1000000))) /
+                 64.0);
+    break;
+  }
+  case 2: {
+    std::string Text;
+    size_t Len = Rng.nextBelow(12);
+    for (size_t I = 0; I < Len; ++I)
+      Text += static_cast<char>(Rng.nextBelow(256));
+    Writer.value(Text);
+    break;
+  }
+  case 3:
+    if (Rng.nextBool(0.5))
+      Writer.value(Rng.nextBool(0.5));
+    else
+      Writer.null();
+    break;
+  case 4: {
+    Writer.beginArray();
+    size_t N = Rng.nextBelow(5);
+    for (size_t I = 0; I < N; ++I)
+      writeRandomValue(Writer, Rng, Depth - 1);
+    Writer.endArray();
+    break;
+  }
+  default: {
+    Writer.beginObject();
+    size_t N = Rng.nextBelow(5);
+    for (size_t I = 0; I < N; ++I) {
+      Writer.key("k" + std::to_string(I));
+      writeRandomValue(Writer, Rng, Depth - 1);
+    }
+    Writer.endObject();
+    break;
+  }
+  }
+}
+
+/// Structural equality of two parsed documents.
+bool jsonEquals(const JsonValue &A, const JsonValue &B) {
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case JsonValue::Kind::Null:
+    return true;
+  case JsonValue::Kind::Bool:
+    return A.asBool() == B.asBool();
+  case JsonValue::Kind::Number:
+    return A.asNumber() == B.asNumber();
+  case JsonValue::Kind::String:
+    return A.asString() == B.asString();
+  case JsonValue::Kind::Array: {
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (!jsonEquals(A.elements()[I], B.elements()[I]))
+        return false;
+    return true;
+  }
+  case JsonValue::Kind::Object: {
+    if (A.size() != B.size())
+      return false;
+    // Writer-produced keys are k0..kN in document order.
+    for (size_t I = 0; I < A.size(); ++I) {
+      std::string Key = "k" + std::to_string(I);
+      const JsonValue *MA = A.find(Key);
+      const JsonValue *MB = B.find(Key);
+      if (!MA || !MB || !jsonEquals(*MA, *MB))
+        return false;
+    }
+    return true;
+  }
+  }
+  return false;
+}
+
+class JsonFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JsonFuzzTest, RandomDocumentsRoundTripThroughWriterAndParser) {
+  SplitMix64 Rng(GetParam());
+  for (int Doc = 0; Doc < 50; ++Doc) {
+    std::string Text;
+    JsonWriter Writer(Text);
+    writeRandomValue(Writer, Rng, 4);
+
+    JsonValue First;
+    std::string Error;
+    ASSERT_TRUE(JsonValue::parse(Text, First, Error))
+        << Error << "\ninput: " << Text;
+
+    // Parsing the same bytes twice yields structurally identical trees
+    // (parser determinism), and re-encoding scalar content survives.
+    JsonValue Second;
+    ASSERT_TRUE(JsonValue::parse(Text, Second, Error)) << Error;
+    EXPECT_TRUE(jsonEquals(First, Second));
+  }
+}
+
+TEST_P(JsonFuzzTest, MutatedDocumentsNeverCrashTheParser) {
+  SplitMix64 Rng(GetParam() ^ 0xF00D);
+  for (int Doc = 0; Doc < 30; ++Doc) {
+    std::string Text;
+    JsonWriter Writer(Text);
+    writeRandomValue(Writer, Rng, 3);
+
+    // Truncations at every prefix length (bounded), byte flips, and
+    // garbage insertions: parse must return true or false — under ASan
+    // this is the "malformed input must error, never crash" contract.
+    for (size_t Cut = 0; Cut < Text.size() && Cut < 64; ++Cut) {
+      JsonValue Result;
+      std::string Error;
+      bool Ok = JsonValue::parse(Text.substr(0, Cut), Result, Error);
+      if (!Ok) {
+        EXPECT_FALSE(Error.empty());
+      }
+    }
+    for (int Mutation = 0; Mutation < 40; ++Mutation) {
+      std::string Mutated = Text;
+      switch (Rng.nextBelow(3)) {
+      case 0:
+        if (!Mutated.empty())
+          Mutated[Rng.nextBelow(Mutated.size())] =
+              static_cast<char>(Rng.nextBelow(256));
+        break;
+      case 1:
+        Mutated.insert(Rng.nextBelow(Mutated.size() + 1),
+                       1, static_cast<char>(Rng.nextBelow(256)));
+        break;
+      default:
+        if (!Mutated.empty())
+          Mutated.erase(Rng.nextBelow(Mutated.size()), 1);
+        break;
+      }
+      JsonValue Result;
+      std::string Error;
+      bool Ok = JsonValue::parse(Mutated, Result, Error);
+      if (!Ok) {
+        EXPECT_FALSE(Error.empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(JsonFuzzTest, HostileHandWrittenInputsErrorCleanly) {
+  // Inputs chosen to hit every parser failure edge, including the
+  // recursion guard (deep nesting must error, not smash the stack).
+  const std::string Cases[] = {
+      "", " ", "{", "[", "\"", "{\"a\"", "{\"a\":}", "[1,]", "{,}",
+      "tru", "falsey", "nul", "+1", "1e", "-", "0x10", "1.2.3",
+      "\"\\u12", "\"\\u12zz\"", "\"\\q\"", "[1 2]", "{\"a\" 1}",
+      "{\"a\":1,}", "[]extra", "\x01\x02\x03",
+      std::string(100000, '['), std::string(100000, '{'),
+      std::string(200, '[') + "1" + std::string(200, ']'),
+  };
+  for (const std::string &Input : Cases) {
+    JsonValue Result;
+    std::string Error;
+    EXPECT_FALSE(JsonValue::parse(Input, Result, Error))
+        << "accepted: " << Input.substr(0, 40);
+    EXPECT_FALSE(Error.empty());
+  }
+  // Nesting within the depth limit still parses.
+  std::string Shallow = std::string(64, '[') + "1" + std::string(64, ']');
+  JsonValue Result;
+  std::string Error;
+  EXPECT_TRUE(JsonValue::parse(Shallow, Result, Error)) << Error;
+}
 
 } // namespace

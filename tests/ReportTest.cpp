@@ -10,8 +10,11 @@
 /// golden test runs a known simulated workload, parses the emitted
 /// document with the support-layer parser, and round-trips every summary
 /// counter and per-finding field against the in-memory ProfileResult —
-/// the schema (`cheetah-report-v1`) is a compatibility contract for
-/// multi-run comparison tooling, so key names are pinned here.
+/// the schema (`cheetah-report-v2`) is a compatibility contract for
+/// multi-run comparison tooling, so key names are pinned here. The schema
+/// *version* is pinned just as hard: v2 added the pageFindings sections,
+/// and a consumer built against `cheetah-report-v1` must fail loudly on
+/// the version string rather than silently ignore the new data.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -54,7 +57,7 @@ TEST(JsonReportGoldenTest, DocumentParsesAndRoundTripsCounters) {
 
   // Schema identity.
   ASSERT_NE(Document.find("schema"), nullptr);
-  EXPECT_EQ(Document.find("schema")->asString(), "cheetah-report-v1");
+  EXPECT_EQ(Document.find("schema")->asString(), "cheetah-report-v2");
 
   // Run identification written by the driver's beginRun.
   const JsonValue *Run = Document.find("run");
@@ -64,6 +67,15 @@ TEST(JsonReportGoldenTest, DocumentParsesAndRoundTripsCounters) {
   EXPECT_EQ(Run->find("line_size")->asUint(), 64u);
   EXPECT_EQ(Run->find("sampling_period")->asUint(), 512u);
   EXPECT_FALSE(Run->find("fix_applied")->asBool());
+  EXPECT_EQ(Run->find("numa_nodes")->asUint(), 1u);
+  EXPECT_EQ(Run->find("granularity")->asString(), "line");
+
+  // A line-only run still carries the (empty) pageFindings array so v2
+  // consumers never branch on key presence.
+  const JsonValue *PageFindings = Document.find("pageFindings");
+  ASSERT_NE(PageFindings, nullptr);
+  ASSERT_TRUE(PageFindings->isArray());
+  EXPECT_EQ(PageFindings->size(), 0u);
 
   // Summary counters round-trip against the in-memory result.
   const JsonValue *Summary = Document.find("summary");
@@ -140,6 +152,135 @@ TEST(JsonReportGoldenTest, DocumentParsesAndRoundTripsCounters) {
   // The known workload's false sharing is present and significant.
   ASSERT_FALSE(Profile.Reports.empty());
   EXPECT_EQ(Profile.Reports.front().Kind, SharingKind::FalseSharing);
+}
+
+TEST(JsonReportGoldenTest, SchemaVersionGatesV1Consumers) {
+  // The v2 field additions came with a version bump precisely so that a
+  // consumer pinning "cheetah-report-v1" rejects the document instead of
+  // silently dropping pageFindings. This models such a consumer's check.
+  std::string JsonText;
+  runKnownWorkload(JsonText);
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(JsonText, Document, Error)) << Error;
+  ASSERT_NE(Document.find("schema"), nullptr);
+  const std::string &Schema = Document.find("schema")->asString();
+  // A strict v1 consumer must fail loudly here...
+  EXPECT_NE(Schema, "cheetah-report-v1");
+  // ...and the version that replaced it is pinned exactly.
+  EXPECT_EQ(Schema, "cheetah-report-v2");
+}
+
+/// A deterministic page-granularity run over the node-interleaved NUMA
+/// workload: two nodes, dense sampling, line + page tracking both on.
+driver::SessionResult runKnownPageWorkload(std::string &JsonText) {
+  auto Workload = workloads::createWorkload("numa_interleaved");
+  EXPECT_NE(Workload, nullptr);
+  driver::SessionConfig Config;
+  Config.Profiler.Pmu = Config.Profiler.Pmu.withScaledPeriod(256);
+  Config.Profiler.Topology = NumaTopology(2, 4096);
+  Config.Profiler.Detect.TrackPages = true;
+  Config.Workload.Threads = 8;
+  Config.Workload.Scale = 0.5;
+  Config.Workload.NumaNodes = 2;
+  JsonReportSink Sink(JsonText);
+  return driver::runWorkload(*Workload, Config, &Sink);
+}
+
+TEST(JsonReportGoldenTest, PageFindingsRoundTripAgainstProfileResult) {
+  std::string JsonText;
+  driver::SessionResult Result = runKnownPageWorkload(JsonText);
+  const ProfileResult &Profile = Result.Profile;
+
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(JsonText, Document, Error)) << Error;
+
+  const JsonValue *Run = Document.find("run");
+  ASSERT_NE(Run, nullptr);
+  EXPECT_EQ(Run->find("numa_nodes")->asUint(), 2u);
+  EXPECT_EQ(Run->find("page_size")->asUint(), 4096u);
+  EXPECT_EQ(Run->find("granularity")->asString(), "both");
+
+  const JsonValue *PageFindings = Document.find("pageFindings");
+  ASSERT_NE(PageFindings, nullptr);
+  ASSERT_TRUE(PageFindings->isArray());
+  ASSERT_EQ(PageFindings->size(), Profile.AllPageInstances.size());
+  ASSERT_GT(PageFindings->size(), 0u)
+      << "the node-interleaved workload must produce page findings";
+
+  size_t SignificantSeen = 0;
+  for (size_t I = 0; I < PageFindings->size(); ++I) {
+    const JsonValue &Finding = PageFindings->elements()[I];
+    const PageSharingReport &Expected = Profile.AllPageInstances[I];
+    EXPECT_EQ(Finding.find("page")->asUint(), Expected.PageBase);
+    EXPECT_EQ(Finding.find("page_size")->asUint(), Expected.PageSize);
+    EXPECT_EQ(Finding.find("home_node")->asUint(), Expected.HomeNode);
+    EXPECT_EQ(Finding.find("nodes")->asUint(), Expected.NodesObserved);
+    EXPECT_EQ(Finding.find("sharing")->asString(),
+              sharingKindName(Expected.Kind));
+    EXPECT_EQ(Finding.find("accesses")->asUint(), Expected.SampledAccesses);
+    EXPECT_EQ(Finding.find("writes")->asUint(), Expected.SampledWrites);
+    EXPECT_EQ(Finding.find("remote_accesses")->asUint(),
+              Expected.RemoteAccesses);
+    EXPECT_EQ(Finding.find("invalidations")->asUint(),
+              Expected.Invalidations);
+    EXPECT_EQ(Finding.find("latency_cycles")->asUint(),
+              Expected.LatencyCycles);
+    EXPECT_NEAR(Finding.find("remote_fraction")->asNumber(),
+                Expected.remoteFraction(), 1e-12);
+    if (Finding.find("significant")->asBool())
+      ++SignificantSeen;
+    const JsonValue *Lines = Finding.find("lines");
+    ASSERT_NE(Lines, nullptr);
+    ASSERT_EQ(Lines->size(), Expected.Lines.size());
+    for (size_t L = 0; L < Lines->size(); ++L) {
+      EXPECT_EQ(Lines->elements()[L].find("offset")->asUint(),
+                Expected.Lines[L].Offset);
+      EXPECT_EQ(Lines->elements()[L].find("reads")->asUint(),
+                Expected.Lines[L].Reads);
+      EXPECT_EQ(Lines->elements()[L].find("writes")->asUint(),
+                Expected.Lines[L].Writes);
+    }
+    const JsonValue *Objects = Finding.find("objects");
+    ASSERT_NE(Objects, nullptr);
+    ASSERT_EQ(Objects->size(), Expected.Objects.size());
+  }
+  EXPECT_EQ(SignificantSeen, Profile.PageReports.size());
+
+  // The headline finding: false page sharing across two nodes, on the
+  // workload's named global, invisible to the line-level gate.
+  ASSERT_FALSE(Profile.PageReports.empty());
+  EXPECT_EQ(Profile.PageReports.front().Kind, SharingKind::FalseSharing);
+  EXPECT_GE(Profile.PageReports.front().NodesObserved, 2u);
+  EXPECT_TRUE(Profile.Reports.empty())
+      << "line-granularity must not report the interleaved hammering";
+
+  // Summary page counters round-trip.
+  const JsonValue *Summary = Document.find("summary");
+  ASSERT_NE(Summary, nullptr);
+  EXPECT_EQ(Summary->find("page_findings")->asUint(),
+            Profile.AllPageInstances.size());
+  EXPECT_EQ(Summary->find("significant_page_findings")->asUint(),
+            Profile.PageReports.size());
+  EXPECT_GT(Summary->find("materialized_pages")->asUint(), 0u);
+  EXPECT_GT(Summary->find("page_shadow_bytes")->asUint(), 0u);
+  const JsonValue *Detector = Summary->find("detector");
+  ASSERT_NE(Detector, nullptr);
+  EXPECT_EQ(Detector->find("page_recorded")->asUint(),
+            Profile.Detection.PageSamplesRecorded);
+  EXPECT_EQ(Detector->find("page_invalidations")->asUint(),
+            Profile.Detection.PageInvalidations);
+  EXPECT_EQ(Detector->find("remote_samples")->asUint(),
+            Profile.Detection.RemoteSamples);
+}
+
+TEST(JsonReportGoldenTest, PageDocumentIsByteStableAcrossRuns) {
+  std::string First, Second;
+  runKnownPageWorkload(First);
+  runKnownPageWorkload(Second);
+  EXPECT_EQ(First, Second);
+  EXPECT_FALSE(First.empty());
 }
 
 TEST(JsonReportGoldenTest, DocumentIsByteStableAcrossRuns) {

@@ -101,8 +101,8 @@ TEST(PatternsTest, ComputeLoopAccessCadence) {
 
 TEST(WorkloadRegistryTest, AllSeventeenPlusMicroPresent) {
   auto All = createAllWorkloads();
-  EXPECT_EQ(All.size(), 18u); // 8 Phoenix + 9 PARSEC + fig1
-  int Phoenix = 0, Parsec = 0, Micro = 0;
+  EXPECT_EQ(All.size(), 20u); // 8 Phoenix + 9 PARSEC + fig1 + 2 NUMA
+  int Phoenix = 0, Parsec = 0, Micro = 0, Numa = 0;
   for (const auto &Workload : All) {
     if (Workload->suite() == "phoenix")
       ++Phoenix;
@@ -110,17 +110,22 @@ TEST(WorkloadRegistryTest, AllSeventeenPlusMicroPresent) {
       ++Parsec;
     else if (Workload->suite() == "micro")
       ++Micro;
+    else if (Workload->suite() == "numa")
+      ++Numa;
   }
   EXPECT_EQ(Phoenix, 8);
   EXPECT_EQ(Parsec, 9);
   EXPECT_EQ(Micro, 1);
+  EXPECT_EQ(Numa, 2);
 }
 
 TEST(WorkloadRegistryTest, LookupByName) {
   EXPECT_NE(createWorkload("linear_regression"), nullptr);
   EXPECT_NE(createWorkload("streamcluster"), nullptr);
   EXPECT_EQ(createWorkload("no_such_app"), nullptr);
-  EXPECT_EQ(allWorkloadNames().size(), 18u);
+  EXPECT_NE(createWorkload("numa_interleaved"), nullptr);
+  EXPECT_NE(createWorkload("numa_first_touch"), nullptr);
+  EXPECT_EQ(allWorkloadNames().size(), 20u);
 }
 
 TEST(WorkloadRegistryTest, PaperAttributesAreConsistent) {

@@ -7,13 +7,16 @@
 /// \file
 /// Command-line front end: run any modeled workload under the Cheetah
 /// profiler and stream its report — Figure-5 text or machine-readable JSON
-/// (`cheetah-report-v1`) — optionally comparing against the padded
+/// (`cheetah-report-v2`) — optionally comparing against the padded
 /// ("fixed") variant and against a native (unprofiled) run.
 ///
 /// Examples:
 ///   cheetah-profile --workload=linear_regression --threads=16
 ///   cheetah-profile --workload=streamcluster --fix --verify
 ///   cheetah-profile --workload=histogram --format=json --output=run.json
+///   cheetah-profile --workload=numa_interleaved --granularity=page
+///   cheetah-profile --workload=numa_first_touch --granularity=both \
+///       --numa-nodes=4 --format=json
 ///   cheetah-profile --list
 ///
 //===----------------------------------------------------------------------===//
@@ -59,6 +62,12 @@ int main(int Argc, char **Argv) {
   Flags.addDouble("scale", 1.0, "work multiplier");
   Flags.addInt("sampling-period", 8192, "instructions between PMU samples");
   Flags.addInt("line-size", 64, "cache line size in bytes");
+  Flags.addString("granularity", "line",
+                  "detection granularity: line, page, or both");
+  Flags.addInt("numa-nodes", 0,
+               "simulated NUMA nodes (0 = auto: 1 for line-only runs, 2 "
+               "when page tracking is on)");
+  Flags.addInt("page-size", 4096, "page size in bytes for page tracking");
   Flags.addString("format", "text", "report format: text or json");
   Flags.addString("output", "",
                   "write the report to this file (default: stdout)");
@@ -112,15 +121,49 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
+  const std::string &Granularity = Flags.getString("granularity");
+  if (Granularity != "line" && Granularity != "page" &&
+      Granularity != "both") {
+    std::fprintf(stderr, "error: --granularity must be 'line', 'page', or "
+                         "'both' (got '%s')\n",
+                 Granularity.c_str());
+    return 1;
+  }
+  bool TrackPages = Granularity != "line";
+  int64_t NumaNodesFlag = Flags.getInt("numa-nodes");
+  if (NumaNodesFlag < 0 ||
+      NumaNodesFlag > static_cast<int64_t>(NumaTopology::MaxNodes)) {
+    std::fprintf(stderr, "error: --numa-nodes must be in [0, %u] (got %lld)\n",
+                 NumaTopology::MaxNodes,
+                 static_cast<long long>(NumaNodesFlag));
+    return 1;
+  }
+  uint32_t NumaNodes = static_cast<uint32_t>(NumaNodesFlag);
+  if (NumaNodes == 0)
+    NumaNodes = TrackPages ? 2 : 1; // auto
+  int64_t PageSizeFlag = Flags.getInt("page-size");
+  if (PageSizeFlag < 256 || (PageSizeFlag & (PageSizeFlag - 1)) != 0) {
+    std::fprintf(stderr, "error: --page-size must be a power of two >= 256 "
+                         "(got %lld)\n",
+                 static_cast<long long>(PageSizeFlag));
+    return 1;
+  }
+
   driver::SessionConfig Config;
   Config.Profiler.Geometry =
       CacheGeometry(static_cast<uint64_t>(Flags.getInt("line-size")));
   Config.Profiler.Pmu = Config.Profiler.Pmu.withScaledPeriod(
       static_cast<uint64_t>(Flags.getInt("sampling-period")));
+  Config.Profiler.Topology = NumaTopology(
+      NumaNodes, static_cast<uint64_t>(Flags.getInt("page-size")));
+  Config.Profiler.Detect.TrackLines = Granularity != "page";
+  Config.Profiler.Detect.TrackPages = TrackPages;
   Config.Workload.Threads = static_cast<uint32_t>(Flags.getInt("threads"));
   Config.Workload.Scale = Flags.getDouble("scale");
   Config.Workload.FixFalseSharing = Flags.getBool("fix");
   Config.Workload.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+  Config.Workload.NumaNodes = NumaNodes;
+  Config.Workload.PageBytes = Config.Profiler.Topology.pageSize();
 
   // The report streams through the sink API; everything the sink renders
   // lands in ReportText for the chosen destination.
@@ -139,9 +182,12 @@ int main(int Argc, char **Argv) {
       driver::runWorkload(*Workload, Config, Sink.get());
   const core::ProfileResult &Profile = Result.Profile;
 
-  std::fprintf(Aux, "== %s (threads=%u scale=%.2f fix=%s) ==\n", Name.c_str(),
-               Config.Workload.Threads, Config.Workload.Scale,
-               Config.Workload.FixFalseSharing ? "yes" : "no");
+  std::fprintf(Aux,
+               "== %s (threads=%u scale=%.2f fix=%s granularity=%s "
+               "nodes=%u) ==\n",
+               Name.c_str(), Config.Workload.Threads, Config.Workload.Scale,
+               Config.Workload.FixFalseSharing ? "yes" : "no",
+               Granularity.c_str(), NumaNodes);
   std::fprintf(Aux,
                "runtime %s cycles, %s samples (%s filtered), "
                "serial avg latency %.2f cycles, fork-join %s\n",
@@ -162,6 +208,21 @@ int main(int Argc, char **Argv) {
                formatWithCommas(Coherence.DirtyTransfers).c_str(),
                formatWithCommas(Coherence.Upgrades).c_str(),
                formatWithCommas(Coherence.InvalidationsSent).c_str());
+
+  if (TrackPages)
+    std::fprintf(Aux,
+                 "pages: %s tracked, %s significant findings, %s page "
+                 "samples (%s remote, %s cross-node invalidations); "
+                 "simulator charged %s remote accesses +%s cycles\n",
+                 formatWithCommas(Profile.AllPageInstances.size()).c_str(),
+                 formatWithCommas(Profile.PageReports.size()).c_str(),
+                 formatWithCommas(Profile.Detection.PageSamplesRecorded)
+                     .c_str(),
+                 formatWithCommas(Profile.Detection.RemoteSamples).c_str(),
+                 formatWithCommas(Profile.Detection.PageInvalidations)
+                     .c_str(),
+                 formatWithCommas(Result.Run.RemoteNumaAccesses).c_str(),
+                 formatWithCommas(Result.Run.RemoteNumaExtraCycles).c_str());
 
   if (Flags.getBool("dump-threads")) {
     TextTable Table;
