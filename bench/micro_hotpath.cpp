@@ -257,7 +257,7 @@ void BM_PageInfoRecord(benchmark::State &State) {
   for (auto _ : State) {
     NodeId Node = static_cast<NodeId>(Rng.nextBelow(2));
     bool Invalidation = Info.recordAccess(
-        Node, Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read,
+        Node, Node, Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read,
         Rng.nextBelow(64), 40, Node != 0);
     benchmark::DoNotOptimize(Invalidation);
   }
@@ -277,7 +277,8 @@ void BM_PageInfoContended(benchmark::State &State) {
   NodeId Node = static_cast<NodeId>(State.thread_index() % 2);
   for (auto _ : State) {
     bool Invalidation = Info->recordAccess(
-        Node, Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read,
+        static_cast<ThreadId>(State.thread_index()), Node,
+        Rng.nextBool(0.5) ? AccessKind::Write : AccessKind::Read,
         Rng.nextBelow(64), 40, Node != 0);
     benchmark::DoNotOptimize(Invalidation);
   }

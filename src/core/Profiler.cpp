@@ -234,7 +234,9 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
   Result.AllInstances = std::move(Built.AllInstances);
 
   // Page-granularity findings stream after the object findings (the JSON
-  // sink closes one array and opens the other on this boundary).
+  // sink closes one array and opens the other on this boundary). Their
+  // assessment runs on the same Assessor, with the run-wide local-access
+  // totals installed as the EQ.1 fallback baseline for fully-remote pages.
   if (Pages) {
     PageReportBuilder PageBuilder(Heap, Globals, Callsites, Classifier,
                                   Config.Topology, Config.Geometry,
@@ -243,7 +245,10 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
         [&](uint64_t PageBase, NodeId Home, const PageInfo &Info) {
           PageBuilder.addPage(PageBase, Home, Info);
         });
-    PageReportBuilder::Output PageBuilt = PageBuilder.finalize(Sink);
+    Assess.setLocalLatencyTotals(PageBuilder.localAccesses(),
+                                 PageBuilder.localCycles());
+    PageReportBuilder::Output PageBuilt =
+        PageBuilder.finalize(Assess, Run.TotalCycles, Sink);
     Result.PageReports = std::move(PageBuilt.Reports);
     Result.AllPageInstances = std::move(PageBuilt.AllInstances);
   }

@@ -35,12 +35,52 @@ double Assessor::averageNoFsLatency(bool *UsedDefault) const {
   return Config.DefaultSerialLatency;
 }
 
+double Assessor::averageLocalLatency(const ObjectAccessProfile &Profile,
+                                     bool *UsedDefault) const {
+  // The page's own local accesses are the most faithful no-remote
+  // baseline: same lines, same threads, no interconnect surcharge.
+  if (Profile.localAccesses() >= Config.MinLocalPageSamples) {
+    if (UsedDefault)
+      *UsedDefault = false;
+    return std::max(1.0, static_cast<double>(Profile.localCycles()) /
+                             static_cast<double>(Profile.localAccesses()));
+  }
+  // A fully-remote page (the first-touch pathology) has no local samples
+  // of its own; other pages of the same run do.
+  if (RunLocalAccesses >= Config.MinLocalPageSamples) {
+    if (UsedDefault)
+      *UsedDefault = false;
+    return std::max(1.0, static_cast<double>(RunLocalCycles) /
+                             static_cast<double>(RunLocalAccesses));
+  }
+  return averageNoFsLatency(UsedDefault);
+}
+
 Assessment Assessor::assess(const ObjectAccessProfile &Profile,
                             uint64_t AppRuntime) const {
+  bool UsedDefault = false;
+  double Aver = averageNoFsLatency(&UsedDefault);
+  return assessWithLatency(Profile, AppRuntime, Aver, UsedDefault,
+                           /*ClampToMeasured=*/false);
+}
+
+Assessment Assessor::assessPage(const ObjectAccessProfile &Profile,
+                                uint64_t AppRuntime) const {
+  bool UsedDefault = false;
+  double Aver = averageLocalLatency(Profile, &UsedDefault);
+  return assessWithLatency(Profile, AppRuntime, Aver, UsedDefault,
+                           /*ClampToMeasured=*/true);
+}
+
+Assessment Assessor::assessWithLatency(const ObjectAccessProfile &Profile,
+                                       uint64_t AppRuntime, double AverCycles,
+                                       bool UsedDefault,
+                                       bool ClampToMeasured) const {
   Assessment Result;
   Result.RealAppRuntime = AppRuntime;
   Result.ForkJoinModel = Phases.isForkJoin();
-  Result.AverageNoFsLatency = averageNoFsLatency(&Result.UsedDefaultLatency);
+  Result.AverageNoFsLatency = AverCycles;
+  Result.UsedDefaultLatency = UsedDefault;
 
   // --- Step 2 (EQ.2, EQ.3): predict every thread's runtime after the fix.
   for (const runtime::ThreadProfile &Thread : Registry.threads()) {
@@ -65,6 +105,11 @@ Assessment Assessor::assess(const ObjectAccessProfile &Profile,
       // EQ.1 restricted to thread t: PredCycles_O(t) = Aver * Accesses_O(t).
       double PredCyclesO = Result.AverageNoFsLatency *
                            static_cast<double>(Prediction.AccessesOnObject);
+      // Page assessment: the fix removes surcharges, it cannot make the
+      // thread's accesses slower than it measured them.
+      if (ClampToMeasured)
+        PredCyclesO = std::min(
+            PredCyclesO, static_cast<double>(Prediction.CyclesOnObject));
       // EQ.2. Cycles_O(t) <= Cycles_t by construction, but clamp anyway so
       // a pathological profile cannot predict negative cycles.
       double PredCycles = static_cast<double>(Thread.SampledCycles) -

@@ -37,16 +37,25 @@
 namespace cheetah {
 namespace core {
 
-/// Per-object access evidence aggregated over the object's cache lines.
+/// Per-object access evidence aggregated over the object's cache lines —
+/// or, for page-granularity assessment, over one page's samples.
 struct ObjectAccessProfile {
   uint64_t SampledAccesses = 0;
   uint64_t SampledWrites = 0;
   uint64_t SampledCycles = 0;
   uint64_t Invalidations = 0;
+  /// Remote (non-home-node) sampled accesses and the cycles they
+  /// accumulated. Page-granularity only; zero for line-level objects.
+  uint64_t RemoteAccesses = 0;
+  uint64_t RemoteCycles = 0;
   /// Per-thread accesses/cycles on this object (sorted by thread id).
   std::vector<ThreadLineStats> PerThread;
 
   const ThreadLineStats *threadStats(ThreadId Tid) const;
+
+  /// Sampled accesses/cycles issued from the page's home node.
+  uint64_t localAccesses() const { return SampledAccesses - RemoteAccesses; }
+  uint64_t localCycles() const { return SampledCycles - RemoteCycles; }
 };
 
 /// Assessment tunables.
@@ -56,6 +65,11 @@ struct AssessorConfig {
   double DefaultSerialLatency = 6.0;
   /// Minimum serial-phase samples to trust the measured average.
   uint64_t MinSerialSamples = 32;
+  /// Minimum local (home-node) samples on one page before its own measured
+  /// local average is trusted as the page EQ.1 baseline; below this the
+  /// run-wide local average, then the serial average, then the default is
+  /// used (in that order).
+  uint64_t MinLocalPageSamples = 16;
 };
 
 /// EQ.2/EQ.3 outcome for one thread.
@@ -101,19 +115,53 @@ public:
   /// sharing there, so their mean approximates AverCycles_nofs).
   void setSerialLatencyStats(const OnlineStats &Stats) { SerialStats = Stats; }
 
+  /// Installs the run-wide local (home-node) page sample totals: the
+  /// fallback EQ.1 baseline for pages whose own local population is too
+  /// small (e.g. a 100%-remote first-touch victim page).
+  void setLocalLatencyTotals(uint64_t Accesses, uint64_t Cycles) {
+    RunLocalAccesses = Accesses;
+    RunLocalCycles = Cycles;
+  }
+
   /// Assesses fixing the object described by \p Profile.
   /// \param AppRuntime measured whole-program runtime RT_App.
   Assessment assess(const ObjectAccessProfile &Profile,
                     uint64_t AppRuntime) const;
 
+  /// Assesses fixing the *placement/sharing* of one page described by
+  /// \p Profile (EQ.1–EQ.4 at page granularity): the baseline is the
+  /// no-remote-access local latency from averageLocalLatency, and the
+  /// per-thread object prediction is clamped to the measured cycles — a
+  /// placement fix can only remove the remote-DRAM surcharge, never make
+  /// an access slower than observed. The resulting ImprovementFactor is
+  /// therefore >= 1, and == 1 exactly when nothing is predicted removable.
+  Assessment assessPage(const ObjectAccessProfile &Profile,
+                        uint64_t AppRuntime) const;
+
   /// The AverCycles_nofs the next assessment would use.
   double averageNoFsLatency(bool *UsedDefault = nullptr) const;
 
+  /// The no-remote-access AverCycles baseline EQ.1 uses for a page: the
+  /// page's own local-access mean when it has enough local samples, else
+  /// the run-wide local mean, else the serial-phase chain (serial mean,
+  /// then the config default — \p UsedDefault set only in that last case).
+  double averageLocalLatency(const ObjectAccessProfile &Profile,
+                             bool *UsedDefault = nullptr) const;
+
 private:
+  /// Shared EQ.2–EQ.4 machinery: \p AverCycles is the EQ.1 baseline;
+  /// \p ClampToMeasured caps each thread's predicted object cycles at its
+  /// measured object cycles (the page-assessment contract).
+  Assessment assessWithLatency(const ObjectAccessProfile &Profile,
+                               uint64_t AppRuntime, double AverCycles,
+                               bool UsedDefault, bool ClampToMeasured) const;
+
   const runtime::ThreadRegistry &Registry;
   const runtime::PhaseTracker &Phases;
   AssessorConfig Config;
   OnlineStats SerialStats;
+  uint64_t RunLocalAccesses = 0;
+  uint64_t RunLocalCycles = 0;
 };
 
 } // namespace core

@@ -13,7 +13,7 @@
 using namespace cheetah;
 using namespace cheetah::core;
 
-CacheLineInfo::ThreadStatsChunk::ThreadStatsChunk() {
+ThreadStatsChain::Chunk::Chunk() {
   for (size_t I = 0; I < Capacity; ++I) {
     Tids[I].store(NoThread, std::memory_order_relaxed);
     Accesses[I].store(0, std::memory_order_relaxed);
@@ -21,19 +21,91 @@ CacheLineInfo::ThreadStatsChunk::ThreadStatsChunk() {
   }
 }
 
+ThreadStatsChain::~ThreadStatsChain() {
+  Chunk *Node = First.Next.load(std::memory_order_acquire);
+  while (Node) {
+    Chunk *Next = Node->Next.load(std::memory_order_acquire);
+    delete Node;
+    Node = Next;
+  }
+}
+
+void ThreadStatsChain::record(ThreadId Tid, uint64_t LatencyCycles) {
+  Chunk *Node = &First;
+  for (;;) {
+    for (size_t I = 0; I < Chunk::Capacity; ++I) {
+      ThreadId Slot = Node->Tids[I].load(std::memory_order_relaxed);
+      if (Slot == NoThread &&
+          Node->Tids[I].compare_exchange_strong(Slot, Tid,
+                                                std::memory_order_relaxed))
+        Slot = Tid;
+      // On CAS failure `Slot` holds the claiming thread's id, which may
+      // still be ours if another ingester raced the same sample tid.
+      if (Slot == Tid) {
+        Node->Accesses[I].fetch_add(1, std::memory_order_relaxed);
+        Node->Cycles[I].fetch_add(LatencyCycles, std::memory_order_relaxed);
+        return;
+      }
+    }
+    Chunk *Next = Node->Next.load(std::memory_order_acquire);
+    if (!Next) {
+      auto *Fresh = new Chunk();
+      if (Node->Next.compare_exchange_strong(Next, Fresh,
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+        Next = Fresh;
+      } else {
+        // Another ingesting thread published a chunk first; use theirs.
+        delete Fresh;
+      }
+    }
+    Node = Next;
+  }
+}
+
+std::vector<ThreadLineStats> ThreadStatsChain::snapshot() const {
+  std::vector<ThreadLineStats> Result;
+  for (const Chunk *Node = &First; Node;
+       Node = Node->Next.load(std::memory_order_acquire)) {
+    for (size_t I = 0; I < Chunk::Capacity; ++I) {
+      ThreadId Tid = Node->Tids[I].load(std::memory_order_relaxed);
+      if (Tid == NoThread)
+        continue;
+      Result.push_back(
+          {Tid, Node->Accesses[I].load(std::memory_order_relaxed),
+           Node->Cycles[I].load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const ThreadLineStats &A, const ThreadLineStats &B) {
+              return A.Tid < B.Tid;
+            });
+  return Result;
+}
+
+size_t ThreadStatsChain::distinctThreads() const {
+  size_t Count = 0;
+  for (const Chunk *Node = &First; Node;
+       Node = Node->Next.load(std::memory_order_acquire))
+    for (size_t I = 0; I < Chunk::Capacity; ++I)
+      if (Node->Tids[I].load(std::memory_order_relaxed) != NoThread)
+        ++Count;
+  return Count;
+}
+
+size_t ThreadStatsChain::overflowBytes() const {
+  size_t Bytes = 0;
+  for (const Chunk *Node = First.Next.load(std::memory_order_acquire); Node;
+       Node = Node->Next.load(std::memory_order_acquire))
+    Bytes += sizeof(Chunk);
+  return Bytes;
+}
+
 CacheLineInfo::CacheLineInfo(uint64_t WordsPerLine)
     : Words(std::make_unique<AtomicWordStats[]>(WordsPerLine)),
       WordCount(WordsPerLine) {}
 
-CacheLineInfo::~CacheLineInfo() {
-  ThreadStatsChunk *Chunk =
-      FirstThreads.Next.load(std::memory_order_acquire);
-  while (Chunk) {
-    ThreadStatsChunk *Next = Chunk->Next.load(std::memory_order_acquire);
-    delete Chunk;
-    Chunk = Next;
-  }
-}
+CacheLineInfo::~CacheLineInfo() = default;
 
 void CacheLineInfo::AtomicWordStats::record(ThreadId Tid, AccessKind Kind,
                                             uint64_t LatencyCycles) {
@@ -63,39 +135,6 @@ WordStats CacheLineInfo::AtomicWordStats::snapshot() const {
   return Result;
 }
 
-void CacheLineInfo::recordThread(ThreadId Tid, uint64_t LatencyCycles) {
-  ThreadStatsChunk *Chunk = &FirstThreads;
-  for (;;) {
-    for (size_t I = 0; I < ThreadStatsChunk::Capacity; ++I) {
-      ThreadId Slot = Chunk->Tids[I].load(std::memory_order_relaxed);
-      if (Slot == NoThread &&
-          Chunk->Tids[I].compare_exchange_strong(Slot, Tid,
-                                                 std::memory_order_relaxed))
-        Slot = Tid;
-      // On CAS failure `Slot` holds the claiming thread's id, which may
-      // still be ours if another ingester raced the same sample tid.
-      if (Slot == Tid) {
-        Chunk->Accesses[I].fetch_add(1, std::memory_order_relaxed);
-        Chunk->Cycles[I].fetch_add(LatencyCycles, std::memory_order_relaxed);
-        return;
-      }
-    }
-    ThreadStatsChunk *Next = Chunk->Next.load(std::memory_order_acquire);
-    if (!Next) {
-      auto *Fresh = new ThreadStatsChunk();
-      if (Chunk->Next.compare_exchange_strong(Next, Fresh,
-                                              std::memory_order_acq_rel,
-                                              std::memory_order_acquire)) {
-        Next = Fresh;
-      } else {
-        // Another ingesting thread published a chunk first; use theirs.
-        delete Fresh;
-      }
-    }
-    Chunk = Next;
-  }
-}
-
 bool CacheLineInfo::recordAccess(ThreadId Tid, AccessKind Kind,
                                  uint64_t WordIndex, uint64_t WordSpan,
                                  uint64_t LatencyCycles) {
@@ -117,7 +156,7 @@ bool CacheLineInfo::recordAccess(ThreadId Tid, AccessKind Kind,
   for (uint64_t W = WordIndex; W < End; ++W)
     Words[W].record(Tid, Kind, W == WordIndex ? LatencyCycles : 0);
 
-  recordThread(Tid, LatencyCycles);
+  ThreadStats.record(Tid, LatencyCycles);
   return Invalidation;
 }
 
@@ -130,41 +169,14 @@ std::vector<WordStats> CacheLineInfo::words() const {
 }
 
 std::vector<ThreadLineStats> CacheLineInfo::threads() const {
-  std::vector<ThreadLineStats> Result;
-  for (const ThreadStatsChunk *Chunk = &FirstThreads; Chunk;
-       Chunk = Chunk->Next.load(std::memory_order_acquire)) {
-    for (size_t I = 0; I < ThreadStatsChunk::Capacity; ++I) {
-      ThreadId Tid = Chunk->Tids[I].load(std::memory_order_relaxed);
-      if (Tid == NoThread)
-        continue;
-      Result.push_back(
-          {Tid, Chunk->Accesses[I].load(std::memory_order_relaxed),
-           Chunk->Cycles[I].load(std::memory_order_relaxed)});
-    }
-  }
-  std::sort(Result.begin(), Result.end(),
-            [](const ThreadLineStats &A, const ThreadLineStats &B) {
-              return A.Tid < B.Tid;
-            });
-  return Result;
+  return ThreadStats.snapshot();
 }
 
 size_t CacheLineInfo::threadCount() const {
-  size_t Count = 0;
-  for (const ThreadStatsChunk *Chunk = &FirstThreads; Chunk;
-       Chunk = Chunk->Next.load(std::memory_order_acquire))
-    for (size_t I = 0; I < ThreadStatsChunk::Capacity; ++I)
-      if (Chunk->Tids[I].load(std::memory_order_relaxed) != NoThread)
-        ++Count;
-  return Count;
+  return ThreadStats.distinctThreads();
 }
 
 size_t CacheLineInfo::footprintBytes() const {
-  size_t Bytes = sizeof(CacheLineInfo) +
-                 WordCount * sizeof(AtomicWordStats);
-  for (const ThreadStatsChunk *Chunk =
-           FirstThreads.Next.load(std::memory_order_acquire);
-       Chunk; Chunk = Chunk->Next.load(std::memory_order_acquire))
-    Bytes += sizeof(ThreadStatsChunk);
-  return Bytes;
+  return sizeof(CacheLineInfo) + WordCount * sizeof(AtomicWordStats) +
+         ThreadStats.overflowBytes();
 }

@@ -63,6 +63,50 @@ struct ThreadLineStats {
   uint64_t Cycles = 0;
 };
 
+/// Lock-free per-thread access/cycle accumulator chain, shared by the
+/// line-granularity (CacheLineInfo) and page-granularity (PageInfo) detail
+/// records — both need the per-thread Accesses_O / Cycles_O breakdown that
+/// feeds EQ.2. Slots are claimed by CASing a tid into a fixed-capacity
+/// block; the chain grows by CAS-publishing the next block, so the thread
+/// population is unbounded while the common case (a handful of threads)
+/// stays in the inline first block with no indirection.
+class ThreadStatsChain {
+public:
+  ThreadStatsChain() = default;
+  ~ThreadStatsChain();
+
+  ThreadStatsChain(const ThreadStatsChain &) = delete;
+  ThreadStatsChain &operator=(const ThreadStatsChain &) = delete;
+
+  /// Finds (or claims) \p Tid's slot and accumulates one access. Lock-free;
+  /// safe from any number of ingesting threads.
+  void record(ThreadId Tid, uint64_t LatencyCycles);
+
+  /// Value snapshot of every claimed slot, ordered by thread id.
+  std::vector<ThreadLineStats> snapshot() const;
+
+  /// Number of distinct threads recorded.
+  size_t distinctThreads() const;
+
+  /// Heap bytes behind overflow blocks (the first block is inline in the
+  /// owning object, whose sizeof already covers it).
+  size_t overflowBytes() const;
+
+private:
+  /// One fixed-capacity block of the chain.
+  struct Chunk {
+    static constexpr size_t Capacity = 8;
+    std::atomic<ThreadId> Tids[Capacity];
+    std::atomic<uint64_t> Accesses[Capacity];
+    std::atomic<uint64_t> Cycles[Capacity];
+    std::atomic<Chunk *> Next{nullptr};
+
+    Chunk();
+  };
+
+  Chunk First;
+};
+
 /// Everything Cheetah tracks about one susceptible cache line.
 class CacheLineInfo {
 public:
@@ -121,24 +165,6 @@ private:
     WordStats snapshot() const;
   };
 
-  /// One fixed-capacity block of the lock-free per-thread accumulator
-  /// chain. Slots are claimed by CASing Tids[I] from NoThread; the chain
-  /// grows by CAS-publishing Next, so thread population per line is
-  /// unbounded while the common case (a handful of threads) stays in the
-  /// first block with no indirection.
-  struct ThreadStatsChunk {
-    static constexpr size_t Capacity = 8;
-    std::atomic<ThreadId> Tids[Capacity];
-    std::atomic<uint64_t> Accesses[Capacity];
-    std::atomic<uint64_t> Cycles[Capacity];
-    std::atomic<ThreadStatsChunk *> Next{nullptr};
-
-    ThreadStatsChunk();
-  };
-
-  /// Finds (or claims) \p Tid's slot and accumulates one access.
-  void recordThread(ThreadId Tid, uint64_t LatencyCycles);
-
   CacheLineTable Table;
   std::atomic<uint64_t> Invalidations{0};
   std::atomic<uint64_t> Accesses{0};
@@ -146,7 +172,7 @@ private:
   std::atomic<uint64_t> Cycles{0};
   std::unique_ptr<AtomicWordStats[]> Words;
   uint64_t WordCount;
-  ThreadStatsChunk FirstThreads;
+  ThreadStatsChain ThreadStats;
 };
 
 } // namespace core

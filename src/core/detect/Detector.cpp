@@ -45,8 +45,9 @@ bool Detector::handlePageSample(const pmu::Sample &Sample,
     std::lock_guard<std::mutex> Lock(Pages->pageLock(Sample.Address));
 #endif
     Invalidation = Info->recordAccess(
-        Node, Sample.IsWrite ? AccessKind::Write : AccessKind::Read,
-        LineIndex, Sample.LatencyCycles, Remote);
+        Sample.Tid, Node,
+        Sample.IsWrite ? AccessKind::Write : AccessKind::Read, LineIndex,
+        Sample.LatencyCycles, Remote);
   }
   if (Invalidation)
     PageInvalidations.fetch_add(1, std::memory_order_relaxed);

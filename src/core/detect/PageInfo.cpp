@@ -49,8 +49,9 @@ WordStats PageInfo::AtomicLineStats::snapshot() const {
   return Result;
 }
 
-bool PageInfo::recordAccess(NodeId Node, AccessKind Kind, uint64_t LineIndex,
-                            uint64_t LatencyCycles, bool Remote) {
+bool PageInfo::recordAccess(ThreadId Tid, NodeId Node, AccessKind Kind,
+                            uint64_t LineIndex, uint64_t LatencyCycles,
+                            bool Remote) {
   CHEETAH_ASSERT(LineIndex < LineCount, "line index outside page");
   CHEETAH_ASSERT(Node < NumaTopology::MaxNodes, "node id out of range");
 
@@ -76,7 +77,13 @@ bool PageInfo::recordAccess(NodeId Node, AccessKind Kind, uint64_t LineIndex,
   if (Kind == AccessKind::Write)
     NodeWrites[Node].fetch_add(1, std::memory_order_relaxed);
   NodeCycles[Node].fetch_add(LatencyCycles, std::memory_order_relaxed);
+
+  ThreadStats.record(Tid, LatencyCycles);
   return Invalidation;
+}
+
+std::vector<ThreadLineStats> PageInfo::threads() const {
+  return ThreadStats.snapshot();
 }
 
 std::vector<WordStats> PageInfo::lines() const {
@@ -109,5 +116,6 @@ size_t PageInfo::nodeCount() const {
 }
 
 size_t PageInfo::footprintBytes() const {
-  return sizeof(PageInfo) + LineCount * sizeof(AtomicLineStats);
+  return sizeof(PageInfo) + LineCount * sizeof(AtomicLineStats) +
+         ThreadStats.overflowBytes();
 }

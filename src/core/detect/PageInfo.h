@@ -64,12 +64,13 @@ public:
 
   /// Records one sampled access landing on this page. Lock-free; safe from
   /// any number of ingesting threads.
+  /// \param Tid the accessing thread (feeds the per-thread EQ.2 breakdown).
   /// \param Node the accessing thread's NUMA node.
   /// \param LineIndex index of the touched cache line within the page.
   /// \param Remote true when \p Node differs from the page's home node.
   /// \returns true if the access incurred a cross-node invalidation.
-  bool recordAccess(NodeId Node, AccessKind Kind, uint64_t LineIndex,
-                    uint64_t LatencyCycles, bool Remote);
+  bool recordAccess(ThreadId Tid, NodeId Node, AccessKind Kind,
+                    uint64_t LineIndex, uint64_t LatencyCycles, bool Remote);
 
   /// Cross-node invalidation count (the page-sharing significance signal).
   uint64_t invalidations() const {
@@ -100,6 +101,10 @@ public:
 
   /// Value snapshot of the per-node accumulators, ordered by node id.
   std::vector<NodePageStats> nodes() const;
+
+  /// Value snapshot of the per-thread accumulators, ordered by thread id —
+  /// the page-granularity Accesses_O(t) / Cycles_O(t) evidence EQ.2 needs.
+  std::vector<ThreadLineStats> threads() const;
 
   /// Number of distinct nodes that accessed the page.
   size_t nodeCount() const;
@@ -140,6 +145,8 @@ private:
   std::atomic<uint64_t> NodeAccesses[NumaTopology::MaxNodes];
   std::atomic<uint64_t> NodeWrites[NumaTopology::MaxNodes];
   std::atomic<uint64_t> NodeCycles[NumaTopology::MaxNodes];
+  /// Per-thread accumulators (same lock-free chain as CacheLineInfo).
+  ThreadStatsChain ThreadStats;
 };
 
 } // namespace core

@@ -7,6 +7,7 @@
 #include "core/report/PageReportBuilder.h"
 
 #include <algorithm>
+#include <map>
 
 using namespace cheetah;
 using namespace cheetah::core;
@@ -22,10 +23,11 @@ PageReportBuilder::PageReportBuilder(const runtime::HeapAllocator &Heap,
       Classifier(Classifier), Topology(Topology), Geometry(Geometry),
       Gate(Gate) {}
 
-PageSharingReport PageReportBuilder::buildReport(uint64_t PageBase,
-                                                 NodeId Home,
-                                                 const PageInfo &Info) const {
-  PageSharingReport Report;
+PageReportBuilder::PendingPage
+PageReportBuilder::buildReport(uint64_t PageBase, NodeId Home,
+                               const PageInfo &Info) const {
+  PendingPage Pending;
+  PageSharingReport &Report = Pending.Report;
   Report.PageBase = PageBase;
   Report.PageSize = Topology.pageSize();
   Report.HomeNode = Home;
@@ -82,21 +84,94 @@ PageSharingReport PageReportBuilder::buildReport(uint64_t PageBase,
                 return A.Reads + A.Writes > B.Reads + B.Writes;
               return A.Offset < B.Offset;
             });
-  return Report;
+
+  // The per-thread evidence EQ.2 consumes, plus the remote totals the
+  // EQ.1 local baseline is derived from.
+  Pending.Profile.SampledAccesses = Report.SampledAccesses;
+  Pending.Profile.SampledWrites = Report.SampledWrites;
+  Pending.Profile.SampledCycles = Report.LatencyCycles;
+  Pending.Profile.Invalidations = Report.Invalidations;
+  Pending.Profile.RemoteAccesses = Report.RemoteAccesses;
+  Pending.Profile.RemoteCycles = Report.RemoteLatencyCycles;
+  Pending.Profile.PerThread = Info.threads();
+  return Pending;
 }
 
 void PageReportBuilder::addPage(uint64_t PageBase, NodeId Home,
                                 const PageInfo &Info) {
   if (Info.accesses() == 0)
     return;
-  Pending.push_back(buildReport(PageBase, Home, Info));
+  PendingPage Page = buildReport(PageBase, Home, Info);
+  LocalAccesses += Page.Profile.localAccesses();
+  LocalCycles += Page.Profile.localCycles();
+  Pending.push_back(std::move(Page));
 }
 
-PageReportBuilder::Output PageReportBuilder::finalize(ReportSink *Sink) {
-  // Worst first: cross-node invalidations, then remote traffic, then the
+PageReportBuilder::Output PageReportBuilder::finalize(const Assessor &Assess,
+                                                      uint64_t AppRuntime,
+                                                      ReportSink *Sink) {
+  // The unit of *fix* for a page finding is the allocation site's
+  // placement policy (page-aligned node-local slots, parallel first
+  // touch): fixing it moves every page of the site at once. Assessing a
+  // lone page against EQ.4's phase-max composition would predict ~1.0
+  // whenever sibling pages keep other threads slow, so pages are grouped
+  // by overlapping-object identity and each finding carries the predicted
+  // improvement of fixing its whole site — exactly how the line layer
+  // aggregates cache lines into objects before assessing.
+  std::map<std::string, ObjectAccessProfile> SiteProfiles;
+  auto SiteKey = [](const PageSharingReport &Report) {
+    if (Report.Objects.empty())
+      return std::string("@") + std::to_string(Report.PageBase);
+    std::string Key;
+    for (const std::string &Name : Report.Objects) {
+      if (!Key.empty())
+        Key += "+";
+      Key += Name;
+    }
+    return Key;
+  };
+  std::vector<std::string> Keys;
+  Keys.reserve(Pending.size());
+  for (const PendingPage &Page : Pending) {
+    Keys.push_back(SiteKey(Page.Report));
+    ObjectAccessProfile &Site = SiteProfiles[Keys.back()];
+    const ObjectAccessProfile &Profile = Page.Profile;
+    Site.SampledAccesses += Profile.SampledAccesses;
+    Site.SampledWrites += Profile.SampledWrites;
+    Site.SampledCycles += Profile.SampledCycles;
+    Site.Invalidations += Profile.Invalidations;
+    Site.RemoteAccesses += Profile.RemoteAccesses;
+    Site.RemoteCycles += Profile.RemoteCycles;
+    for (const ThreadLineStats &Stats : Profile.PerThread) {
+      auto It = std::lower_bound(
+          Site.PerThread.begin(), Site.PerThread.end(), Stats.Tid,
+          [](const ThreadLineStats &S, ThreadId T) { return S.Tid < T; });
+      if (It != Site.PerThread.end() && It->Tid == Stats.Tid) {
+        It->Accesses += Stats.Accesses;
+        It->Cycles += Stats.Cycles;
+      } else {
+        Site.PerThread.insert(It, Stats);
+      }
+    }
+  }
+  // One EQ.2-EQ.4 pass per site, not per page: sibling pages share the
+  // assessment by construction.
+  std::map<std::string, Assessment> SiteImpacts;
+  for (const auto &[Key, Profile] : SiteProfiles)
+    SiteImpacts.emplace(Key, Assess.assessPage(Profile, AppRuntime));
+  for (size_t I = 0; I < Pending.size(); ++I)
+    Pending[I].Report.Impact = SiteImpacts.at(Keys[I]);
+
+  // Highest predicted improvement first (what Cheetah prints), breaking
+  // ties by cross-node invalidations, then remote traffic, then the
   // address for determinism.
   std::sort(Pending.begin(), Pending.end(),
-            [](const PageSharingReport &A, const PageSharingReport &B) {
+            [](const PendingPage &PA, const PendingPage &PB) {
+              const PageSharingReport &A = PA.Report;
+              const PageSharingReport &B = PB.Report;
+              if (A.Impact.ImprovementFactor != B.Impact.ImprovementFactor)
+                return A.Impact.ImprovementFactor >
+                       B.Impact.ImprovementFactor;
               if (A.Invalidations != B.Invalidations)
                 return A.Invalidations > B.Invalidations;
               if (A.RemoteAccesses != B.RemoteAccesses)
@@ -106,7 +181,8 @@ PageReportBuilder::Output PageReportBuilder::finalize(ReportSink *Sink) {
 
   Output Result;
   Result.AllInstances.reserve(Pending.size());
-  for (PageSharingReport &Report : Pending) {
+  for (PendingPage &Page : Pending) {
+    PageSharingReport &Report = Page.Report;
     bool MultiNodeSharing = Report.NodesObserved >= 2 &&
                             Report.Invalidations >= Gate.MinInvalidations;
     // The placement gate is for pages *without* node contention: a
@@ -123,5 +199,7 @@ PageReportBuilder::Output PageReportBuilder::finalize(ReportSink *Sink) {
     Result.AllInstances.push_back(std::move(Report));
   }
   Pending.clear();
+  LocalAccesses = 0;
+  LocalCycles = 0;
   return Result;
 }

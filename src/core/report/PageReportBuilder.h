@@ -7,17 +7,19 @@
 /// \file
 /// Builds per-page NUMA sharing findings from materialized PageInfo state,
 /// the page-granularity mirror of ReportBuilder: pages stream in one at a
-/// time as they quiesce (addPage), finalize() classifies each with the
-/// unchanged SharingClassifier (nodes over lines instead of threads over
-/// words), attributes the overlapping heap/global objects, applies the page
-/// gate, sorts worst-first, and streams the findings through the sink's
-/// pageFinding channel.
+/// time as they quiesce (addPage), finalize() assesses each with the
+/// EQ.1–EQ.4 page machinery (no-remote-access AverCycles baseline),
+/// classifies it with the unchanged SharingClassifier (nodes over lines
+/// instead of threads over words), attributes the overlapping heap/global
+/// objects, applies the page gate, sorts highest predicted improvement
+/// first, and streams the findings through the sink's pageFinding channel.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_REPORT_PAGEREPORTBUILDER_H
 #define CHEETAH_CORE_REPORT_PAGEREPORTBUILDER_H
 
+#include "core/assess/Assessor.h"
 #include "core/detect/PageInfo.h"
 #include "core/detect/SharingClassifier.h"
 #include "core/report/Report.h"
@@ -60,21 +62,36 @@ public:
   /// skipped.
   void addPage(uint64_t PageBase, NodeId Home, const PageInfo &Info);
 
+  /// Run-wide local (home-node) sample totals over every added page: the
+  /// fallback EQ.1 baseline for pages with no local population of their
+  /// own. Feed these to Assessor::setLocalLatencyTotals before finalize().
+  uint64_t localAccesses() const { return LocalAccesses; }
+  uint64_t localCycles() const { return LocalCycles; }
+
   /// Everything finalize() produces.
   struct Output {
-    /// Significant page findings, most invalidations first.
+    /// Significant page findings, highest predicted improvement first.
     std::vector<PageSharingReport> Reports;
     /// Every tracked page, same order, for tests and ablations.
     std::vector<PageSharingReport> AllInstances;
   };
 
-  /// Sorts, gates, and — when \p Sink is non-null — streams each finding
-  /// through Sink->pageFinding() (sink order matches AllInstances).
-  Output finalize(ReportSink *Sink = nullptr);
+  /// Assesses every page (EQ.1–EQ.4 with the no-remote baseline), sorts,
+  /// gates, and — when \p Sink is non-null — streams each finding through
+  /// Sink->pageFinding() (sink order matches AllInstances).
+  Output finalize(const Assessor &Assess, uint64_t AppRuntime,
+                  ReportSink *Sink = nullptr);
 
 private:
-  PageSharingReport buildReport(uint64_t PageBase, NodeId Home,
-                                const PageInfo &Info) const;
+  /// A report waiting for finalize(), with the per-thread evidence its
+  /// assessment needs.
+  struct PendingPage {
+    PageSharingReport Report;
+    ObjectAccessProfile Profile;
+  };
+
+  PendingPage buildReport(uint64_t PageBase, NodeId Home,
+                          const PageInfo &Info) const;
 
   const runtime::HeapAllocator &Heap;
   const runtime::GlobalRegistry &Globals;
@@ -83,7 +100,9 @@ private:
   NumaTopology Topology;
   CacheGeometry Geometry;
   PageReportGate Gate;
-  std::vector<PageSharingReport> Pending;
+  std::vector<PendingPage> Pending;
+  uint64_t LocalAccesses = 0;
+  uint64_t LocalCycles = 0;
 };
 
 } // namespace core

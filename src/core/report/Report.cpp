@@ -128,6 +128,14 @@ cheetah::core::formatPageReport(const PageSharingReport &Report,
                       "%.2f over %u nodes).\n",
                       sharingKindName(Report.Kind),
                       Report.SharedLineFraction, Report.NodesObserved);
+  const Assessment &Impact = Report.Impact;
+  Out += formatString(
+      "totalPossibleImprovementRate %f%%\n(realRuntime %llu "
+      "predictedRuntime %llu, no-remote baseline %.2f cycles).\n",
+      Impact.improvementPercent(),
+      static_cast<unsigned long long>(Impact.RealAppRuntime),
+      static_cast<unsigned long long>(Impact.PredictedAppRuntime),
+      Impact.AverageNoFsLatency);
   if (Report.NodesObserved < 2 && Report.RemoteAccesses > 0)
     Out += "note: single-node page homed on another node — a first-touch "
            "placement problem, not sharing.\n";

@@ -106,6 +106,12 @@ struct PageSharingReport {
   uint64_t RemoteLatencyCycles = 0;
   /// Fraction of accesses on lines shared by multiple nodes.
   double SharedLineFraction = 0.0;
+  /// EQ.1–EQ.4 at page granularity: the predicted whole-program speedup
+  /// from fixing the placement/sharing of this page's *site* — every page
+  /// overlapping the same objects, since a placement fix moves them all
+  /// (ImprovementFactor >= 1 by the page-assessment contract; == 1 when
+  /// nothing is removable).
+  Assessment Impact;
   /// Names of the objects overlapping the page (heap callsites / globals).
   std::vector<std::string> Objects;
   /// Hottest lines (by access count), for placement guidance.

@@ -1,0 +1,488 @@
+//===- core/report/ReportDiff.cpp - Multi-run report comparison -----------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/report/ReportDiff.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Kind-checked JSON field access
+//===----------------------------------------------------------------------===//
+// JsonValue's typed accessors assert on kind mismatches; a diff tool fed an
+// arbitrary file must instead turn every structural surprise into an error
+// string. Each helper below validates presence and kind before reading.
+
+bool fieldString(const JsonValue &Object, const char *Name, std::string &Out,
+                 std::string &Error) {
+  const JsonValue *Field = Object.find(Name);
+  if (!Field || Field->kind() != JsonValue::Kind::String) {
+    Error = formatString("field '%s' missing or not a string", Name);
+    return false;
+  }
+  Out = Field->asString();
+  return true;
+}
+
+bool fieldUint(const JsonValue &Object, const char *Name, uint64_t &Out,
+               std::string &Error) {
+  const JsonValue *Field = Object.find(Name);
+  if (!Field || Field->kind() != JsonValue::Kind::Number) {
+    Error = formatString("field '%s' missing or not a number", Name);
+    return false;
+  }
+  // asUint() asserts on negatives; a hostile document must error instead.
+  if (Field->asNumber() < 0) {
+    Error = formatString("field '%s' is negative", Name);
+    return false;
+  }
+  Out = Field->asUint();
+  return true;
+}
+
+bool fieldBool(const JsonValue &Object, const char *Name, bool &Out,
+               std::string &Error) {
+  const JsonValue *Field = Object.find(Name);
+  if (!Field || Field->kind() != JsonValue::Kind::Bool) {
+    Error = formatString("field '%s' missing or not a boolean", Name);
+    return false;
+  }
+  Out = Field->asBool();
+  return true;
+}
+
+/// Optional improvement factor: v3 findings carry `predictedImprovement`;
+/// v2 line findings fall back to `assessment.improvement_factor`; v2 page
+/// findings have neither.
+void readImprovement(const JsonValue &Finding, DiffFinding &Out) {
+  const JsonValue *Factor = Finding.find("predictedImprovement");
+  if (!Factor || Factor->kind() != JsonValue::Kind::Number) {
+    const JsonValue *Impact = Finding.find("assessment");
+    if (Impact && Impact->isObject())
+      Factor = Impact->find("improvement_factor");
+  }
+  if (Factor && Factor->kind() == JsonValue::Kind::Number) {
+    Out.Improvement = Factor->asNumber();
+    Out.HasImprovement = true;
+  }
+}
+
+/// Appends "#N" ordinals so repeated site keys (many pages of one array)
+/// stay distinct and pair positionally across the two runs.
+void disambiguateKeys(std::vector<DiffFinding> &Findings) {
+  std::map<std::string, uint32_t> Seen;
+  for (DiffFinding &Finding : Findings)
+    Finding.Key += formatString("#%u", Seen[Finding.Key]++);
+}
+
+bool parseLineFinding(const JsonValue &Node, DiffFinding &Out,
+                      std::string &Error) {
+  if (!Node.isObject()) {
+    Error = "finding is not an object";
+    return false;
+  }
+  const JsonValue *Object = Node.find("object");
+  if (!Object || !Object->isObject()) {
+    Error = "finding without an 'object' member";
+    return false;
+  }
+  std::string Kind, Name;
+  if (!fieldString(*Object, "kind", Kind, Error) ||
+      !fieldString(*Object, "name", Name, Error))
+    return false;
+  if (Name.empty()) {
+    // Anonymous ranges have no stable name; their start address is the
+    // best identity available (they rarely survive a relayout anyway).
+    uint64_t Start = 0;
+    if (!fieldUint(*Object, "start", Start, Error))
+      return false;
+    Name = formatString("@0x%llx", static_cast<unsigned long long>(Start));
+  }
+  Out.Key = "line:" + Kind + ":" + Name;
+  Out.IsPage = false;
+  if (!fieldString(Node, "sharing", Out.Sharing, Error) ||
+      !fieldBool(Node, "significant", Out.Significant, Error) ||
+      !fieldUint(Node, "accesses", Out.Accesses, Error) ||
+      !fieldUint(Node, "invalidations", Out.Invalidations, Error))
+    return false;
+  readImprovement(Node, Out);
+  return true;
+}
+
+bool parsePageFinding(const JsonValue &Node, DiffFinding &Out,
+                      std::string &Error) {
+  if (!Node.isObject()) {
+    Error = "page finding is not an object";
+    return false;
+  }
+  const JsonValue *Objects = Node.find("objects");
+  if (!Objects || !Objects->isArray()) {
+    Error = "page finding without an 'objects' array";
+    return false;
+  }
+  std::string Site;
+  for (const JsonValue &Name : Objects->elements()) {
+    if (Name.kind() != JsonValue::Kind::String) {
+      Error = "page finding 'objects' entry is not a string";
+      return false;
+    }
+    if (!Site.empty())
+      Site += "+";
+    Site += Name.asString();
+  }
+  if (Site.empty()) {
+    uint64_t Page = 0;
+    if (!fieldUint(Node, "page", Page, Error))
+      return false;
+    Site = formatString("@0x%llx", static_cast<unsigned long long>(Page));
+  }
+  Out.Key = "page:" + Site;
+  Out.IsPage = true;
+  if (!fieldString(Node, "sharing", Out.Sharing, Error) ||
+      !fieldBool(Node, "significant", Out.Significant, Error) ||
+      !fieldUint(Node, "accesses", Out.Accesses, Error) ||
+      !fieldUint(Node, "invalidations", Out.Invalidations, Error) ||
+      !fieldUint(Node, "remote_accesses", Out.RemoteAccesses, Error))
+    return false;
+  readImprovement(Node, Out);
+  return true;
+}
+
+/// Splits matched/added/removed by key. Old findings are indexed first;
+/// new findings either claim their counterpart or land in Added.
+void matchFindings(const std::vector<DiffFinding> &Old,
+                   const std::vector<DiffFinding> &New,
+                   std::vector<DiffFinding> &Added,
+                   std::vector<DiffFinding> &Removed,
+                   std::vector<MatchedFinding> &Matched) {
+  std::map<std::string, const DiffFinding *> OldByKey;
+  for (const DiffFinding &Finding : Old)
+    OldByKey.emplace(Finding.Key, &Finding);
+  for (const DiffFinding &Finding : New) {
+    auto It = OldByKey.find(Finding.Key);
+    if (It == OldByKey.end()) {
+      Added.push_back(Finding);
+      continue;
+    }
+    Matched.push_back({*It->second, Finding});
+    OldByKey.erase(It);
+  }
+  // Preserve old-report order for removed findings (map order is by key).
+  for (const DiffFinding &Finding : Old)
+    if (OldByKey.count(Finding.Key))
+      Removed.push_back(Finding);
+}
+
+std::string improvementString(const DiffFinding &Finding) {
+  if (!Finding.HasImprovement)
+    return "n/a";
+  return formatString("%.4fx", Finding.Improvement);
+}
+
+void writeDiffFinding(JsonWriter &Writer, const DiffFinding &Finding) {
+  Writer.beginObject();
+  Writer.member("key", Finding.Key);
+  Writer.member("page", Finding.IsPage);
+  Writer.member("sharing", Finding.Sharing);
+  Writer.member("significant", Finding.Significant);
+  if (Finding.HasImprovement)
+    Writer.member("predictedImprovement", Finding.Improvement);
+  Writer.member("accesses", Finding.Accesses);
+  Writer.member("invalidations", Finding.Invalidations);
+  if (Finding.IsPage)
+    Writer.member("remote_accesses", Finding.RemoteAccesses);
+  Writer.endObject();
+}
+
+void writeDiffSection(JsonWriter &Writer,
+                      const std::vector<DiffFinding> &Added,
+                      const std::vector<DiffFinding> &Removed,
+                      const std::vector<MatchedFinding> &Matched) {
+  Writer.beginObject();
+  Writer.key("added");
+  Writer.beginArray();
+  for (const DiffFinding &Finding : Added)
+    writeDiffFinding(Writer, Finding);
+  Writer.endArray();
+  Writer.key("removed");
+  Writer.beginArray();
+  for (const DiffFinding &Finding : Removed)
+    writeDiffFinding(Writer, Finding);
+  Writer.endArray();
+  Writer.key("matched");
+  Writer.beginArray();
+  for (const MatchedFinding &Pair : Matched) {
+    Writer.beginObject();
+    Writer.member("key", Pair.New.Key);
+    Writer.member("old_significant", Pair.Old.Significant);
+    Writer.member("new_significant", Pair.New.Significant);
+    if (Pair.Old.HasImprovement)
+      Writer.member("old_improvement", Pair.Old.Improvement);
+    if (Pair.New.HasImprovement)
+      Writer.member("new_improvement", Pair.New.Improvement);
+    if (Pair.Old.HasImprovement && Pair.New.HasImprovement)
+      Writer.member("delta", Pair.improvementDelta());
+    Writer.endObject();
+  }
+  Writer.endArray();
+  Writer.endObject();
+}
+
+void appendTextSection(std::string &Out, const char *Title,
+                       const std::vector<DiffFinding> &Added,
+                       const std::vector<DiffFinding> &Removed,
+                       const std::vector<MatchedFinding> &Matched) {
+  Out += formatString("== %s: %zu added, %zu removed, %zu matched ==\n",
+                      Title, Added.size(), Removed.size(), Matched.size());
+  for (const DiffFinding &Finding : Added)
+    Out += formatString("  added    %s  %s  improvement %s\n",
+                        Finding.Key.c_str(), Finding.Sharing.c_str(),
+                        improvementString(Finding).c_str());
+  for (const DiffFinding &Finding : Removed)
+    Out += formatString("  removed  %s  %s  improvement %s\n",
+                        Finding.Key.c_str(), Finding.Sharing.c_str(),
+                        improvementString(Finding).c_str());
+  for (const MatchedFinding &Pair : Matched) {
+    std::string Delta =
+        Pair.Old.HasImprovement && Pair.New.HasImprovement
+            ? formatString(" (%+.4f)", Pair.improvementDelta())
+            : std::string();
+    Out += formatString("  matched  %s  improvement %s -> %s%s\n",
+                        Pair.New.Key.c_str(),
+                        improvementString(Pair.Old).c_str(),
+                        improvementString(Pair.New).c_str(), Delta.c_str());
+  }
+}
+
+} // namespace
+
+bool cheetah::core::parseReport(const std::string &Text, ParsedReport &Out,
+                                std::string &Error) {
+  Out = ParsedReport();
+  JsonValue Document;
+  if (!JsonValue::parse(Text, Document, Error)) {
+    Error = "invalid JSON: " + Error;
+    return false;
+  }
+  if (!Document.isObject()) {
+    Error = "report is not a JSON object";
+    return false;
+  }
+  if (!fieldString(Document, "schema", Out.Schema, Error))
+    return false;
+  if (Out.Schema != "cheetah-report-v2" &&
+      Out.Schema != "cheetah-report-v3") {
+    // The loud version gate: v1 (and anything unknown) must be rejected,
+    // not silently half-read.
+    Error = formatString(
+        "unsupported schema '%s' (cheetah-diff reads cheetah-report-v2 "
+        "and cheetah-report-v3)",
+        Out.Schema.c_str());
+    return false;
+  }
+
+  const JsonValue *Run = Document.find("run");
+  if (!Run || !Run->isObject()) {
+    Error = "report without a 'run' object";
+    return false;
+  }
+  if (!fieldString(*Run, "workload", Out.Workload, Error) ||
+      !fieldUint(*Run, "threads", Out.Threads, Error) ||
+      !fieldBool(*Run, "fix_applied", Out.FixApplied, Error) ||
+      !fieldString(*Run, "granularity", Out.Granularity, Error))
+    return false;
+
+  const JsonValue *Summary = Document.find("summary");
+  if (!Summary || !Summary->isObject() ||
+      !fieldUint(*Summary, "app_runtime_cycles", Out.AppRuntimeCycles,
+                 Error)) {
+    Error = "report without a usable 'summary' object: " + Error;
+    return false;
+  }
+
+  const JsonValue *Findings = Document.find("findings");
+  if (!Findings || !Findings->isArray()) {
+    Error = "report without a 'findings' array";
+    return false;
+  }
+  for (size_t I = 0; I < Findings->size(); ++I) {
+    DiffFinding Finding;
+    if (!parseLineFinding(Findings->elements()[I], Finding, Error)) {
+      Error = formatString("findings[%zu]: ", I) + Error;
+      return false;
+    }
+    Out.Findings.push_back(std::move(Finding));
+  }
+
+  const JsonValue *Pages = Document.find("pageFindings");
+  if (!Pages || !Pages->isArray()) {
+    Error = "report without a 'pageFindings' array";
+    return false;
+  }
+  for (size_t I = 0; I < Pages->size(); ++I) {
+    DiffFinding Finding;
+    if (!parsePageFinding(Pages->elements()[I], Finding, Error)) {
+      Error = formatString("pageFindings[%zu]: ", I) + Error;
+      return false;
+    }
+    Out.PageFindings.push_back(std::move(Finding));
+  }
+
+  disambiguateKeys(Out.Findings);
+  disambiguateKeys(Out.PageFindings);
+  return true;
+}
+
+ReportDiffResult cheetah::core::diffReports(const ParsedReport &Old,
+                                            const ParsedReport &New) {
+  ReportDiffResult Result;
+  Result.Old = Old;
+  Result.New = New;
+  matchFindings(Old.Findings, New.Findings, Result.Added, Result.Removed,
+                Result.Matched);
+  matchFindings(Old.PageFindings, New.PageFindings, Result.PageAdded,
+                Result.PageRemoved, Result.PageMatched);
+  return Result;
+}
+
+std::vector<GateViolation>
+cheetah::core::gateRegressions(const ReportDiffResult &Diff, double Factor,
+                               double Tolerance) {
+  std::vector<GateViolation> Violations;
+  auto Check = [&](const std::vector<DiffFinding> &Added,
+                   const std::vector<MatchedFinding> &Matched) {
+    for (const DiffFinding &Finding : Added) {
+      if (!Finding.Significant || !Finding.HasImprovement ||
+          Finding.Improvement < Factor)
+        continue;
+      Violations.push_back({Finding, 0.0, /*NewSite=*/true});
+    }
+    for (const MatchedFinding &Pair : Matched) {
+      const DiffFinding &New = Pair.New;
+      if (!New.Significant || !New.HasImprovement ||
+          New.Improvement < Factor)
+        continue;
+      // An old finding without an improvement factor (a v2 page finding)
+      // is skipped entirely: a v2-baseline vs v3 comparison must not
+      // flag pre-existing findings as having "crossed" the gate.
+      if (!Pair.Old.HasImprovement)
+        continue;
+      bool CrossedGate = Pair.Old.Improvement < Factor;
+      bool Grew = New.Improvement > Pair.Old.Improvement + Tolerance;
+      if (CrossedGate || Grew)
+        Violations.push_back({New, Pair.Old.Improvement,
+                              /*NewSite=*/false});
+    }
+  };
+  Check(Diff.Added, Diff.Matched);
+  Check(Diff.PageAdded, Diff.PageMatched);
+  return Violations;
+}
+
+std::string cheetah::core::formatDiffText(const ReportDiffResult &Diff,
+                                          double GateFactor) {
+  std::string Out;
+  Out += formatString(
+      "cheetah-diff: %s (%llu threads, fix %s) -> %s (%llu threads, "
+      "fix %s)\n",
+      Diff.Old.Workload.c_str(),
+      static_cast<unsigned long long>(Diff.Old.Threads),
+      Diff.Old.FixApplied ? "on" : "off", Diff.New.Workload.c_str(),
+      static_cast<unsigned long long>(Diff.New.Threads),
+      Diff.New.FixApplied ? "on" : "off");
+  Out += formatString("schema %s -> %s, runtime %llu -> %llu cycles\n",
+                      Diff.Old.Schema.c_str(), Diff.New.Schema.c_str(),
+                      static_cast<unsigned long long>(
+                          Diff.Old.AppRuntimeCycles),
+                      static_cast<unsigned long long>(
+                          Diff.New.AppRuntimeCycles));
+  appendTextSection(Out, "line findings", Diff.Added, Diff.Removed,
+                    Diff.Matched);
+  appendTextSection(Out, "page findings", Diff.PageAdded, Diff.PageRemoved,
+                    Diff.PageMatched);
+
+  if (GateFactor > 0.0) {
+    std::vector<GateViolation> Violations =
+        gateRegressions(Diff, GateFactor);
+    Out += formatString("== gate: factor %.4f ==\n", GateFactor);
+    for (const GateViolation &Violation : Violations)
+      Out += formatString(
+          "  REGRESSION %s  %s  improvement %s (was %s)\n",
+          Violation.NewSite ? "new-site" : "regressed",
+          Violation.Finding.Key.c_str(),
+          improvementString(Violation.Finding).c_str(),
+          Violation.NewSite
+              ? "absent"
+              : formatString("%.4fx", Violation.OldImprovement).c_str());
+    Out += formatString("gate verdict: %zu regression(s)\n",
+                        Violations.size());
+  }
+  return Out;
+}
+
+std::string cheetah::core::formatDiffJson(const ReportDiffResult &Diff,
+                                          double GateFactor) {
+  std::string Out;
+  JsonWriter Writer(Out);
+  Writer.beginObject();
+  Writer.member("schema", "cheetah-diff-v1");
+  auto WriteRun = [&](const char *Name, const ParsedReport &Run) {
+    Writer.key(Name);
+    Writer.beginObject();
+    Writer.member("schema", Run.Schema);
+    Writer.member("workload", Run.Workload);
+    Writer.member("threads", Run.Threads);
+    Writer.member("fix_applied", Run.FixApplied);
+    Writer.member("granularity", Run.Granularity);
+    Writer.member("app_runtime_cycles", Run.AppRuntimeCycles);
+    Writer.member("findings", static_cast<uint64_t>(Run.Findings.size()));
+    Writer.member("page_findings",
+                  static_cast<uint64_t>(Run.PageFindings.size()));
+    Writer.endObject();
+  };
+  WriteRun("old", Diff.Old);
+  WriteRun("new", Diff.New);
+
+  Writer.key("findings");
+  writeDiffSection(Writer, Diff.Added, Diff.Removed, Diff.Matched);
+  Writer.key("pageFindings");
+  writeDiffSection(Writer, Diff.PageAdded, Diff.PageRemoved,
+                   Diff.PageMatched);
+
+  if (GateFactor > 0.0) {
+    std::vector<GateViolation> Violations =
+        gateRegressions(Diff, GateFactor);
+    Writer.key("gate");
+    Writer.beginObject();
+    Writer.member("factor", GateFactor);
+    Writer.key("violations");
+    Writer.beginArray();
+    for (const GateViolation &Violation : Violations) {
+      Writer.beginObject();
+      Writer.member("key", Violation.Finding.Key);
+      Writer.member("kind", Violation.NewSite ? "new-site" : "regressed");
+      Writer.member("new_improvement", Violation.Finding.Improvement);
+      if (!Violation.NewSite)
+        Writer.member("old_improvement", Violation.OldImprovement);
+      Writer.endObject();
+    }
+    Writer.endArray();
+    Writer.member("regressions",
+                  static_cast<uint64_t>(Violations.size()));
+    Writer.endObject();
+  }
+  Writer.endObject();
+  Out += "\n";
+  return Out;
+}

@@ -1,0 +1,142 @@
+//===- core/report/ReportDiff.h - Multi-run report comparison --*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Comparison tooling over serialized `cheetah-report-v2`/`v3` JSON
+/// documents, the library behind the `cheetah-diff` CLI: parse two runs'
+/// reports back (failing loudly on v1 or unknown schemas — never
+/// crashing on hostile input), match findings across the runs by
+/// site/page identity, classify them as added/removed/matched, and apply
+/// a regression gate over predicted-improvement factors for CI
+/// ("fail the build when a fixable finding at or above this factor
+/// appeared or got worse").
+///
+/// Identity is deliberately *site-based*, not address-based: a line
+/// finding is keyed by its object kind and callsite/global name, a page
+/// finding by the set of object names overlapping the page. Fixed
+/// variants relocate objects (padding changes sizes and addresses), so
+/// address keys would make every broken-vs-fixed comparison degenerate
+/// to "everything added, everything removed". Multiple findings with the
+/// same site key (many pages of one array) are paired in report order,
+/// which both sinks emit deterministically (best-first).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_REPORT_REPORTDIFF_H
+#define CHEETAH_CORE_REPORT_REPORTDIFF_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// One finding extracted from a parsed report, at either granularity,
+/// reduced to what comparison needs.
+struct DiffFinding {
+  /// Stable matching identity (site key + ordinal; see file comment).
+  std::string Key;
+  /// Sharing kind string exactly as emitted ("false-sharing", ...).
+  std::string Sharing;
+  /// True for a page finding, false for a line (object) finding.
+  bool IsPage = false;
+  bool Significant = false;
+  /// Predicted whole-program improvement factor from fixing the finding.
+  /// v2 page findings predate page assessment and carry none
+  /// (HasImprovement false, Improvement 1.0).
+  double Improvement = 1.0;
+  bool HasImprovement = false;
+  uint64_t Accesses = 0;
+  uint64_t Invalidations = 0;
+  /// Page findings only.
+  uint64_t RemoteAccesses = 0;
+};
+
+/// A parsed report document, reduced to run identity plus findings.
+struct ParsedReport {
+  std::string Schema;
+  std::string Workload;
+  uint64_t Threads = 0;
+  bool FixApplied = false;
+  std::string Granularity;
+  uint64_t AppRuntimeCycles = 0;
+  std::vector<DiffFinding> Findings;
+  std::vector<DiffFinding> PageFindings;
+};
+
+/// Parses a serialized cheetah report into \p Out. Accepts schema
+/// `cheetah-report-v2` and `cheetah-report-v3` only; anything else —
+/// including v1, whose consumers this version-gating contract exists
+/// for — fails with a descriptive \p Error. Malformed JSON, wrong value
+/// kinds, and missing required fields also fail loudly; this function
+/// never crashes on hostile input (the fuzz suite pins that).
+bool parseReport(const std::string &Text, ParsedReport &Out,
+                 std::string &Error);
+
+/// One finding present in both runs.
+struct MatchedFinding {
+  DiffFinding Old;
+  DiffFinding New;
+
+  double improvementDelta() const {
+    return New.Improvement - Old.Improvement;
+  }
+};
+
+/// Outcome of comparing two runs.
+struct ReportDiffResult {
+  ParsedReport Old;
+  ParsedReport New;
+  /// Line-granularity findings only in the new / only in the old run /
+  /// in both.
+  std::vector<DiffFinding> Added;
+  std::vector<DiffFinding> Removed;
+  std::vector<MatchedFinding> Matched;
+  /// Page-granularity findings, same classification.
+  std::vector<DiffFinding> PageAdded;
+  std::vector<DiffFinding> PageRemoved;
+  std::vector<MatchedFinding> PageMatched;
+};
+
+/// Matches the two runs' findings by key at both granularities.
+ReportDiffResult diffReports(const ParsedReport &Old,
+                             const ParsedReport &New);
+
+/// One finding that trips the regression gate.
+struct GateViolation {
+  DiffFinding Finding;
+  /// The old run's improvement for the same key; 0 when the site is new.
+  double OldImprovement = 0.0;
+  bool NewSite = false;
+};
+
+/// The CI regression gate: a violation is a *significant* finding in the
+/// NEW run whose predicted improvement is at or above \p Factor and that
+/// (a) has no counterpart in the old run, (b) was below the factor in the
+/// old run, or (c) grew beyond \p Tolerance. Pre-existing findings at a
+/// stable factor do not trip the gate — it guards against regressions,
+/// not against profiling a known-broken workload. Findings without an
+/// improvement factor (v2 page findings) are skipped.
+std::vector<GateViolation> gateRegressions(const ReportDiffResult &Diff,
+                                           double Factor,
+                                           double Tolerance = 1e-9);
+
+/// Renders the diff (and, when \p GateFactor > 0, the gate verdict) as a
+/// deterministic human-readable text block. Byte-stable for identical
+/// inputs — the golden tests pin it.
+std::string formatDiffText(const ReportDiffResult &Diff,
+                           double GateFactor = 0.0);
+
+/// Renders the diff as a stable machine-readable `cheetah-diff-v1` JSON
+/// document (same determinism contract as the report schema itself).
+std::string formatDiffJson(const ReportDiffResult &Diff,
+                           double GateFactor = 0.0);
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_REPORT_REPORTDIFF_H

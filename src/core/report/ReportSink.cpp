@@ -80,7 +80,7 @@ void TextReportSink::endRun(const ReportRunStats &Stats) {
 void JsonReportSink::beginRun(const ReportRunInfo &Info) {
   InPageArray = false;
   Writer.beginObject();
-  Writer.member("schema", "cheetah-report-v2");
+  Writer.member("schema", "cheetah-report-v3");
   Writer.key("run");
   Writer.beginObject();
   Writer.member("tool", Info.Tool);
@@ -131,6 +131,7 @@ void JsonReportSink::finding(const FalseSharingReport &Report,
 
   Writer.member("sharing", sharingKindName(Report.Kind));
   Writer.member("significant", Significant);
+  Writer.member("predictedImprovement", Report.Impact.ImprovementFactor);
   Writer.member("lines_tracked", Report.LinesTracked);
   Writer.member("accesses", Report.SampledAccesses);
   Writer.member("writes", Report.SampledWrites);
@@ -139,17 +140,7 @@ void JsonReportSink::finding(const FalseSharingReport &Report,
   Writer.member("threads_observed", Report.ThreadsObserved);
   Writer.member("shared_word_fraction", Report.SharedWordFraction);
 
-  const Assessment &Impact = Report.Impact;
-  Writer.key("assessment");
-  Writer.beginObject();
-  Writer.member("improvement_factor", Impact.ImprovementFactor);
-  Writer.member("improvement_percent", Impact.improvementPercent());
-  Writer.member("real_runtime_cycles", Impact.RealAppRuntime);
-  Writer.member("predicted_runtime_cycles", Impact.PredictedAppRuntime);
-  Writer.member("average_nofs_latency", Impact.AverageNoFsLatency);
-  Writer.member("used_default_latency", Impact.UsedDefaultLatency);
-  Writer.member("fork_join_model", Impact.ForkJoinModel);
-  Writer.endObject();
+  writeAssessment(Report.Impact);
 
   Writer.key("words");
   Writer.beginArray();
@@ -172,6 +163,19 @@ void JsonReportSink::finding(const FalseSharingReport &Report,
   Writer.endObject();
 }
 
+void JsonReportSink::writeAssessment(const Assessment &Impact) {
+  Writer.key("assessment");
+  Writer.beginObject();
+  Writer.member("improvement_factor", Impact.ImprovementFactor);
+  Writer.member("improvement_percent", Impact.improvementPercent());
+  Writer.member("real_runtime_cycles", Impact.RealAppRuntime);
+  Writer.member("predicted_runtime_cycles", Impact.PredictedAppRuntime);
+  Writer.member("average_nofs_latency", Impact.AverageNoFsLatency);
+  Writer.member("used_default_latency", Impact.UsedDefaultLatency);
+  Writer.member("fork_join_model", Impact.ForkJoinModel);
+  Writer.endObject();
+}
+
 void JsonReportSink::startPageArray() {
   if (InPageArray)
     return;
@@ -191,6 +195,7 @@ void JsonReportSink::pageFinding(const PageSharingReport &Report,
   Writer.member("nodes", Report.NodesObserved);
   Writer.member("sharing", sharingKindName(Report.Kind));
   Writer.member("significant", Significant);
+  Writer.member("predictedImprovement", Report.Impact.ImprovementFactor);
   Writer.member("accesses", Report.SampledAccesses);
   Writer.member("writes", Report.SampledWrites);
   Writer.member("remote_accesses", Report.RemoteAccesses);
@@ -199,6 +204,7 @@ void JsonReportSink::pageFinding(const PageSharingReport &Report,
   Writer.member("latency_cycles", Report.LatencyCycles);
   Writer.member("remote_latency_cycles", Report.RemoteLatencyCycles);
   Writer.member("shared_line_fraction", Report.SharedLineFraction);
+  writeAssessment(Report.Impact);
 
   Writer.key("objects");
   Writer.beginArray();

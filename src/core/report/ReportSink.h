@@ -10,9 +10,10 @@
 /// generation pushes findings through a ReportSink one object at a time as
 /// the builder finalizes them. Two implementations ship: TextReportSink
 /// renders the paper's Figure-5 text format, JsonReportSink emits a stable
-/// machine-readable schema (`cheetah-report-v2`) for multi-run comparison
-/// tooling. Both append to a caller-owned string so the caller chooses the
-/// final destination (stdout, a file, a golden-test buffer).
+/// machine-readable schema (`cheetah-report-v3`) consumed by the
+/// multi-run comparison tooling in ReportDiff.h / `cheetah-diff`. Both
+/// append to a caller-owned string so the caller chooses the final
+/// destination (stdout, a file, a golden-test buffer).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -130,7 +131,7 @@ private:
 ///
 /// \code{.json}
 /// {
-///   "schema": "cheetah-report-v2",
+///   "schema": "cheetah-report-v3",
 ///   "run": { "tool", "workload", "threads", "scale", "line_size",
 ///            "sampling_period", "seed", "fix_applied", "numa_nodes",
 ///            "page_size", "granularity" },
@@ -139,6 +140,7 @@ private:
 ///                 "start", "size", "requested_size", "allocated_by" },
 ///     "sharing": "false-sharing"|"true-sharing"|"mixed-sharing"|"not-shared",
 ///     "significant": bool,
+///     "predictedImprovement": number,
 ///     "lines_tracked", "accesses", "writes", "invalidations",
 ///     "latency_cycles", "threads_observed", "shared_word_fraction",
 ///     "assessment": { "improvement_factor", "improvement_percent",
@@ -152,9 +154,14 @@ private:
 ///     "page", "page_size", "home_node", "nodes",
 ///     "sharing": "false-sharing"|"true-sharing"|"mixed-sharing"|"not-shared",
 ///     "significant": bool,
+///     "predictedImprovement": number,
 ///     "accesses", "writes", "remote_accesses", "remote_fraction",
 ///     "invalidations", "latency_cycles", "remote_latency_cycles",
 ///     "shared_line_fraction",
+///     "assessment": { "improvement_factor", "improvement_percent",
+///                     "real_runtime_cycles", "predicted_runtime_cycles",
+///                     "average_nofs_latency", "used_default_latency",
+///                     "fork_join_model" },
 ///     "objects": [ "name" ],
 ///     "lines": [ { "offset", "reads", "writes", "cycles", "first_node",
 ///                  "multi_node" } ]
@@ -171,10 +178,13 @@ private:
 /// \endcode
 ///
 /// Schema evolution contract: fields are only ever added, never renamed or
-/// removed, within one schema version. `cheetah-report-v2` is `v1` plus the
-/// page-granularity sections; the version string changed precisely so that
-/// `v1` consumers pinning the schema id fail loudly instead of silently
-/// ignoring pageFindings.
+/// removed, within one schema version. `cheetah-report-v3` is `v2` plus
+/// the assessment of page findings and the top-level
+/// `predictedImprovement` factor on findings of both granularities; the
+/// version string changed precisely so that `v2` consumers pinning the
+/// schema id fail loudly instead of silently reading pageFindings that
+/// now carry (and are ordered by) predicted improvement. `cheetah-diff`
+/// accepts v2 and v3.
 class JsonReportSink : public ReportSink {
 public:
   struct Options {
@@ -194,6 +204,9 @@ public:
   void endRun(const ReportRunStats &Stats) override;
 
 private:
+  /// Emits the "assessment" member (shared by line and page findings).
+  void writeAssessment(const Assessment &Impact);
+
   /// Closes the findings array and opens pageFindings (idempotent); the
   /// document always carries both arrays, empty or not.
   void startPageArray();

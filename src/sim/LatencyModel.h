@@ -68,6 +68,16 @@ struct LatencyModel {
   /// (the 3-hop case), so locality is keyed to the page home, not to the
   /// current holder.
   uint32_t RemoteTransferExtraCycles = 30;
+  /// Extra cycles per *store* to a page homed on another node, even when
+  /// the line hits in the writer's private cache. Stores eventually drain
+  /// to the home node's memory controller; with the model's infinite
+  /// write-back caches that drain would otherwise be invisible, so it is
+  /// charged per store (the store buffer caps outstanding remote
+  /// write-backs, making the drain a steady per-store cost on real
+  /// machines). This is the recurring cost a first-touch or page-placement
+  /// fix removes — the signal page-level assessment (EQ.1 for pages)
+  /// predicts from.
+  uint32_t RemoteStoreExtraCycles = 20;
   /// Per-line serialization cost: each queued ownership transfer occupies
   /// the line's directory slot for this long. Concurrent writers to one
   /// line therefore see latency grow with the number of contenders.

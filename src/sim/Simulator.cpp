@@ -77,13 +77,21 @@ bool Simulator::step(RunningThread &Thread, CoherenceModel &Coherence,
     auto [Home, Fresh] =
         PageHomes.try_emplace(Topology->pageIndex(Event.Access.Address), Node);
     (void)Fresh;
-    if (Home->second != Node && Access.Outcome != AccessOutcome::LocalHit) {
-      uint32_t Extra = Access.Outcome == AccessOutcome::ColdMiss
-                           ? Latency.RemoteDramExtraCycles
-                           : Latency.RemoteTransferExtraCycles;
-      Access.LatencyCycles += Extra;
-      ++Result.RemoteNumaAccesses;
-      Result.RemoteNumaExtraCycles += Extra;
+    if (Home->second != Node) {
+      uint32_t Extra = 0;
+      if (Access.Outcome == AccessOutcome::ColdMiss)
+        Extra = Latency.RemoteDramExtraCycles;
+      else if (Access.Outcome != AccessOutcome::LocalHit)
+        Extra = Latency.RemoteTransferExtraCycles;
+      else if (Event.Access.Kind == AccessKind::Write)
+        // Cache-hitting remote stores still drain to the home node's
+        // memory controller; reads served from the local cache stay free.
+        Extra = Latency.RemoteStoreExtraCycles;
+      if (Extra) {
+        Access.LatencyCycles += Extra;
+        ++Result.RemoteNumaAccesses;
+        Result.RemoteNumaExtraCycles += Extra;
+      }
     }
   }
   Thread.Clock += Access.LatencyCycles;

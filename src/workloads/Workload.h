@@ -105,6 +105,13 @@ public:
   /// report (callsite or global name); empty when none.
   virtual std::string falseSharingSiteTag() const { return ""; }
 
+  /// Lower bound on the predicted improvement factor the broken variant's
+  /// significant *page* findings must carry under the reference
+  /// configuration (2 nodes, 8 threads, dense sampling). 0 means the
+  /// workload has no page-granularity pathology. The differential
+  /// assessment tests and the CI diff gate anchor on this constant.
+  virtual double expectedPageImprovementFloor() const { return 0.0; }
+
   /// Builds the fork-join program. Allocations go through \p Ctx.
   virtual sim::ForkJoinProgram build(WorkloadContext &Ctx,
                                      const WorkloadConfig &Config) const = 0;

@@ -79,10 +79,12 @@ TEST(NumaTopologyTest, SingleNodeIsUma) {
 
 TEST(PageInfoTest, SingleNodeNeverInvalidatesAfterFirstWrite) {
   PageInfo Info(PageSize / LineSize);
-  EXPECT_TRUE(Info.recordAccess(0, AccessKind::Write, 0, 10, false));
+  EXPECT_TRUE(Info.recordAccess(0, 0, AccessKind::Write, 0, 10, false));
   for (int I = 0; I < 100; ++I) {
-    EXPECT_FALSE(Info.recordAccess(0, AccessKind::Write, I % 64, 10, false));
-    EXPECT_FALSE(Info.recordAccess(0, AccessKind::Read, I % 64, 10, false));
+    EXPECT_FALSE(
+        Info.recordAccess(0, 0, AccessKind::Write, I % 64, 10, false));
+    EXPECT_FALSE(
+        Info.recordAccess(0, 0, AccessKind::Read, I % 64, 10, false));
   }
   EXPECT_EQ(Info.invalidations(), 1u);
   EXPECT_EQ(Info.nodeCount(), 1u);
@@ -90,11 +92,12 @@ TEST(PageInfoTest, SingleNodeNeverInvalidatesAfterFirstWrite) {
 
 TEST(PageInfoTest, CrossNodePingPongInvalidatesEachTime) {
   PageInfo Info(PageSize / LineSize);
-  Info.recordAccess(0, AccessKind::Write, 0, 10, false);
+  Info.recordAccess(0, 0, AccessKind::Write, 0, 10, false);
   uint64_t Invalidations = 0;
   for (int I = 0; I < 10; ++I)
-    Invalidations += Info.recordAccess(I % 2 ? 0 : 1, AccessKind::Write,
-                                       I % 2 ? 0 : 1, 10, I % 2 == 0);
+    Invalidations +=
+        Info.recordAccess(I % 2 ? 0 : 1, I % 2 ? 0 : 1, AccessKind::Write,
+                          I % 2 ? 0 : 1, 10, I % 2 == 0);
   EXPECT_EQ(Invalidations, 10u);
   EXPECT_EQ(Info.invalidations(), 11u);
   EXPECT_EQ(Info.nodeCount(), 2u);
@@ -104,9 +107,9 @@ TEST(PageInfoTest, CrossNodePingPongInvalidatesEachTime) {
 
 TEST(PageInfoTest, CountersAndPerNodeAccounting) {
   PageInfo Info(PageSize / LineSize);
-  Info.recordAccess(0, AccessKind::Write, 0, 100, false);
-  Info.recordAccess(1, AccessKind::Read, 1, 50, true);
-  Info.recordAccess(1, AccessKind::Write, 1, 70, true);
+  Info.recordAccess(0, 0, AccessKind::Write, 0, 100, false);
+  Info.recordAccess(1, 1, AccessKind::Read, 1, 50, true);
+  Info.recordAccess(1, 1, AccessKind::Write, 1, 70, true);
 
   EXPECT_EQ(Info.accesses(), 3u);
   EXPECT_EQ(Info.writes(), 2u);
@@ -133,7 +136,7 @@ TEST(PageInfoTest, CountersAndPerNodeAccounting) {
   EXPECT_FALSE(Lines[1].MultiThread);
 
   // A second node on line 0 flips its multi-node flag.
-  Info.recordAccess(1, AccessKind::Read, 0, 10, true);
+  Info.recordAccess(1, 1, AccessKind::Read, 0, 10, true);
   EXPECT_TRUE(Info.lines()[0].MultiThread);
 }
 

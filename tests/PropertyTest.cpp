@@ -22,7 +22,14 @@
 ///    equivalence the line layer already pins);
 ///  - the support/Json.h parser under fuzzed inputs: valid documents
 ///    round-trip exactly, malformed/truncated/mutated input errors without
-///    ever crashing (the ASan CI job runs this suite).
+///    ever crashing (the ASan CI job runs this suite);
+///  - the page-assessment equations (EQ.1–EQ.4 with the clamped no-remote
+///    baseline) on randomized profiles: prediction never exceeds the
+///    measured runtime, never removes more than the measured on-object
+///    cycles, improves (> 1) only when removable excess exists, and is
+///    monotone in the remote fraction;
+///  - ReportDiff::parseReport against truncated/mutated/version-mismatched
+///    report documents: loud errors, never a crash.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -30,6 +37,8 @@
 #include "core/Profiler.h"
 #include "core/detect/PageInfo.h"
 #include "core/detect/PageTable.h"
+#include "core/report/ReportDiff.h"
+#include "core/report/ReportSink.h"
 #include "driver/ProfileSession.h"
 #include "mem/NumaTopology.h"
 #include "sim/Simulator.h"
@@ -39,8 +48,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <set>
+#include <vector>
 
 using namespace cheetah;
 
@@ -462,7 +473,7 @@ TEST_P(PagePropertyTest, PackedPageTableMatchesSequentialReference) {
     uint64_t Latency = 1 + Rng.nextBelow(100);
     bool Remote = Node != Home;
 
-    bool Got = Info.recordAccess(Node, Kind, Line, Latency, Remote);
+    bool Got = Info.recordAccess(Node, Node, Kind, Line, Latency, Remote);
     bool Want = Reference.record(Node, Kind, Line, Latency, Remote);
     // Invalidation-for-invalidation equivalence with the unbounded set
     // model — the "two entries suffice" claim at node granularity.
@@ -728,6 +739,268 @@ TEST_P(JsonFuzzTest, MutatedDocumentsNeverCrashTheParser) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, JsonFuzzTest,
                          ::testing::Range<uint64_t>(1, 9));
+
+//===----------------------------------------------------------------------===//
+// Page assessment (EQ.1-EQ.4, clamped) invariants on random profiles
+//===----------------------------------------------------------------------===//
+
+class PageAssessPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PageAssessPropertyTest, ClampedEquationInvariantsHold) {
+  SplitMix64 Rng(GetParam());
+  for (int Iter = 0; Iter < 25; ++Iter) {
+    uint32_t Workers = 1 + static_cast<uint32_t>(Rng.nextBelow(8));
+    runtime::ThreadRegistry Registry;
+    runtime::PhaseTracker Phases;
+    Registry.threadStarted(0, true, 0);
+    Phases.programBegin(0, 0);
+
+    core::ObjectAccessProfile Profile;
+    uint64_t MaxRuntime = 0;
+    for (uint32_t T = 1; T <= Workers; ++T) {
+      Registry.threadStarted(T, false, 1000);
+      Phases.threadCreated(T, 0, 1000);
+
+      uint64_t OnObject = 4 + Rng.nextBelow(100);
+      uint64_t OffObject = Rng.nextBelow(100);
+      uint64_t ObjectCycles = 0, RemoteAccesses = 0, RemoteCycles = 0;
+      for (uint64_t A = 0; A < OnObject; ++A) {
+        // Local latency 2..20; a random subset is remote and pays a
+        // 1..60-cycle surcharge on top.
+        uint64_t Latency = 2 + Rng.nextBelow(19);
+        bool Remote = Rng.nextBool(0.4);
+        if (Remote) {
+          Latency += 1 + Rng.nextBelow(60);
+          ++RemoteAccesses;
+          RemoteCycles += Latency;
+        }
+        ObjectCycles += Latency;
+        Registry.recordSample(T, Latency);
+      }
+      for (uint64_t A = 0; A < OffObject; ++A)
+        Registry.recordSample(T, 2 + Rng.nextBelow(19));
+
+      Profile.SampledAccesses += OnObject;
+      Profile.SampledCycles += ObjectCycles;
+      Profile.RemoteAccesses += RemoteAccesses;
+      Profile.RemoteCycles += RemoteCycles;
+      Profile.PerThread.push_back({T, OnObject, ObjectCycles});
+    }
+    // Lifecycle timestamps must be monotone: finish the workers in time
+    // order, whatever the tid order of their random runtimes.
+    std::vector<std::pair<uint64_t, ThreadId>> Finishes;
+    for (uint32_t T = 1; T <= Workers; ++T) {
+      uint64_t Runtime = 10000 + Rng.nextBelow(90000);
+      MaxRuntime = std::max(MaxRuntime, Runtime);
+      Finishes.push_back({1000 + Runtime, T});
+    }
+    std::sort(Finishes.begin(), Finishes.end());
+    for (const auto &[End, T] : Finishes) {
+      Registry.threadFinished(T, End);
+      Phases.threadFinished(T, End);
+    }
+    uint64_t AppRuntime = 2000 + MaxRuntime;
+    Registry.threadFinished(0, AppRuntime);
+    Phases.programEnd(AppRuntime);
+
+    core::AssessorConfig Config;
+    core::Assessor Assess(Registry, Phases, Config);
+    Assess.setLocalLatencyTotals(1000, 1000 * (2 + Rng.nextBelow(10)));
+    core::Assessment Result = Assess.assessPage(Profile, AppRuntime);
+
+    // Clamp contract: the prediction never exceeds the measured runtime,
+    // so the improvement factor is at least 1.
+    EXPECT_GE(Result.ImprovementFactor, 1.0 - 1e-9);
+    EXPECT_LE(Result.PredictedAppRuntime,
+              static_cast<double>(AppRuntime) + 1e-6);
+
+    // Per thread: removed cycles never exceed the measured on-object
+    // cycles ("prediction never exceeds measured cycles removed").
+    double TotalExcess = 0.0;
+    for (const core::ThreadPrediction &P : Result.Threads) {
+      EXPECT_GE(P.PredictedCycles + 1e-9,
+                static_cast<double>(P.SampledCycles) -
+                    static_cast<double>(P.CyclesOnObject));
+      EXPECT_LE(P.PredictedRuntime,
+                static_cast<double>(P.RealRuntime) + 1e-9);
+      TotalExcess += std::max(
+          0.0, static_cast<double>(P.CyclesOnObject) -
+                   Result.AverageNoFsLatency *
+                       static_cast<double>(P.AccessesOnObject));
+    }
+
+    // Improvement strictly above 1 requires removable excess somewhere;
+    // zero excess pins the prediction at exactly the measured runtime.
+    if (Result.ImprovementFactor > 1.0 + 1e-9)
+      EXPECT_GT(TotalExcess, 0.0);
+    if (TotalExcess == 0.0)
+      EXPECT_NEAR(Result.ImprovementFactor, 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PageAssessPropertyTest,
+                         ::testing::Range<uint64_t>(101, 113));
+
+TEST(PageAssessPropertyTest, ImprovementMonotoneInRemoteFraction) {
+  // Two workers on one page; worker 2's remote share sweeps 0 -> 100%.
+  // More remote surcharge means more removable excess, so the predicted
+  // improvement must never decrease along the sweep.
+  double Previous = 0.0;
+  for (uint64_t Remote = 0; Remote <= 50; Remote += 5) {
+    runtime::ThreadRegistry Registry;
+    runtime::PhaseTracker Phases;
+    Registry.threadStarted(0, true, 0);
+    Phases.programBegin(0, 0);
+    for (ThreadId T : {1u, 2u}) {
+      Registry.threadStarted(T, false, 1000);
+      Phases.threadCreated(T, 0, 1000);
+    }
+    core::ObjectAccessProfile Profile;
+    // Worker 1: 50 local object accesses at 10 cycles (pins the local
+    // baseline at exactly 10), 50 off-object samples.
+    for (int A = 0; A < 50; ++A)
+      Registry.recordSample(1, 10);
+    for (int A = 0; A < 50; ++A)
+      Registry.recordSample(1, 10);
+    Profile.PerThread.push_back({1, 50, 500});
+    // Worker 2: 50 object accesses, `Remote` of them at 30 cycles.
+    uint64_t Cycles2 = 0;
+    for (uint64_t A = 0; A < 50; ++A) {
+      uint64_t Latency = A < Remote ? 30 : 10;
+      Cycles2 += Latency;
+      Registry.recordSample(2, Latency);
+    }
+    for (int A = 0; A < 50; ++A)
+      Registry.recordSample(2, 10);
+    Profile.PerThread.push_back({2, 50, Cycles2});
+    Profile.SampledAccesses = 100;
+    Profile.SampledCycles = 500 + Cycles2;
+    Profile.RemoteAccesses = Remote;
+    Profile.RemoteCycles = Remote * 30;
+
+    // Worker 1 finishes early so the remote-paying worker 2 owns the
+    // phase's critical path (otherwise EQ.4's max pins improvement at 1).
+    Registry.threadFinished(1, 51000);
+    Phases.threadFinished(1, 51000);
+    Registry.threadFinished(2, 101000);
+    Phases.threadFinished(2, 101000);
+    Registry.threadFinished(0, 102000);
+    Phases.programEnd(102000);
+
+    core::AssessorConfig Config;
+    core::Assessor Assess(Registry, Phases, Config);
+    core::Assessment Result = Assess.assessPage(Profile, 102000);
+    EXPECT_DOUBLE_EQ(Result.AverageNoFsLatency, 10.0);
+    EXPECT_GE(Result.ImprovementFactor, Previous - 1e-12)
+        << "remote=" << Remote;
+    Previous = Result.ImprovementFactor;
+  }
+  EXPECT_GT(Previous, 1.0);
+}
+
+//===----------------------------------------------------------------------===//
+// ReportDiff::parseReport under fuzz: loud errors, never a crash
+//===----------------------------------------------------------------------===//
+
+/// A small but real report document through the production JSON sink.
+std::string renderFuzzReport(SplitMix64 &Rng) {
+  std::string Out;
+  core::JsonReportSink Sink(Out);
+  core::ReportRunInfo Info;
+  Info.Tool = "cheetah";
+  Info.Workload = "fuzz";
+  Info.Threads = 4;
+  Info.Granularity = "both";
+  Sink.beginRun(Info);
+  size_t Findings = Rng.nextBelow(3);
+  for (size_t I = 0; I < Findings; ++I) {
+    core::FalseSharingReport Report;
+    Report.Object.IsHeap = false;
+    Report.Object.GlobalName = "g" + std::to_string(Rng.nextBelow(3));
+    Report.Object.Start = 0x1000 * (1 + Rng.nextBelow(64));
+    Report.Object.Size = 64 + Rng.nextBelow(512);
+    Report.SampledAccesses = Rng.nextBelow(10000);
+    Report.Invalidations = Rng.nextBelow(500);
+    Report.Impact.ImprovementFactor =
+        1.0 + static_cast<double>(Rng.nextBelow(300)) / 100.0;
+    Sink.finding(Report, Rng.nextBool(0.5));
+  }
+  size_t Pages = Rng.nextBelow(3);
+  for (size_t I = 0; I < Pages; ++I) {
+    core::PageSharingReport Report;
+    Report.PageBase = 0x1000 * (1 + Rng.nextBelow(64));
+    Report.PageSize = 4096;
+    Report.SampledAccesses = Rng.nextBelow(10000);
+    Report.RemoteAccesses = Rng.nextBelow(5000);
+    Report.Invalidations = Rng.nextBelow(500);
+    Report.Impact.ImprovementFactor =
+        1.0 + static_cast<double>(Rng.nextBelow(300)) / 100.0;
+    if (Rng.nextBool(0.7))
+      Report.Objects.push_back("o" + std::to_string(Rng.nextBelow(3)));
+    Sink.pageFinding(Report, Rng.nextBool(0.5));
+  }
+  core::ReportRunStats Stats;
+  Stats.AppRuntime = Rng.nextBelow(1000000);
+  Sink.endRun(Stats);
+  return Out;
+}
+
+class ReportDiffFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReportDiffFuzzTest, HostileReportInputNeverCrashes) {
+  SplitMix64 Rng(GetParam() ^ 0xD1FF);
+  for (int Doc = 0; Doc < 10; ++Doc) {
+    std::string Text = renderFuzzReport(Rng);
+
+    // The pristine document parses.
+    core::ParsedReport Report;
+    std::string Error;
+    ASSERT_TRUE(core::parseReport(Text, Report, Error)) << Error;
+
+    // Truncations at every bounded prefix: error, never crash.
+    for (size_t Cut = 0; Cut < Text.size(); Cut += 7) {
+      core::ParsedReport Partial;
+      if (!core::parseReport(Text.substr(0, Cut), Partial, Error))
+        EXPECT_FALSE(Error.empty());
+    }
+    // Random byte mutations (flip/insert/erase).
+    for (int Mutation = 0; Mutation < 60; ++Mutation) {
+      std::string Mutated = Text;
+      switch (Rng.nextBelow(3)) {
+      case 0:
+        if (!Mutated.empty())
+          Mutated[Rng.nextBelow(Mutated.size())] =
+              static_cast<char>(Rng.nextBelow(256));
+        break;
+      case 1:
+        Mutated.insert(Rng.nextBelow(Mutated.size() + 1), 1,
+                       static_cast<char>(Rng.nextBelow(256)));
+        break;
+      default:
+        if (!Mutated.empty())
+          Mutated.erase(Rng.nextBelow(Mutated.size()), 1);
+        break;
+      }
+      core::ParsedReport Fuzzed;
+      if (!core::parseReport(Mutated, Fuzzed, Error))
+        EXPECT_FALSE(Error.empty());
+    }
+
+    // Version mismatches fail loudly by name.
+    for (const char *Schema : {"cheetah-report-v1", "cheetah-report-v9"}) {
+      std::string Mismatched = Text;
+      size_t Pos = Mismatched.find("cheetah-report-v3");
+      ASSERT_NE(Pos, std::string::npos);
+      Mismatched.replace(Pos, 17, Schema);
+      core::ParsedReport Rejected;
+      EXPECT_FALSE(core::parseReport(Mismatched, Rejected, Error));
+      EXPECT_NE(Error.find("unsupported schema"), std::string::npos);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReportDiffFuzzTest,
+                         ::testing::Range<uint64_t>(1, 7));
 
 TEST(JsonFuzzTest, HostileHandWrittenInputsErrorCleanly) {
   // Inputs chosen to hit every parser failure edge, including the

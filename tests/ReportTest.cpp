@@ -10,11 +10,13 @@
 /// golden test runs a known simulated workload, parses the emitted
 /// document with the support-layer parser, and round-trips every summary
 /// counter and per-finding field against the in-memory ProfileResult —
-/// the schema (`cheetah-report-v2`) is a compatibility contract for
-/// multi-run comparison tooling, so key names are pinned here. The schema
-/// *version* is pinned just as hard: v2 added the pageFindings sections,
-/// and a consumer built against `cheetah-report-v1` must fail loudly on
-/// the version string rather than silently ignore the new data.
+/// the schema (`cheetah-report-v3`) is a compatibility contract for
+/// multi-run comparison tooling (`cheetah-diff`), so key names are pinned
+/// here. The schema *version* is pinned just as hard: v2 added the
+/// pageFindings sections, v3 added their assessment and the top-level
+/// predictedImprovement factors, and consumers built against superseded
+/// versions must fail loudly on the version string rather than silently
+/// ignore (or misorder) the new data.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -57,7 +59,7 @@ TEST(JsonReportGoldenTest, DocumentParsesAndRoundTripsCounters) {
 
   // Schema identity.
   ASSERT_NE(Document.find("schema"), nullptr);
-  EXPECT_EQ(Document.find("schema")->asString(), "cheetah-report-v2");
+  EXPECT_EQ(Document.find("schema")->asString(), "cheetah-report-v3");
 
   // Run identification written by the driver's beginRun.
   const JsonValue *Run = Document.find("run");
@@ -134,6 +136,11 @@ TEST(JsonReportGoldenTest, DocumentParsesAndRoundTripsCounters) {
                     ->find("improvement_factor")
                     ->asNumber(),
                 Expected.Impact.ImprovementFactor, 1e-12);
+    // Every finding carries the v3 top-level improvement factor, equal to
+    // its assessment's.
+    ASSERT_NE(Finding.find("predictedImprovement"), nullptr);
+    EXPECT_NEAR(Finding.find("predictedImprovement")->asNumber(),
+                Expected.Impact.ImprovementFactor, 1e-12);
     if (Finding.find("significant")->asBool())
       ++SignificantSeen;
     // Word entries mirror the hottest-first report words.
@@ -164,11 +171,25 @@ TEST(JsonReportGoldenTest, SchemaVersionGatesV1Consumers) {
   std::string Error;
   ASSERT_TRUE(JsonValue::parse(JsonText, Document, Error)) << Error;
   ASSERT_NE(Document.find("schema"), nullptr);
+  EXPECT_NE(Document.find("schema")->asString(), "cheetah-report-v1");
+}
+
+TEST(JsonReportGoldenTest, SchemaVersionGatesV2Consumers) {
+  // Same contract one version up: v3 added page assessment and the
+  // predictedImprovement factors — and reordered pageFindings by them —
+  // so a consumer pinning "cheetah-report-v2" must reject the document
+  // rather than silently assume the v2 ordering.
+  std::string JsonText;
+  runKnownWorkload(JsonText);
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(JsonText, Document, Error)) << Error;
+  ASSERT_NE(Document.find("schema"), nullptr);
   const std::string &Schema = Document.find("schema")->asString();
-  // A strict v1 consumer must fail loudly here...
-  EXPECT_NE(Schema, "cheetah-report-v1");
+  // A strict v2 consumer must fail loudly here...
+  EXPECT_NE(Schema, "cheetah-report-v2");
   // ...and the version that replaced it is pinned exactly.
-  EXPECT_EQ(Schema, "cheetah-report-v2");
+  EXPECT_EQ(Schema, "cheetah-report-v3");
 }
 
 /// A deterministic page-granularity run over the node-interleaved NUMA
@@ -229,6 +250,16 @@ TEST(JsonReportGoldenTest, PageFindingsRoundTripAgainstProfileResult) {
               Expected.LatencyCycles);
     EXPECT_NEAR(Finding.find("remote_fraction")->asNumber(),
                 Expected.remoteFraction(), 1e-12);
+    // v3: page findings carry the assessment and the top-level factor.
+    ASSERT_NE(Finding.find("predictedImprovement"), nullptr);
+    EXPECT_NEAR(Finding.find("predictedImprovement")->asNumber(),
+                Expected.Impact.ImprovementFactor, 1e-12);
+    const JsonValue *Impact = Finding.find("assessment");
+    ASSERT_NE(Impact, nullptr);
+    EXPECT_NEAR(Impact->find("improvement_factor")->asNumber(),
+                Expected.Impact.ImprovementFactor, 1e-12);
+    EXPECT_NEAR(Impact->find("predicted_runtime_cycles")->asNumber(),
+                Expected.Impact.PredictedAppRuntime, 1e-6);
     if (Finding.find("significant")->asBool())
       ++SignificantSeen;
     const JsonValue *Lines = Finding.find("lines");

@@ -7,8 +7,9 @@
 /// \file
 /// Command-line front end: run any modeled workload under the Cheetah
 /// profiler and stream its report — Figure-5 text or machine-readable JSON
-/// (`cheetah-report-v2`) — optionally comparing against the padded
-/// ("fixed") variant and against a native (unprofiled) run.
+/// (`cheetah-report-v3`, diffable with `cheetah-diff`) — optionally
+/// comparing against the padded ("fixed") variant and against a native
+/// (unprofiled) run.
 ///
 /// Examples:
 ///   cheetah-profile --workload=linear_regression --threads=16
@@ -17,6 +18,7 @@
 ///   cheetah-profile --workload=numa_interleaved --granularity=page
 ///   cheetah-profile --workload=numa_first_touch --granularity=both \
 ///       --numa-nodes=4 --format=json
+///   cheetah-profile --workload=numa_first_touch --granularity=page --verify
 ///   cheetah-profile --list
 ///
 //===----------------------------------------------------------------------===//
@@ -271,14 +273,20 @@ int main(int Argc, char **Argv) {
                  Overhead * 100.0);
   }
 
-  if (Flags.getBool("verify") && !Profile.Reports.empty()) {
+  if (Flags.getBool("verify") &&
+      (!Profile.Reports.empty() || !Profile.PageReports.empty())) {
     driver::SessionConfig Fixed = Config;
     Fixed.Workload.FixFalseSharing = true;
     Fixed.EnableProfiler = false;
     driver::SessionResult FixedRun = driver::runWorkload(*Workload, Fixed);
     double Real = static_cast<double>(Profile.AppRuntime) /
                   static_cast<double>(FixedRun.Run.TotalCycles);
-    double Predicted = Profile.Reports.front().Impact.ImprovementFactor;
+    // Line findings take precedence; a page-only run verifies against the
+    // page assessment (EQ.1-EQ.4 over the finding's site).
+    double Predicted =
+        !Profile.Reports.empty()
+            ? Profile.Reports.front().Impact.ImprovementFactor
+            : Profile.PageReports.front().Impact.ImprovementFactor;
     std::fprintf(Aux,
                  "verification: predicted %.2fx, actual (padded rerun) "
                  "%.2fx, diff %+.1f%%\n",
