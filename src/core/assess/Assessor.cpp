@@ -83,6 +83,10 @@ Assessment Assessor::assessWithLatency(const ObjectAccessProfile &Profile,
   Result.UsedDefaultLatency = UsedDefault;
 
   // --- Step 2 (EQ.2, EQ.3): predict every thread's runtime after the fix.
+  // Pass 1 computes each thread's object prediction (clamped for pages)
+  // and how many object cycles the fix would remove from it.
+  std::vector<double> ObjectPredictions;
+  double TotalRemoval = 0.0;
   for (const runtime::ThreadProfile &Thread : Registry.threads()) {
     if (!Thread.Registered)
       continue;
@@ -97,32 +101,69 @@ Assessment Assessor::assessWithLatency(const ObjectAccessProfile &Profile,
       Prediction.AccessesOnObject = OnObject->Accesses;
     }
 
-    if (Thread.SampledCycles == 0) {
+    // EQ.1 restricted to thread t: PredCycles_O(t) = Aver * Accesses_O(t).
+    double PredCyclesO = Result.AverageNoFsLatency *
+                         static_cast<double>(Prediction.AccessesOnObject);
+    // Page assessment: the fix removes surcharges, it cannot make the
+    // thread's accesses slower than it measured them.
+    if (ClampToMeasured)
+      PredCyclesO = std::min(
+          PredCyclesO, static_cast<double>(Prediction.CyclesOnObject));
+    TotalRemoval +=
+        std::max(0.0, static_cast<double>(Prediction.CyclesOnObject) -
+                          PredCyclesO);
+    ObjectPredictions.push_back(PredCyclesO);
+    Result.Threads.push_back(Prediction);
+  }
+
+  // Distance-weighted removal cap (page assessment with a remoteByDistance
+  // breakdown only): what a placement fix can remove is the excess the
+  // remote traffic cost beyond the local baseline, bucket by bucket — a
+  // far-distance bucket carries proportionally more removable excess per
+  // access than a near one. When the per-thread removals claim more than
+  // that, each thread's removal scales down proportionally. Uniform
+  // topologies carry no breakdown and keep the pre-distance arithmetic
+  // exactly.
+  double RemovalScale = 1.0;
+  if (ClampToMeasured && !Profile.RemoteByDistance.empty() &&
+      TotalRemoval > 0.0) {
+    double Removable = 0.0;
+    for (const RemoteDistanceStats &Bucket : Profile.RemoteByDistance)
+      Removable += std::max(
+          0.0, static_cast<double>(Bucket.Cycles) -
+                   Result.AverageNoFsLatency *
+                       static_cast<double>(Bucket.Accesses));
+    if (Removable < TotalRemoval)
+      RemovalScale = Removable / TotalRemoval;
+  }
+
+  // Pass 2: compose EQ.2/EQ.3 from the (possibly capped) removals.
+  for (size_t I = 0; I < Result.Threads.size(); ++I) {
+    ThreadPrediction &Prediction = Result.Threads[I];
+    if (Prediction.SampledCycles == 0) {
       // No samples: no evidence of memory time, predict no change.
       Prediction.PredictedCycles = 0.0;
       Prediction.PredictedRuntime = static_cast<double>(Prediction.RealRuntime);
-    } else {
-      // EQ.1 restricted to thread t: PredCycles_O(t) = Aver * Accesses_O(t).
-      double PredCyclesO = Result.AverageNoFsLatency *
-                           static_cast<double>(Prediction.AccessesOnObject);
-      // Page assessment: the fix removes surcharges, it cannot make the
-      // thread's accesses slower than it measured them.
-      if (ClampToMeasured)
-        PredCyclesO = std::min(
-            PredCyclesO, static_cast<double>(Prediction.CyclesOnObject));
-      // EQ.2. Cycles_O(t) <= Cycles_t by construction, but clamp anyway so
-      // a pathological profile cannot predict negative cycles.
-      double PredCycles = static_cast<double>(Thread.SampledCycles) -
-                          static_cast<double>(Prediction.CyclesOnObject) +
-                          PredCyclesO;
-      PredCycles = std::max(PredCycles, PredCyclesO);
-      Prediction.PredictedCycles = PredCycles;
-      // EQ.3: runtime scales with sampled access cycles.
-      Prediction.PredictedRuntime =
-          PredCycles / static_cast<double>(Thread.SampledCycles) *
-          static_cast<double>(Prediction.RealRuntime);
+      continue;
     }
-    Result.Threads.push_back(Prediction);
+    double PredCyclesO = ObjectPredictions[I];
+    if (RemovalScale < 1.0) {
+      double Removal = std::max(
+          0.0, static_cast<double>(Prediction.CyclesOnObject) - PredCyclesO);
+      PredCyclesO = static_cast<double>(Prediction.CyclesOnObject) -
+                    Removal * RemovalScale;
+    }
+    // EQ.2. Cycles_O(t) <= Cycles_t by construction, but clamp anyway so
+    // a pathological profile cannot predict negative cycles.
+    double PredCycles = static_cast<double>(Prediction.SampledCycles) -
+                        static_cast<double>(Prediction.CyclesOnObject) +
+                        PredCyclesO;
+    PredCycles = std::max(PredCycles, PredCyclesO);
+    Prediction.PredictedCycles = PredCycles;
+    // EQ.3: runtime scales with sampled access cycles.
+    Prediction.PredictedRuntime =
+        PredCycles / static_cast<double>(Prediction.SampledCycles) *
+        static_cast<double>(Prediction.RealRuntime);
   }
 
   auto PredictionFor = [&](ThreadId Tid) -> const ThreadPrediction * {

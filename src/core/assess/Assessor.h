@@ -27,6 +27,7 @@
 #define CHEETAH_CORE_ASSESS_ASSESSOR_H
 
 #include "core/detect/CacheLineInfo.h"
+#include "mem/NumaTopology.h"
 #include "runtime/PhaseTracker.h"
 #include "runtime/ThreadRegistry.h"
 #include "support/Statistics.h"
@@ -48,6 +49,12 @@ struct ObjectAccessProfile {
   /// accumulated. Page-granularity only; zero for line-level objects.
   uint64_t RemoteAccesses = 0;
   uint64_t RemoteCycles = 0;
+  /// Remote traffic bucketed by crossed node-pair distance (sorted by
+  /// distance). Populated only for distance-asymmetric topologies: it
+  /// turns the page assessment's removable-cycle estimate distance-aware
+  /// (far buckets carry more removable excess per access), while uniform
+  /// topologies keep the pre-distance arithmetic bit for bit.
+  std::vector<RemoteDistanceStats> RemoteByDistance;
   /// Per-thread accesses/cycles on this object (sorted by thread id).
   std::vector<ThreadLineStats> PerThread;
 
@@ -133,8 +140,14 @@ public:
   /// no-remote-access local latency from averageLocalLatency, and the
   /// per-thread object prediction is clamped to the measured cycles — a
   /// placement fix can only remove the remote-DRAM surcharge, never make
-  /// an access slower than observed. The resulting ImprovementFactor is
-  /// therefore >= 1, and == 1 exactly when nothing is predicted removable.
+  /// an access slower than observed. When \p Profile carries a
+  /// remoteByDistance breakdown (distance-asymmetric topologies), the
+  /// total removed cycles are additionally capped by the distance-weighted
+  /// removable excess: per bucket, what the remote traffic cost beyond the
+  /// local baseline — so only cycles the interconnect actually charged
+  /// (more per access at far distances) count as removable. The resulting
+  /// ImprovementFactor is therefore >= 1, and == 1 exactly when nothing is
+  /// predicted removable.
   Assessment assessPage(const ObjectAccessProfile &Profile,
                         uint64_t AppRuntime) const;
 

@@ -36,6 +36,10 @@ bool Detector::handlePageSample(const pmu::Sample &Sample,
   }
 
   bool Remote = Node != Home;
+  // Which node pair the sample crossed: the distance evidence behind the
+  // remoteByDistance report breakdown and the distance-weighted page
+  // assessment. Local samples cross nothing.
+  uint32_t Distance = Remote ? Topology->distance(Node, Home) : 0;
   uint64_t LineIndex = Pages->lineIndexInPage(Sample.Address);
   bool Invalidation;
   {
@@ -47,7 +51,7 @@ bool Detector::handlePageSample(const pmu::Sample &Sample,
     Invalidation = Info->recordAccess(
         Sample.Tid, Node,
         Sample.IsWrite ? AccessKind::Write : AccessKind::Read, LineIndex,
-        Sample.LatencyCycles, Remote);
+        Sample.LatencyCycles, Remote, Distance);
   }
   if (Invalidation)
     PageInvalidations.fetch_add(1, std::memory_order_relaxed);

@@ -8,6 +8,8 @@
 
 #include "support/Assert.h"
 
+#include <algorithm>
+
 using namespace cheetah;
 using namespace cheetah::core;
 
@@ -49,9 +51,54 @@ WordStats PageInfo::AtomicLineStats::snapshot() const {
   return Result;
 }
 
+void PageInfo::bucketRemote(uint32_t Distance, uint64_t LatencyCycles) {
+  for (AtomicDistanceStats &Slot : DistanceSlots) {
+    uint32_t Current = Slot.Distance.load(std::memory_order_relaxed);
+    if (Current == 0 &&
+        Slot.Distance.compare_exchange_strong(Current, Distance,
+                                              std::memory_order_relaxed))
+      Current = Distance;
+    // On CAS failure `Current` holds the distance that won the slot.
+    if (Current != Distance)
+      continue;
+    Slot.Accesses.fetch_add(1, std::memory_order_relaxed);
+    if (LatencyCycles)
+      Slot.Cycles.fetch_add(LatencyCycles, std::memory_order_relaxed);
+    return;
+  }
+  // A settled home yields at most MaxNodes - 1 distinct distances, so the
+  // array cannot fill through the detector. Direct API misuse with more
+  // distances than nodes folds into the last slot: the per-bucket split
+  // degrades but the accesses/cycles conservation against remoteAccesses()
+  // survives.
+  DistanceSlots[NumaTopology::MaxNodes - 1].Accesses.fetch_add(
+      1, std::memory_order_relaxed);
+  if (LatencyCycles)
+    DistanceSlots[NumaTopology::MaxNodes - 1].Cycles.fetch_add(
+        LatencyCycles, std::memory_order_relaxed);
+}
+
+std::vector<RemoteDistanceStats> PageInfo::remoteByDistance() const {
+  std::vector<RemoteDistanceStats> Result;
+  for (const AtomicDistanceStats &Slot : DistanceSlots) {
+    RemoteDistanceStats Stats;
+    Stats.Distance = Slot.Distance.load(std::memory_order_relaxed);
+    Stats.Accesses = Slot.Accesses.load(std::memory_order_relaxed);
+    Stats.Cycles = Slot.Cycles.load(std::memory_order_relaxed);
+    if (Stats.Accesses == 0)
+      continue;
+    Result.push_back(Stats);
+  }
+  std::sort(Result.begin(), Result.end(),
+            [](const RemoteDistanceStats &A, const RemoteDistanceStats &B) {
+              return A.Distance < B.Distance;
+            });
+  return Result;
+}
+
 bool PageInfo::recordAccess(ThreadId Tid, NodeId Node, AccessKind Kind,
                             uint64_t LineIndex, uint64_t LatencyCycles,
-                            bool Remote) {
+                            bool Remote, uint32_t Distance) {
   CHEETAH_ASSERT(LineIndex < LineCount, "line index outside page");
   CHEETAH_ASSERT(Node < NumaTopology::MaxNodes, "node id out of range");
 
@@ -69,6 +116,12 @@ bool PageInfo::recordAccess(ThreadId Tid, NodeId Node, AccessKind Kind,
   if (Remote) {
     RemoteAccesses.fetch_add(1, std::memory_order_relaxed);
     RemoteCycles.fetch_add(LatencyCycles, std::memory_order_relaxed);
+    // Every remote sample lands in a bucket so the breakdown always
+    // conserves against RemoteAccesses. Validated topologies hand in
+    // distances >= 1; a caller passing 0 (no distance information) folds
+    // into the default remote distance.
+    bucketRemote(Distance ? Distance : NumaTopology::DefaultRemoteDistance,
+                 LatencyCycles);
   }
 
   Lines[LineIndex].record(Node, Kind, LatencyCycles);

@@ -37,6 +37,7 @@ PageReportBuilder::buildReport(uint64_t PageBase, NodeId Home,
   Report.Invalidations = Info.invalidations();
   Report.LatencyCycles = Info.cycles();
   Report.RemoteLatencyCycles = Info.remoteCycles();
+  Report.RemoteByDistance = Info.remoteByDistance();
   Report.NodesObserved = static_cast<uint32_t>(Info.nodeCount());
 
   // One snapshot serves classification and the per-line entries. The
@@ -93,6 +94,11 @@ PageReportBuilder::buildReport(uint64_t PageBase, NodeId Home,
   Pending.Profile.Invalidations = Report.Invalidations;
   Pending.Profile.RemoteAccesses = Report.RemoteAccesses;
   Pending.Profile.RemoteCycles = Report.RemoteLatencyCycles;
+  // The assessment becomes distance-weighted only when distances actually
+  // differ; uniform topologies (the binary local/remote model) keep the
+  // pre-distance arithmetic — and thus their goldens — bit for bit.
+  if (!Topology.uniformRemoteDistances())
+    Pending.Profile.RemoteByDistance = Report.RemoteByDistance;
   Pending.Profile.PerThread = Info.threads();
   return Pending;
 }
@@ -142,6 +148,21 @@ PageReportBuilder::Output PageReportBuilder::finalize(const Assessor &Assess,
     Site.Invalidations += Profile.Invalidations;
     Site.RemoteAccesses += Profile.RemoteAccesses;
     Site.RemoteCycles += Profile.RemoteCycles;
+    for (const RemoteDistanceStats &Bucket : Profile.RemoteByDistance) {
+      auto At = std::lower_bound(
+          Site.RemoteByDistance.begin(), Site.RemoteByDistance.end(),
+          Bucket.Distance,
+          [](const RemoteDistanceStats &S, uint32_t D) {
+            return S.Distance < D;
+          });
+      if (At != Site.RemoteByDistance.end() &&
+          At->Distance == Bucket.Distance) {
+        At->Accesses += Bucket.Accesses;
+        At->Cycles += Bucket.Cycles;
+      } else {
+        Site.RemoteByDistance.insert(At, Bucket);
+      }
+    }
     for (const ThreadLineStats &Stats : Profile.PerThread) {
       auto It = std::lower_bound(
           Site.PerThread.begin(), Site.PerThread.end(), Stats.Tid,

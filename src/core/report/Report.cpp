@@ -124,6 +124,15 @@ cheetah::core::formatPageReport(const PageSharingReport &Report,
       Report.remoteFraction() * 100.0,
       counter(Report.LatencyCycles, Options.HexCounters).c_str(),
       counter(Report.RemoteLatencyCycles, Options.HexCounters).c_str());
+  if (!Report.RemoteByDistance.empty()) {
+    Out += "Remote traffic by node-pair distance:";
+    for (const RemoteDistanceStats &Bucket : Report.RemoteByDistance)
+      Out += formatString(
+          " d%u: %s accesses %s cycles;", Bucket.Distance,
+          counter(Bucket.Accesses, Options.HexCounters).c_str(),
+          counter(Bucket.Cycles, Options.HexCounters).c_str());
+    Out += "\n";
+  }
   Out += formatString("Sharing classification: %s (shared-line fraction "
                       "%.2f over %u nodes).\n",
                       sharingKindName(Report.Kind),

@@ -104,6 +104,10 @@ struct PageSharingReport {
   uint64_t Invalidations = 0; // cross-node invalidations
   uint64_t LatencyCycles = 0;
   uint64_t RemoteLatencyCycles = 0;
+  /// Remote traffic bucketed by the node-pair distance it crossed, sorted
+  /// by distance (the v4 schema's remoteByDistance breakdown). Bucket
+  /// accesses sum to RemoteAccesses, cycles to RemoteLatencyCycles.
+  std::vector<RemoteDistanceStats> RemoteByDistance;
   /// Fraction of accesses on lines shared by multiple nodes.
   double SharedLineFraction = 0.0;
   /// EQ.1–EQ.4 at page granularity: the predicted whole-program speedup

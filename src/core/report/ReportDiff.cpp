@@ -10,6 +10,7 @@
 #include "support/StringUtils.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 
 using namespace cheetah;
@@ -155,6 +156,39 @@ bool parsePageFinding(const JsonValue &Node, DiffFinding &Out,
       !fieldUint(Node, "invalidations", Out.Invalidations, Error) ||
       !fieldUint(Node, "remote_accesses", Out.RemoteAccesses, Error))
     return false;
+  // v4 only: the distance breakdown. Optional (v2/v3 findings predate it),
+  // but when present it must be well-formed — a malformed bucket is a
+  // hostile document, not a skippable detail.
+  if (const JsonValue *Buckets = Node.find("remote_by_distance")) {
+    if (!Buckets->isArray()) {
+      Error = "'remote_by_distance' is not an array";
+      return false;
+    }
+    for (size_t I = 0; I < Buckets->size(); ++I) {
+      const JsonValue &Entry = Buckets->elements()[I];
+      if (!Entry.isObject()) {
+        Error = formatString("remote_by_distance[%zu] is not an object", I);
+        return false;
+      }
+      RemoteDistanceStats Bucket;
+      uint64_t Distance = 0;
+      if (!fieldUint(Entry, "distance", Distance, Error) ||
+          !fieldUint(Entry, "accesses", Bucket.Accesses, Error) ||
+          !fieldUint(Entry, "cycles", Bucket.Cycles, Error)) {
+        Error = formatString("remote_by_distance[%zu]: ", I) + Error;
+        return false;
+      }
+      // Distances come from a validated topology; a value the uint32
+      // field cannot hold is a hostile document, not truncation material.
+      if (Distance > std::numeric_limits<uint32_t>::max()) {
+        Error = formatString(
+            "remote_by_distance[%zu]: field 'distance' is out of range", I);
+        return false;
+      }
+      Bucket.Distance = static_cast<uint32_t>(Distance);
+      Out.RemoteByDistance.push_back(Bucket);
+    }
+  }
   readImprovement(Node, Out);
   return true;
 }
@@ -202,6 +236,18 @@ void writeDiffFinding(JsonWriter &Writer, const DiffFinding &Finding) {
   Writer.member("invalidations", Finding.Invalidations);
   if (Finding.IsPage)
     Writer.member("remote_accesses", Finding.RemoteAccesses);
+  if (!Finding.RemoteByDistance.empty()) {
+    Writer.key("remote_by_distance");
+    Writer.beginArray();
+    for (const RemoteDistanceStats &Bucket : Finding.RemoteByDistance) {
+      Writer.beginObject();
+      Writer.member("distance", Bucket.Distance);
+      Writer.member("accesses", Bucket.Accesses);
+      Writer.member("cycles", Bucket.Cycles);
+      Writer.endObject();
+    }
+    Writer.endArray();
+  }
   Writer.endObject();
 }
 
@@ -282,12 +328,13 @@ bool cheetah::core::parseReport(const std::string &Text, ParsedReport &Out,
   if (!fieldString(Document, "schema", Out.Schema, Error))
     return false;
   if (Out.Schema != "cheetah-report-v2" &&
-      Out.Schema != "cheetah-report-v3") {
+      Out.Schema != "cheetah-report-v3" &&
+      Out.Schema != "cheetah-report-v4") {
     // The loud version gate: v1 (and anything unknown) must be rejected,
     // not silently half-read.
     Error = formatString(
-        "unsupported schema '%s' (cheetah-diff reads cheetah-report-v2 "
-        "and cheetah-report-v3)",
+        "unsupported schema '%s' (cheetah-diff reads cheetah-report-v2, "
+        "cheetah-report-v3, and cheetah-report-v4)",
         Out.Schema.c_str());
     return false;
   }

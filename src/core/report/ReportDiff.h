@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Comparison tooling over serialized `cheetah-report-v2`/`v3` JSON
+/// Comparison tooling over serialized `cheetah-report-v2`/`v3`/`v4` JSON
 /// documents, the library behind the `cheetah-diff` CLI: parse two runs'
 /// reports back (failing loudly on v1 or unknown schemas — never
 /// crashing on hostile input), match findings across the runs by
@@ -27,6 +27,8 @@
 
 #ifndef CHEETAH_CORE_REPORT_REPORTDIFF_H
 #define CHEETAH_CORE_REPORT_REPORTDIFF_H
+
+#include "mem/NumaTopology.h"
 
 #include <cstdint>
 #include <string>
@@ -54,6 +56,9 @@ struct DiffFinding {
   uint64_t Invalidations = 0;
   /// Page findings only.
   uint64_t RemoteAccesses = 0;
+  /// Remote traffic by crossed node-pair distance; only v4 page findings
+  /// carry it (empty otherwise).
+  std::vector<RemoteDistanceStats> RemoteByDistance;
 };
 
 /// A parsed report document, reduced to run identity plus findings.
@@ -68,12 +73,13 @@ struct ParsedReport {
   std::vector<DiffFinding> PageFindings;
 };
 
-/// Parses a serialized cheetah report into \p Out. Accepts schema
-/// `cheetah-report-v2` and `cheetah-report-v3` only; anything else —
-/// including v1, whose consumers this version-gating contract exists
-/// for — fails with a descriptive \p Error. Malformed JSON, wrong value
-/// kinds, and missing required fields also fail loudly; this function
-/// never crashes on hostile input (the fuzz suite pins that).
+/// Parses a serialized cheetah report into \p Out. Accepts schemas
+/// `cheetah-report-v2`, `cheetah-report-v3`, and `cheetah-report-v4`
+/// only; anything else — including v1, whose consumers this
+/// version-gating contract exists for — fails with a descriptive
+/// \p Error. Malformed JSON, wrong value kinds, and missing required
+/// fields also fail loudly; this function never crashes on hostile input
+/// (the fuzz suite pins that).
 bool parseReport(const std::string &Text, ParsedReport &Out,
                  std::string &Error);
 

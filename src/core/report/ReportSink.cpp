@@ -80,7 +80,7 @@ void TextReportSink::endRun(const ReportRunStats &Stats) {
 void JsonReportSink::beginRun(const ReportRunInfo &Info) {
   InPageArray = false;
   Writer.beginObject();
-  Writer.member("schema", "cheetah-report-v3");
+  Writer.member("schema", "cheetah-report-v4");
   Writer.key("run");
   Writer.beginObject();
   Writer.member("tool", Info.Tool);
@@ -203,6 +203,21 @@ void JsonReportSink::pageFinding(const PageSharingReport &Report,
   Writer.member("invalidations", Report.Invalidations);
   Writer.member("latency_cycles", Report.LatencyCycles);
   Writer.member("remote_latency_cycles", Report.RemoteLatencyCycles);
+
+  // The v4 distance breakdown: which node pairs the remote traffic
+  // crossed. Bucket accesses sum to remote_accesses, cycles to
+  // remote_latency_cycles.
+  Writer.key("remote_by_distance");
+  Writer.beginArray();
+  for (const RemoteDistanceStats &Bucket : Report.RemoteByDistance) {
+    Writer.beginObject();
+    Writer.member("distance", Bucket.Distance);
+    Writer.member("accesses", Bucket.Accesses);
+    Writer.member("cycles", Bucket.Cycles);
+    Writer.endObject();
+  }
+  Writer.endArray();
+
   Writer.member("shared_line_fraction", Report.SharedLineFraction);
   writeAssessment(Report.Impact);
 

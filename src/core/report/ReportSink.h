@@ -10,7 +10,7 @@
 /// generation pushes findings through a ReportSink one object at a time as
 /// the builder finalizes them. Two implementations ship: TextReportSink
 /// renders the paper's Figure-5 text format, JsonReportSink emits a stable
-/// machine-readable schema (`cheetah-report-v3`) consumed by the
+/// machine-readable schema (`cheetah-report-v4`) consumed by the
 /// multi-run comparison tooling in ReportDiff.h / `cheetah-diff`. Both
 /// append to a caller-owned string so the caller chooses the final
 /// destination (stdout, a file, a golden-test buffer).
@@ -131,7 +131,7 @@ private:
 ///
 /// \code{.json}
 /// {
-///   "schema": "cheetah-report-v3",
+///   "schema": "cheetah-report-v4",
 ///   "run": { "tool", "workload", "threads", "scale", "line_size",
 ///            "sampling_period", "seed", "fix_applied", "numa_nodes",
 ///            "page_size", "granularity" },
@@ -157,6 +157,7 @@ private:
 ///     "predictedImprovement": number,
 ///     "accesses", "writes", "remote_accesses", "remote_fraction",
 ///     "invalidations", "latency_cycles", "remote_latency_cycles",
+///     "remote_by_distance": [ { "distance", "accesses", "cycles" } ],
 ///     "shared_line_fraction",
 ///     "assessment": { "improvement_factor", "improvement_percent",
 ///                     "real_runtime_cycles", "predicted_runtime_cycles",
@@ -178,13 +179,15 @@ private:
 /// \endcode
 ///
 /// Schema evolution contract: fields are only ever added, never renamed or
-/// removed, within one schema version. `cheetah-report-v3` is `v2` plus
+/// removed, within one schema version. `cheetah-report-v3` was `v2` plus
 /// the assessment of page findings and the top-level
-/// `predictedImprovement` factor on findings of both granularities; the
-/// version string changed precisely so that `v2` consumers pinning the
-/// schema id fail loudly instead of silently reading pageFindings that
-/// now carry (and are ordered by) predicted improvement. `cheetah-diff`
-/// accepts v2 and v3.
+/// `predictedImprovement` factor on findings of both granularities.
+/// `cheetah-report-v4` is `v3` plus the per-page-finding
+/// `remote_by_distance` breakdown (which node-pair distances the remote
+/// traffic crossed); the version string changed so that `v3` consumers
+/// pinning the schema id fail loudly instead of silently reading findings
+/// whose remote costs — and therefore ordering — now depend on the
+/// topology's distance matrix. `cheetah-diff` accepts v2, v3, and v4.
 class JsonReportSink : public ReportSink {
 public:
   struct Options {

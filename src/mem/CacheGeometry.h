@@ -19,6 +19,7 @@
 #include "support/Assert.h"
 
 #include <cstdint>
+#include <string>
 
 namespace cheetah {
 
@@ -29,13 +30,26 @@ inline constexpr uint64_t WordSize = 4;
 /// Describes the cache-line geometry used for shadow-memory indexing.
 class CacheGeometry {
 public:
-  /// \param LineSize cache line size in bytes; must be a power of two >= 8.
+  /// \param LineSize cache line size in bytes; must be a power of two >= 8
+  /// (asserting; flag/file-sourced values must go through validate()).
   explicit CacheGeometry(uint64_t LineSize = 64) : LineBytes(LineSize) {
     CHEETAH_ASSERT(LineSize >= 8 && (LineSize & (LineSize - 1)) == 0,
                    "cache line size must be a power of two >= 8");
     LineShift = 0;
     for (uint64_t S = LineSize; S > 1; S >>= 1)
       ++LineShift;
+  }
+
+  /// Fallible check for external (CLI/file) line sizes: reports the
+  /// constraint through \p Error instead of asserting, so a bad flag value
+  /// becomes a clean tool error rather than an abort — in release builds
+  /// as much as debug ones.
+  static bool validate(uint64_t LineSize, std::string &Error) {
+    if (LineSize >= 8 && (LineSize & (LineSize - 1)) == 0)
+      return true;
+    Error = "cache line size must be a power of two >= 8 (got " +
+            std::to_string(LineSize) + ")";
+    return false;
   }
 
   /// Cache line size in bytes.

@@ -1,0 +1,110 @@
+//===- mem/NumaTopology.cpp - Simulated NUMA topology ---------------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/NumaTopology.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace cheetah;
+
+bool NumaTopology::validateSpec(const NumaTopologySpec &Spec,
+                                std::string &Error) {
+  if (Spec.Nodes < 1 || Spec.Nodes > MaxNodes) {
+    Error = formatString("node count must be in [1, %u] (got %u)", MaxNodes,
+                         Spec.Nodes);
+    return false;
+  }
+  if (Spec.PageSize < 256 ||
+      (Spec.PageSize & (Spec.PageSize - 1)) != 0) {
+    Error = formatString(
+        "page size must be a power of two >= 256 (got %llu)",
+        static_cast<unsigned long long>(Spec.PageSize));
+    return false;
+  }
+  if (!Spec.Distances.empty()) {
+    if (Spec.Distances.size() != Spec.Nodes) {
+      Error = formatString("distance matrix has %zu rows, expected %u",
+                           Spec.Distances.size(), Spec.Nodes);
+      return false;
+    }
+    for (uint32_t A = 0; A < Spec.Nodes; ++A) {
+      const std::vector<uint32_t> &Row = Spec.Distances[A];
+      if (Row.size() != Spec.Nodes) {
+        Error = formatString("distance row %u has %zu entries, expected %u",
+                             A, Row.size(), Spec.Nodes);
+        return false;
+      }
+      if (Row[A] != 0) {
+        Error = formatString(
+            "distance diagonal must be zero (distance[%u][%u] = %u)", A, A,
+            Row[A]);
+        return false;
+      }
+      for (uint32_t B = 0; B < Spec.Nodes; ++B) {
+        if (A == B)
+          continue;
+        if (Row[B] < 1 || Row[B] > MaxDistance) {
+          Error = formatString(
+              "remote distance must be in [1, %u] (distance[%u][%u] = %u)",
+              MaxDistance, A, B, Row[B]);
+          return false;
+        }
+        if (Row[B] != Spec.Distances[B][A]) {
+          Error = formatString(
+              "distance matrix must be symmetric (distance[%u][%u] = %u, "
+              "distance[%u][%u] = %u)",
+              A, B, Row[B], B, A, Spec.Distances[B][A]);
+          return false;
+        }
+      }
+    }
+  }
+  if (!Spec.ThreadPinning.empty()) {
+    if (Spec.ThreadPinning.size() > MaxPinnedThreads) {
+      Error = formatString("thread pinning map has %zu entries (max %zu)",
+                           Spec.ThreadPinning.size(), MaxPinnedThreads);
+      return false;
+    }
+    for (size_t T = 0; T < Spec.ThreadPinning.size(); ++T) {
+      if (Spec.ThreadPinning[T] >= Spec.Nodes) {
+        Error = formatString(
+            "pinning entry %zu targets node %u, but the machine has %u "
+            "node(s)",
+            T, Spec.ThreadPinning[T], Spec.Nodes);
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool NumaTopology::fromSpec(const NumaTopologySpec &Spec, NumaTopology &Out,
+                            std::string &Error) {
+  if (!validateSpec(Spec, Error))
+    return false;
+  NumaTopology Result(Spec.Nodes, Spec.PageSize);
+  if (!Spec.Distances.empty()) {
+    uint32_t Min = MaxDistance;
+    uint32_t Max = 1;
+    for (uint32_t A = 0; A < Spec.Nodes; ++A)
+      for (uint32_t B = 0; B < Spec.Nodes; ++B) {
+        Result.Distances[A][B] = Spec.Distances[A][B];
+        if (A != B) {
+          Min = std::min(Min, Spec.Distances[A][B]);
+          Max = std::max(Max, Spec.Distances[A][B]);
+        }
+      }
+    if (Spec.Nodes > 1) {
+      Result.MinRemote = Min;
+      Result.MaxRemote = Max;
+    }
+  }
+  Result.Pinning = Spec.ThreadPinning;
+  Out = Result;
+  return true;
+}

@@ -1,0 +1,70 @@
+//===- mem/TopologyFile.h - Real-machine topology import --------*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loader for the `cheetah-topology-v1` machine description — the small
+/// JSON mirror of the `numa-config.h` a probe script like prism's
+/// get-numa-config.sh generates from a real testbed: node count, per-node
+/// CPU lists, the SLIT distance table, and (optionally) an explicit
+/// thread→node pinning map.
+///
+/// \code{.json}
+/// {
+///   "schema": "cheetah-topology-v1",
+///   "nodes": 4,
+///   "page_size": 4096,
+///   "distances": [[0,16,32,48],
+///                 [16,0,48,32],
+///                 [32,48,0,16],
+///                 [48,32,16,0]],
+///   "cpus": [[0,1],[2,3],[4,5],[6,7]],
+///   "pinning": [0,0,1,1,2,2,3,3]
+/// }
+/// \endcode
+///
+/// `page_size`, `distances`, `cpus`, and `pinning` are optional; `nodes`
+/// and the schema string are required. An explicit `pinning` map takes
+/// precedence; when it is absent but `cpus` is present, the pinning map
+/// is derived the way a pinning script walks a CPU list: flatten every
+/// (cpu, node) pair, sort by CPU id, and pin thread t to the node owning
+/// the t-th CPU (threads beyond the CPU count wrap around). Distances
+/// omitted means the uniform default matrix.
+///
+/// Both entry points are fallible and never assert or crash on hostile
+/// input (the fuzz suite pins that): every structural surprise — wrong
+/// kind, negative or fractional number, ragged matrix — becomes an error
+/// string, and full topology validation (symmetry, zero diagonal, node
+/// ranges) runs via NumaTopology::validateSpec before anything is
+/// returned.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_MEM_TOPOLOGYFILE_H
+#define CHEETAH_MEM_TOPOLOGYFILE_H
+
+#include "mem/NumaTopology.h"
+
+#include <string>
+
+namespace cheetah {
+
+/// Parses a `cheetah-topology-v1` document into \p Spec. Fields absent
+/// from the document keep the value \p Spec arrived with (so the caller's
+/// defaults — e.g. the `--page-size` flag — survive a file that does not
+/// mention them). The returned spec has passed NumaTopology::validateSpec.
+/// \returns false with a descriptive \p Error on any parse or validation
+/// failure.
+bool parseTopologyText(const std::string &Text, NumaTopologySpec &Spec,
+                       std::string &Error);
+
+/// Reads \p Path and parses it with parseTopologyText. I/O failures are
+/// reported through \p Error like parse failures.
+bool loadTopologyFile(const std::string &Path, NumaTopologySpec &Spec,
+                      std::string &Error);
+
+} // namespace cheetah
+
+#endif // CHEETAH_MEM_TOPOLOGYFILE_H

@@ -78,16 +78,23 @@ bool Simulator::step(RunningThread &Thread, CoherenceModel &Coherence,
         PageHomes.try_emplace(Topology->pageIndex(Event.Access.Address), Node);
     (void)Fresh;
     if (Home->second != Node) {
-      uint32_t Extra = 0;
+      uint32_t Base = 0;
       if (Access.Outcome == AccessOutcome::ColdMiss)
-        Extra = Latency.RemoteDramExtraCycles;
+        Base = Latency.RemoteDramExtraCycles;
       else if (Access.Outcome != AccessOutcome::LocalHit)
-        Extra = Latency.RemoteTransferExtraCycles;
+        Base = Latency.RemoteTransferExtraCycles;
       else if (Event.Access.Kind == AccessKind::Write)
         // Cache-hitting remote stores still drain to the home node's
         // memory controller; reads served from the local cache stay free.
-        Extra = Latency.RemoteStoreExtraCycles;
-      if (Extra) {
+        Base = Latency.RemoteStoreExtraCycles;
+      if (Base) {
+        // Hop-proportional interconnect: crossing a farther node pair
+        // pays Base scaled by the pair's distance over the minimum remote
+        // distance, so uniform (binary local/remote) topologies pay
+        // exactly Base and asymmetric ones make far traffic visibly more
+        // expensive than near traffic.
+        uint64_t Extra =
+            Topology->scaledRemoteCycles(Base, Node, Home->second);
         Access.LatencyCycles += Extra;
         ++Result.RemoteNumaAccesses;
         Result.RemoteNumaExtraCycles += Extra;

@@ -131,9 +131,13 @@ public:
   /// DRAM fetches pay RemoteDramExtraCycles, coherence activity pays
   /// RemoteTransferExtraCycles for the detour through the home node's
   /// directory (locality is keyed to the home, not the supplying cache).
-  /// The surcharge lands in the access latency *before* observers run, so
-  /// sampled latencies carry the remote-DRAM cost. Null or single-node
-  /// leaves behavior untouched. \p Topology must outlive the simulator.
+  /// Every surcharge scales hop-proportionally with the topology's
+  /// node-pair distance, normalized so the minimum remote distance pays
+  /// exactly the base cost (uniform topologies reproduce the binary
+  /// local/remote model bit for bit). The surcharge lands in the access
+  /// latency *before* observers run, so sampled latencies carry the
+  /// remote-DRAM cost. Null or single-node leaves behavior untouched.
+  /// \p Topology must outlive the simulator.
   void setTopology(const NumaTopology *T) { Topology = T; }
 
   /// Runs \p Program to completion. May be called repeatedly; coherence,

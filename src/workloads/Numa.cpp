@@ -24,9 +24,19 @@
 ///    initialization with a parallel first-touch phase that homes each
 ///    block on its worker's node.
 ///
-/// Thread-to-node affinity is NumaTopology's interleave (tid % nodes); the
-/// first-touch fix assumes an even thread count so the touch and work
-/// phases land on the same nodes.
+///  - `numa_asymmetric`: the first-touch bug on an asymmetric machine
+///    (4 nodes, non-uniform distances, pinned threads). One block group
+///    per node, all serially first-touched onto node 0, every group doing
+///    the *same* amount of remote work — so the binary local/remote model
+///    sees indistinguishable findings, and only the distance matrix makes
+///    the far group's finding rank worst. The fix is initialize-on-first-
+///    use: each worker's first scan access first-touches (and thus homes)
+///    its own block.
+///
+/// Thread-to-node affinity follows WorkloadConfig::nodeOfBody — the
+/// explicit pinning map when one is installed, NumaTopology's interleave
+/// (tid % nodes) otherwise; the first-touch fixes assume the touch and
+/// work phases land on the same nodes (true for any fixed affinity).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +45,9 @@
 #include "workloads/Patterns.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace cheetah;
 using namespace cheetah::workloads;
@@ -50,6 +63,40 @@ uint64_t pageAlignedGlobal(WorkloadContext &Ctx, const std::string &Name,
                            uint64_t Bytes, uint64_t PageBytes) {
   uint64_t Raw = Ctx.global(Name, Bytes + PageBytes, true);
   return (Raw + PageBytes - 1) & ~(PageBytes - 1);
+}
+
+/// Serial first touch over a list of (base, bytes) spans: one 8-byte
+/// write per word, homing every page on the issuing thread's node. A free
+/// coroutine taking its parameter by value (the capture-free rule).
+Generator<ThreadEvent>
+writeSpans(std::vector<std::pair<uint64_t, uint64_t>> Spans) {
+  for (const auto &[Base, Bytes] : Spans)
+    for (uint64_t Offset = 0; Offset < Bytes; Offset += 8)
+      co_yield ThreadEvent::write(Base + Offset, 8);
+}
+
+/// Per-body node assignment for node-grouped data layouts: which node each
+/// parallel body runs on (honoring any pinning map via nodeOfBody), its
+/// rank among that node's bodies, and the largest per-node population —
+/// what a layout needs to size one span per node.
+struct NodeLayout {
+  std::vector<uint32_t> NodeOf;
+  std::vector<uint64_t> RankInNode;
+  uint64_t MaxPerNode = 1;
+};
+
+NodeLayout nodeLayout(const WorkloadConfig &Config, uint32_t Nodes) {
+  NodeLayout Layout;
+  Layout.NodeOf.resize(Config.Threads);
+  Layout.RankInNode.resize(Config.Threads);
+  std::vector<uint64_t> PerNode(Nodes, 0);
+  for (uint32_t T = 0; T < Config.Threads; ++T) {
+    Layout.NodeOf[T] = Config.nodeOfBody(T) % Nodes;
+    Layout.RankInNode[T] = PerNode[Layout.NodeOf[T]]++;
+  }
+  for (uint64_t Count : PerNode)
+    Layout.MaxPerNode = std::max(Layout.MaxPerNode, Count);
+  return Layout;
 }
 
 /// Per-line private work over one thread's block: read a word, compute,
@@ -89,15 +136,15 @@ public:
 
     // One slot (one cache line) per thread. Unfixed they pack line-to-line
     // into pages shared across nodes. The fix is node-local allocation:
-    // slots regroup by NUMA node (thread body T runs as tid T+1, node
-    // (T+1) % NumaNodes), each node's group page-aligned in its own page
+    // slots regroup by NUMA node (body T's node per nodeOfBody, honoring
+    // any pinning map), each node's group page-aligned in its own page
     // span, so no page is ever touched by two nodes and every first touch
     // — and thus every page home — is node-local.
     uint64_t LineStride = std::max<uint64_t>(Ctx.Geometry.lineSize(), 64);
     uint32_t Nodes = std::max<uint32_t>(Config.NumaNodes, 1);
-    uint64_t SlotsPerNode = (Config.Threads + Nodes - 1) / Nodes;
+    NodeLayout Layout = nodeLayout(Config, Nodes);
     uint64_t NodeSpan =
-        ((SlotsPerNode * LineStride + Config.PageBytes - 1) /
+        ((Layout.MaxPerNode * LineStride + Config.PageBytes - 1) /
          Config.PageBytes) *
         Config.PageBytes;
     uint64_t TotalBytes = Config.FixFalseSharing
@@ -113,9 +160,8 @@ public:
     for (uint32_t T = 0; T < Config.Threads; ++T) {
       uint64_t Slot;
       if (Config.FixFalseSharing) {
-        uint32_t Node = (T + 1) % Nodes;
-        uint64_t RankInNode = T / Nodes;
-        Slot = Slots + Node * NodeSpan + RankInNode * LineStride;
+        Slot = Slots + Layout.NodeOf[T] * NodeSpan +
+               Layout.RankInNode[T] * LineStride;
       } else {
         Slot = Slots + uint64_t(T) * LineStride;
       }
@@ -189,6 +235,78 @@ public:
   }
 };
 
+class NumaAsymmetricWorkload : public Workload {
+public:
+  std::string name() const override { return "numa_asymmetric"; }
+  std::string suite() const override { return "numa"; }
+  std::string description() const override {
+    return "per-node block groups all first-touched on node 0 doing equal "
+           "remote work: only a distance matrix ranks the far group worst";
+  }
+  std::string falseSharingSiteTag() const override {
+    return "numa_asymmetric_node";
+  }
+  double expectedPageImprovementFloor() const override {
+    // Reference config (4 nodes, the asymmetric4 distance matrix, 8
+    // threads, dense sampling) predicts ~1.25x for the far group's site —
+    // the only site above 1.0, since the far threads alone bound the
+    // phase; the floor leaves headroom for sampling-period variation.
+    return 1.15;
+  }
+
+  sim::ForkJoinProgram build(WorkloadContext &Ctx,
+                             const WorkloadConfig &Config) const override {
+    sim::ForkJoinProgram Program;
+    Program.Name = name();
+
+    // One page-aligned block group per node, each its own global (its own
+    // report *site*), each receiving the same amount of work from the
+    // threads pinned to its node. Broken, every group is first-touched by
+    // the serial init on the main thread's node, so each remote group
+    // streams over a different node pair at the same access volume —
+    // indistinguishable under the binary local/remote model, ranked by
+    // the distance matrix alone.
+    uint64_t LineStride = std::max<uint64_t>(Ctx.Geometry.lineSize(), 64);
+    uint32_t Nodes = std::max<uint32_t>(Config.NumaNodes, 1);
+    // One page per worker: concentrating each thread's traffic on a single
+    // page keeps every remote page comfortably above the placement gate at
+    // the reference sampling density.
+    uint64_t BlockBytes = Config.PageBytes;
+
+    NodeLayout Layout = nodeLayout(Config, Nodes);
+    uint64_t BlocksPerNode = Layout.MaxPerNode;
+
+    std::vector<uint64_t> Groups(Nodes);
+    for (uint32_t Node = 0; Node < Nodes; ++Node)
+      Groups[Node] = pageAlignedGlobal(
+          Ctx, "numa_asymmetric_node" + std::to_string(Node),
+          BlocksPerNode * BlockBytes, Config.PageBytes);
+
+    uint64_t Passes =
+        static_cast<uint64_t>(std::max(4.0, 120.0 * Config.Scale));
+
+    // The fix is initialize-on-first-use: drop the eager serial
+    // initialization and let each worker's own first scan access be the
+    // first touch, homing its block on its node with no extra phase.
+    sim::PhaseSpec &Work = Program.addPhase("scan");
+    if (!Config.FixFalseSharing) {
+      // The bug: the main thread eagerly initializes every group first,
+      // homing all of them on its node.
+      std::vector<std::pair<uint64_t, uint64_t>> Spans;
+      for (uint32_t Node = 0; Node < Nodes; ++Node)
+        Spans.push_back({Groups[Node], BlocksPerNode * BlockBytes});
+      Work.SerialBody = [Spans]() { return writeSpans(Spans); };
+    }
+    for (uint32_t T = 0; T < Config.Threads; ++T) {
+      uint64_t Block =
+          Groups[Layout.NodeOf[T]] + Layout.RankInNode[T] * BlockBytes;
+      Work.ParallelBodies.push_back(
+          [=]() { return blockWork(Block, BlockBytes, Passes, LineStride); });
+    }
+    return Program;
+  }
+};
+
 } // namespace
 
 namespace cheetah {
@@ -197,6 +315,7 @@ namespace workloads {
 void appendNumaWorkloads(std::vector<std::unique_ptr<Workload>> &Out) {
   Out.push_back(std::make_unique<NumaInterleavedWorkload>());
   Out.push_back(std::make_unique<NumaFirstTouchWorkload>());
+  Out.push_back(std::make_unique<NumaAsymmetricWorkload>());
 }
 
 } // namespace workloads

@@ -51,6 +51,24 @@ struct WorkloadConfig {
   uint32_t NumaNodes = 2;
   /// Page size the NUMA workloads pad/align to; should match the topology.
   uint64_t PageBytes = 4096;
+  /// Explicit thread→node pinning map mirroring the profiler topology's
+  /// (NumaTopology::threadPinning); empty = the tid % NumaNodes
+  /// interleave. NUMA workloads lay data out per node, so their layout
+  /// must agree with wherever the threads actually run.
+  std::vector<uint32_t> ThreadNodes;
+
+  /// Node the thread executing parallel body \p BodyIndex runs on (body T
+  /// runs as tid T + 1; the main thread, tid 0, is nodeOfTid(0)). Matches
+  /// NumaTopology::nodeOf for the same configuration.
+  uint32_t nodeOfBody(uint32_t BodyIndex) const {
+    return nodeOfTid(BodyIndex + 1);
+  }
+  uint32_t nodeOfTid(uint32_t Tid) const {
+    if (!ThreadNodes.empty())
+      return ThreadNodes[Tid % ThreadNodes.size()];
+    uint32_t Nodes = NumaNodes ? NumaNodes : 1;
+    return Tid % Nodes;
+  }
 };
 
 /// Allocation services handed to a workload at build time (backed by the

@@ -292,6 +292,86 @@ TEST(PageAssessEndToEndTest, InterleavedPredictionMatchesPaddedRerun) {
   EXPECT_NEAR(Predicted / Actual, 1.0, 0.25);
 }
 
+//===----------------------------------------------------------------------===//
+// Asymmetric distances: the worst finding is rankable only with distance
+//===----------------------------------------------------------------------===//
+
+/// The asymmetric4 reference machine (topologies/asymmetric4.json): four
+/// nodes, non-uniform SLIT distances, threads pinned round-robin.
+driver::SessionConfig asymmetricSessionConfig(bool Fix, bool UniformDistances) {
+  NumaTopologySpec Spec;
+  Spec.Nodes = 4;
+  Spec.PageSize = PageSize;
+  if (!UniformDistances)
+    Spec.Distances = {{0, 16, 32, 48},
+                      {16, 0, 48, 32},
+                      {32, 48, 0, 16},
+                      {48, 32, 16, 0}};
+  Spec.ThreadPinning = {0, 1, 2, 3, 0, 1, 2, 3};
+  NumaTopology Topology;
+  std::string Error;
+  EXPECT_TRUE(NumaTopology::fromSpec(Spec, Topology, Error)) << Error;
+
+  driver::SessionConfig Config;
+  Config.Profiler.Pmu = Config.Profiler.Pmu.withScaledPeriod(256);
+  Config.Profiler.Topology = Topology;
+  Config.Profiler.Detect.TrackPages = true;
+  Config.Workload.Threads = 8;
+  Config.Workload.NumaNodes = 4;
+  Config.Workload.PageBytes = PageSize;
+  Config.Workload.ThreadNodes = Topology.threadPinning();
+  Config.Workload.FixFalseSharing = Fix;
+  return Config;
+}
+
+TEST(PageAssessEndToEndTest, AsymmetricWorstFindingNeedsDistanceToRank) {
+  auto Workload = workloads::createWorkload("numa_asymmetric");
+  ASSERT_NE(Workload, nullptr);
+  double Floor = Workload->expectedPageImprovementFloor();
+  ASSERT_GT(Floor, 1.0);
+
+  // Broken on the asymmetric machine: the top finding is the *far* site
+  // (distance 48 from the first-toucher's node), predicts at least the
+  // declared floor, and carries a breakdown conserving its remote totals.
+  driver::SessionResult Broken = driver::runWorkload(
+      *Workload, asymmetricSessionConfig(/*Fix=*/false,
+                                         /*UniformDistances=*/false));
+  ASSERT_FALSE(Broken.Profile.PageReports.empty());
+  const PageSharingReport &Top = Broken.Profile.PageReports.front();
+  EXPECT_GE(Top.Impact.ImprovementFactor, Floor);
+  ASSERT_EQ(Top.Objects.size(), 1u);
+  EXPECT_EQ(Top.Objects.front(), "numa_asymmetric_node3");
+  ASSERT_FALSE(Top.RemoteByDistance.empty());
+  uint64_t BucketAccesses = 0, BucketCycles = 0;
+  for (const RemoteDistanceStats &Bucket : Top.RemoteByDistance) {
+    BucketAccesses += Bucket.Accesses;
+    BucketCycles += Bucket.Cycles;
+  }
+  EXPECT_EQ(BucketAccesses, Top.RemoteAccesses);
+  EXPECT_EQ(BucketCycles, Top.RemoteLatencyCycles);
+  EXPECT_EQ(Top.RemoteByDistance.front().Distance, 48u);
+
+  // Every remote group does the same amount of work, so under *uniform*
+  // distances all remote threads are equally slow and no single site's
+  // fix can shorten the phase: every finding sits below the floor. The
+  // far site is rankable only because the distance matrix exists.
+  driver::SessionResult Uniform = driver::runWorkload(
+      *Workload, asymmetricSessionConfig(/*Fix=*/false,
+                                         /*UniformDistances=*/true));
+  for (const PageSharingReport &Report : Uniform.Profile.PageReports)
+    EXPECT_LT(Report.Impact.ImprovementFactor, Floor)
+        << "uniform distances must not rank any site";
+
+  // Fixed on the asymmetric machine: no significant findings, and every
+  // tracked page predicts ~1.0.
+  driver::SessionResult Fixed = driver::runWorkload(
+      *Workload, asymmetricSessionConfig(/*Fix=*/true,
+                                         /*UniformDistances=*/false));
+  EXPECT_TRUE(Fixed.Profile.PageReports.empty());
+  for (const PageSharingReport &Report : Fixed.Profile.AllPageInstances)
+    EXPECT_NEAR(Report.Impact.ImprovementFactor, 1.0, 0.05);
+}
+
 TEST(PageAssessEndToEndTest, UmaTopologyPredictsNothing) {
   auto Workload = workloads::createWorkload("numa_interleaved");
   driver::SessionConfig Config = assessSessionConfig(false);

@@ -105,6 +105,37 @@ TEST(PageInfoTest, CrossNodePingPongInvalidatesEachTime) {
   EXPECT_LE(Info.table().size(), 2u);
 }
 
+TEST(PageInfoTest, RemoteDistanceBucketsConserveRemoteTotals) {
+  PageInfo Info(PageSize / LineSize);
+  // Local accesses never land in a bucket.
+  Info.recordAccess(0, 0, AccessKind::Write, 0, 100, /*Remote=*/false, 0);
+  EXPECT_TRUE(Info.remoteByDistance().empty());
+
+  // Remote samples bucket per distinct crossed distance, sorted.
+  Info.recordAccess(1, 1, AccessKind::Read, 1, 50, true, 48);
+  Info.recordAccess(1, 1, AccessKind::Write, 1, 70, true, 48);
+  Info.recordAccess(2, 2, AccessKind::Read, 2, 30, true, 16);
+  // Distance 0 from an untopologized caller folds into the default.
+  Info.recordAccess(3, 3, AccessKind::Read, 3, 20, true, 0);
+
+  std::vector<RemoteDistanceStats> Buckets = Info.remoteByDistance();
+  ASSERT_EQ(Buckets.size(), 3u);
+  EXPECT_EQ(Buckets[0].Distance, NumaTopology::DefaultRemoteDistance);
+  EXPECT_EQ(Buckets[1].Distance, 16u);
+  EXPECT_EQ(Buckets[1].Accesses, 1u);
+  EXPECT_EQ(Buckets[2].Distance, 48u);
+  EXPECT_EQ(Buckets[2].Accesses, 2u);
+  EXPECT_EQ(Buckets[2].Cycles, 120u);
+
+  uint64_t Accesses = 0, Cycles = 0;
+  for (const RemoteDistanceStats &Bucket : Buckets) {
+    Accesses += Bucket.Accesses;
+    Cycles += Bucket.Cycles;
+  }
+  EXPECT_EQ(Accesses, Info.remoteAccesses());
+  EXPECT_EQ(Cycles, Info.remoteCycles());
+}
+
 TEST(PageInfoTest, CountersAndPerNodeAccounting) {
   PageInfo Info(PageSize / LineSize);
   Info.recordAccess(0, 0, AccessKind::Write, 0, 100, false);

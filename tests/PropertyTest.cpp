@@ -937,6 +937,13 @@ std::string renderFuzzReport(SplitMix64 &Rng) {
         1.0 + static_cast<double>(Rng.nextBelow(300)) / 100.0;
     if (Rng.nextBool(0.7))
       Report.Objects.push_back("o" + std::to_string(Rng.nextBelow(3)));
+    // v4 distance buckets, sometimes, so the fuzz exercises the new
+    // remote_by_distance parsing too.
+    size_t Buckets = Rng.nextBelow(3);
+    for (size_t B = 0; B < Buckets; ++B)
+      Report.RemoteByDistance.push_back(
+          {static_cast<uint32_t>(10 + 10 * B), Rng.nextBelow(1000),
+           Rng.nextBelow(50000)});
     Sink.pageFinding(Report, Rng.nextBool(0.5));
   }
   core::ReportRunStats Stats;
@@ -989,7 +996,7 @@ TEST_P(ReportDiffFuzzTest, HostileReportInputNeverCrashes) {
     // Version mismatches fail loudly by name.
     for (const char *Schema : {"cheetah-report-v1", "cheetah-report-v9"}) {
       std::string Mismatched = Text;
-      size_t Pos = Mismatched.find("cheetah-report-v3");
+      size_t Pos = Mismatched.find("cheetah-report-v4");
       ASSERT_NE(Pos, std::string::npos);
       Mismatched.replace(Pos, 17, Schema);
       core::ParsedReport Rejected;

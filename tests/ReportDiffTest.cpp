@@ -106,12 +106,12 @@ ParsedReport mustParse(const std::string &Text) {
 // parseReport: schema gate and field extraction
 //===----------------------------------------------------------------------===//
 
-TEST(ReportDiffParseTest, ReadsV3DocumentsEndToEnd) {
+TEST(ReportDiffParseTest, ReadsV4DocumentsEndToEnd) {
   std::string Text = renderDocument(
       {{syntheticLineFinding("hot_global", 1.7), true}},
       {{syntheticPageFinding("numa_slots", 0x40000000, 2.5), true}});
   ParsedReport Report = mustParse(Text);
-  EXPECT_EQ(Report.Schema, "cheetah-report-v3");
+  EXPECT_EQ(Report.Schema, "cheetah-report-v4");
   EXPECT_EQ(Report.Workload, "synthetic");
   EXPECT_EQ(Report.AppRuntimeCycles, 1000000u);
   ASSERT_EQ(Report.Findings.size(), 1u);
@@ -129,9 +129,9 @@ TEST(ReportDiffParseTest, RejectsV1AndUnknownSchemas) {
   for (const char *Schema : {"cheetah-report-v1", "cheetah-report-v99",
                              "not-a-cheetah-report"}) {
     std::string Mutated = Text;
-    size_t Pos = Mutated.find("cheetah-report-v3");
+    size_t Pos = Mutated.find("cheetah-report-v4");
     ASSERT_NE(Pos, std::string::npos);
-    Mutated.replace(Pos, std::string("cheetah-report-v3").size(), Schema);
+    Mutated.replace(Pos, std::string("cheetah-report-v4").size(), Schema);
     ParsedReport Report;
     std::string Error;
     EXPECT_FALSE(parseReport(Mutated, Report, Error)) << Schema;
@@ -147,8 +147,8 @@ TEST(ReportDiffParseTest, AcceptsV2WithoutPageImprovement) {
   // HasImprovement=false.
   std::string Text = renderDocument(
       {}, {{syntheticPageFinding("numa_slots", 0x40000000, 2.5), true}});
-  size_t Pos = Text.find("cheetah-report-v3");
-  Text.replace(Pos, std::string("cheetah-report-v3").size(),
+  size_t Pos = Text.find("cheetah-report-v4");
+  Text.replace(Pos, std::string("cheetah-report-v4").size(),
                "cheetah-report-v2");
   ParsedReport Report = mustParse(Text);
   EXPECT_EQ(Report.Schema, "cheetah-report-v2");
@@ -277,12 +277,12 @@ TEST(ReportDiffGateTest, GrowthAndGateCrossingTrip) {
 
 TEST(ReportDiffGateTest, V2BaselineWithoutImprovementDoesNotTrip) {
   // Old run from a v2 producer: its page findings carry no improvement
-  // factor. Matching them against an unchanged v3 finding above the gate
+  // factor. Matching them against an unchanged v4 finding above the gate
   // must not read as "crossed the gate" — that would fail every
-  // v2 -> v3 CI transition spuriously.
+  // v2 -> v4 CI transition spuriously.
   std::string OldText = renderDocument(
       {}, {{syntheticPageFinding("blocks", 0x1000, 1.9), true}});
-  size_t Schema = OldText.find("cheetah-report-v3");
+  size_t Schema = OldText.find("cheetah-report-v4");
   OldText.replace(Schema, 17, "cheetah-report-v2");
   size_t Improvement = OldText.find("\"predictedImprovement\":1.9,");
   ASSERT_NE(Improvement, std::string::npos);
@@ -352,7 +352,7 @@ TEST(ReportDiffGoldenTest, TextGoldenForSyntheticPair) {
   std::string Expected =
       "cheetah-diff: synthetic (4 threads, fix off) -> synthetic "
       "(4 threads, fix on)\n"
-      "schema cheetah-report-v3 -> cheetah-report-v3, runtime 1000000 -> "
+      "schema cheetah-report-v4 -> cheetah-report-v4, runtime 1000000 -> "
       "1000000 cycles\n"
       "== line findings: 0 added, 1 removed, 0 matched ==\n"
       "  removed  line:global:hot_global#0  false-sharing  improvement "

@@ -10,11 +10,12 @@
 /// golden test runs a known simulated workload, parses the emitted
 /// document with the support-layer parser, and round-trips every summary
 /// counter and per-finding field against the in-memory ProfileResult —
-/// the schema (`cheetah-report-v3`) is a compatibility contract for
+/// the schema (`cheetah-report-v4`) is a compatibility contract for
 /// multi-run comparison tooling (`cheetah-diff`), so key names are pinned
 /// here. The schema *version* is pinned just as hard: v2 added the
 /// pageFindings sections, v3 added their assessment and the top-level
-/// predictedImprovement factors, and consumers built against superseded
+/// predictedImprovement factors, v4 added the per-page-finding
+/// remote_by_distance breakdown, and consumers built against superseded
 /// versions must fail loudly on the version string rather than silently
 /// ignore (or misorder) the new data.
 ///
@@ -59,7 +60,7 @@ TEST(JsonReportGoldenTest, DocumentParsesAndRoundTripsCounters) {
 
   // Schema identity.
   ASSERT_NE(Document.find("schema"), nullptr);
-  EXPECT_EQ(Document.find("schema")->asString(), "cheetah-report-v3");
+  EXPECT_EQ(Document.find("schema")->asString(), "cheetah-report-v4");
 
   // Run identification written by the driver's beginRun.
   const JsonValue *Run = Document.find("run");
@@ -185,11 +186,26 @@ TEST(JsonReportGoldenTest, SchemaVersionGatesV2Consumers) {
   std::string Error;
   ASSERT_TRUE(JsonValue::parse(JsonText, Document, Error)) << Error;
   ASSERT_NE(Document.find("schema"), nullptr);
+  EXPECT_NE(Document.find("schema")->asString(), "cheetah-report-v2");
+}
+
+TEST(JsonReportGoldenTest, SchemaVersionGatesV3Consumers) {
+  // And one more: v4 added the remote_by_distance breakdown, and a
+  // topology's distance matrix now shapes remote costs and therefore the
+  // ordering of pageFindings — a consumer pinning "cheetah-report-v3"
+  // must reject the document rather than read distance-shaped findings
+  // as if they were binary local/remote.
+  std::string JsonText;
+  runKnownWorkload(JsonText);
+  JsonValue Document;
+  std::string Error;
+  ASSERT_TRUE(JsonValue::parse(JsonText, Document, Error)) << Error;
+  ASSERT_NE(Document.find("schema"), nullptr);
   const std::string &Schema = Document.find("schema")->asString();
-  // A strict v2 consumer must fail loudly here...
-  EXPECT_NE(Schema, "cheetah-report-v2");
+  // A strict v3 consumer must fail loudly here...
+  EXPECT_NE(Schema, "cheetah-report-v3");
   // ...and the version that replaced it is pinned exactly.
-  EXPECT_EQ(Schema, "cheetah-report-v3");
+  EXPECT_EQ(Schema, "cheetah-report-v4");
 }
 
 /// A deterministic page-granularity run over the node-interleaved NUMA
@@ -276,6 +292,29 @@ TEST(JsonReportGoldenTest, PageFindingsRoundTripAgainstProfileResult) {
     const JsonValue *Objects = Finding.find("objects");
     ASSERT_NE(Objects, nullptr);
     ASSERT_EQ(Objects->size(), Expected.Objects.size());
+    // v4: the distance breakdown conserves against the remote totals.
+    const JsonValue *Buckets = Finding.find("remote_by_distance");
+    ASSERT_NE(Buckets, nullptr);
+    ASSERT_TRUE(Buckets->isArray());
+    ASSERT_EQ(Buckets->size(), Expected.RemoteByDistance.size());
+    uint64_t BucketAccesses = 0, BucketCycles = 0;
+    for (size_t B = 0; B < Buckets->size(); ++B) {
+      const JsonValue &Bucket = Buckets->elements()[B];
+      EXPECT_EQ(Bucket.find("distance")->asUint(),
+                Expected.RemoteByDistance[B].Distance);
+      EXPECT_EQ(Bucket.find("accesses")->asUint(),
+                Expected.RemoteByDistance[B].Accesses);
+      BucketAccesses += Bucket.find("accesses")->asUint();
+      BucketCycles += Bucket.find("cycles")->asUint();
+    }
+    EXPECT_EQ(BucketAccesses, Expected.RemoteAccesses);
+    EXPECT_EQ(BucketCycles, Expected.RemoteLatencyCycles);
+    // The uniform 2-node topology has exactly one remote distance.
+    if (Expected.RemoteAccesses > 0) {
+      ASSERT_EQ(Buckets->size(), 1u);
+      EXPECT_EQ(Buckets->elements()[0].find("distance")->asUint(),
+                NumaTopology::DefaultRemoteDistance);
+    }
   }
   EXPECT_EQ(SignificantSeen, Profile.PageReports.size());
 

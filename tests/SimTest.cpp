@@ -359,4 +359,70 @@ TEST(SimulatorTest, SpawnAndJoinCostsAppearInSpan) {
             4 * Latency.ThreadSpawnCycles + 4 * Latency.ThreadJoinCycles);
 }
 
+//===----------------------------------------------------------------------===//
+// NUMA distance scaling
+//===----------------------------------------------------------------------===//
+
+/// Main thread (node 0) first-touches a page serially; a child (node 1)
+/// then hammers it. \returns the extra interconnect cycles charged under
+/// a 2-node topology whose remote distance is \p Distance.
+uint64_t remoteExtraAtDistance(uint32_t Distance) {
+  NumaTopologySpec Spec;
+  Spec.Nodes = 2;
+  Spec.Distances = {{0, Distance}, {Distance, 0}};
+  NumaTopology Topology;
+  std::string Error;
+  EXPECT_TRUE(NumaTopology::fromSpec(Spec, Topology, Error)) << Error;
+
+  ForkJoinProgram Program;
+  PhaseSpec &Phase = Program.addPhase("p");
+  Phase.SerialBody = []() { return fixedWrites(0x20000, 16, 8); };
+  Phase.ParallelBodies.push_back([]() { return fixedWrites(0x20000, 64, 8); });
+
+  Simulator Sim(CacheGeometry(64), LatencyModel{});
+  Sim.setTopology(&Topology);
+  SimulationResult Result = Sim.run(Program);
+  EXPECT_GT(Result.RemoteNumaAccesses, 0u);
+  return Result.RemoteNumaExtraCycles;
+}
+
+TEST(SimulatorTest, RemoteSurchargeScalesHopProportionally) {
+  // The normalization contract end to end: a 2-node machine pays the base
+  // surcharge whatever its (uniform) remote distance — distance only
+  // matters *relative to the minimum remote distance* — so the default
+  // matrix is bit-compatible with the pre-distance model...
+  uint64_t BaseExtra = remoteExtraAtDistance(10);
+  EXPECT_EQ(remoteExtraAtDistance(30), BaseExtra);
+
+  // ...while on one machine with two different remote distances the far
+  // pair pays proportionally more. Build a 3-node line: node 1 near the
+  // home, node 2 three hops out.
+  NumaTopologySpec Spec;
+  Spec.Nodes = 3;
+  Spec.Distances = {{0, 10, 30}, {10, 0, 20}, {30, 20, 0}};
+  NumaTopology Topology;
+  std::string Error;
+  ASSERT_TRUE(NumaTopology::fromSpec(Spec, Topology, Error)) << Error;
+
+  auto ExtraForChild = [&](uint32_t Node) {
+    NumaTopologySpec Pinned = Spec;
+    Pinned.ThreadPinning = {0, Node}; // main on node 0, child on Node
+    NumaTopology T;
+    std::string E;
+    EXPECT_TRUE(NumaTopology::fromSpec(Pinned, T, E)) << E;
+    ForkJoinProgram Program;
+    PhaseSpec &Phase = Program.addPhase("p");
+    Phase.SerialBody = []() { return fixedWrites(0x20000, 16, 8); };
+    Phase.ParallelBodies.push_back(
+        []() { return fixedWrites(0x20000, 64, 8); });
+    Simulator Sim(CacheGeometry(64), LatencyModel{});
+    Sim.setTopology(&T);
+    return Sim.run(Program).RemoteNumaExtraCycles;
+  };
+  uint64_t Near = ExtraForChild(1); // distance 10 = the minimum remote
+  uint64_t Far = ExtraForChild(2);  // distance 30 = 3 hops
+  EXPECT_EQ(Near, BaseExtra);
+  EXPECT_EQ(Far, 3 * Near);
+}
+
 } // namespace

@@ -101,7 +101,7 @@ TEST(PatternsTest, ComputeLoopAccessCadence) {
 
 TEST(WorkloadRegistryTest, AllSeventeenPlusMicroPresent) {
   auto All = createAllWorkloads();
-  EXPECT_EQ(All.size(), 20u); // 8 Phoenix + 9 PARSEC + fig1 + 2 NUMA
+  EXPECT_EQ(All.size(), 21u); // 8 Phoenix + 9 PARSEC + fig1 + 3 NUMA
   int Phoenix = 0, Parsec = 0, Micro = 0, Numa = 0;
   for (const auto &Workload : All) {
     if (Workload->suite() == "phoenix")
@@ -116,7 +116,7 @@ TEST(WorkloadRegistryTest, AllSeventeenPlusMicroPresent) {
   EXPECT_EQ(Phoenix, 8);
   EXPECT_EQ(Parsec, 9);
   EXPECT_EQ(Micro, 1);
-  EXPECT_EQ(Numa, 2);
+  EXPECT_EQ(Numa, 3);
 }
 
 TEST(WorkloadRegistryTest, LookupByName) {
@@ -125,7 +125,8 @@ TEST(WorkloadRegistryTest, LookupByName) {
   EXPECT_EQ(createWorkload("no_such_app"), nullptr);
   EXPECT_NE(createWorkload("numa_interleaved"), nullptr);
   EXPECT_NE(createWorkload("numa_first_touch"), nullptr);
-  EXPECT_EQ(allWorkloadNames().size(), 20u);
+  EXPECT_NE(createWorkload("numa_asymmetric"), nullptr);
+  EXPECT_EQ(allWorkloadNames().size(), 21u);
 }
 
 TEST(WorkloadRegistryTest, PaperAttributesAreConsistent) {

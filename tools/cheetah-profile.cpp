@@ -7,9 +7,11 @@
 /// \file
 /// Command-line front end: run any modeled workload under the Cheetah
 /// profiler and stream its report — Figure-5 text or machine-readable JSON
-/// (`cheetah-report-v3`, diffable with `cheetah-diff`) — optionally
+/// (`cheetah-report-v4`, diffable with `cheetah-diff`) — optionally
 /// comparing against the padded ("fixed") variant and against a native
-/// (unprofiled) run.
+/// (unprofiled) run. Flag validation lives in driver/SessionOptions.h so
+/// bad values (and hostile `--numa-topology` files) exit 1 with an error
+/// instead of tripping an assert.
 ///
 /// Examples:
 ///   cheetah-profile --workload=linear_regression --threads=16
@@ -18,12 +20,15 @@
 ///   cheetah-profile --workload=numa_interleaved --granularity=page
 ///   cheetah-profile --workload=numa_first_touch --granularity=both \
 ///       --numa-nodes=4 --format=json
+///   cheetah-profile --workload=numa_asymmetric --granularity=page \
+///       --numa-topology=topologies/asymmetric4.json --format=json
 ///   cheetah-profile --workload=numa_first_touch --granularity=page --verify
 ///   cheetah-profile --list
 ///
 //===----------------------------------------------------------------------===//
 
 #include "driver/ProfileSession.h"
+#include "driver/SessionOptions.h"
 #include "support/CommandLine.h"
 #include "support/StringUtils.h"
 
@@ -59,21 +64,10 @@ bool writeOutput(const std::string &Path, const std::string &Text) {
 
 int main(int Argc, char **Argv) {
   FlagSet Flags;
-  Flags.addString("workload", "linear_regression", "workload model to run");
-  Flags.addInt("threads", 16, "child threads per parallel phase");
-  Flags.addDouble("scale", 1.0, "work multiplier");
-  Flags.addInt("sampling-period", 8192, "instructions between PMU samples");
-  Flags.addInt("line-size", 64, "cache line size in bytes");
-  Flags.addString("granularity", "line",
-                  "detection granularity: line, page, or both");
-  Flags.addInt("numa-nodes", 0,
-               "simulated NUMA nodes (0 = auto: 1 for line-only runs, 2 "
-               "when page tracking is on)");
-  Flags.addInt("page-size", 4096, "page size in bytes for page tracking");
+  driver::addSessionFlags(Flags);
   Flags.addString("format", "text", "report format: text or json");
   Flags.addString("output", "",
                   "write the report to this file (default: stdout)");
-  Flags.addBool("fix", false, "apply the padding fix to known FS sites");
   Flags.addBool("verify", false,
                 "also run the fixed variant and compare against the "
                 "predicted improvement");
@@ -84,7 +78,6 @@ int main(int Argc, char **Argv) {
   Flags.addBool("list", false, "list available workloads and exit");
   Flags.addBool("dump-threads", false,
                 "print exact per-thread execution records");
-  Flags.addInt("seed", 0x43484545, "workload RNG seed");
 
   std::string Error;
   if (!Flags.parse(Argc, Argv, Error)) {
@@ -123,49 +116,20 @@ int main(int Argc, char **Argv) {
     return 1;
   }
 
-  const std::string &Granularity = Flags.getString("granularity");
-  if (Granularity != "line" && Granularity != "page" &&
-      Granularity != "both") {
-    std::fprintf(stderr, "error: --granularity must be 'line', 'page', or "
-                         "'both' (got '%s')\n",
-                 Granularity.c_str());
+  // All profiling-flag validation (including the topology import) lives in
+  // the driver so bad external input errors out instead of asserting.
+  driver::SessionOptions Options;
+  if (!driver::buildSessionOptions(Flags, Options, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
-  bool TrackPages = Granularity != "line";
-  int64_t NumaNodesFlag = Flags.getInt("numa-nodes");
-  if (NumaNodesFlag < 0 ||
-      NumaNodesFlag > static_cast<int64_t>(NumaTopology::MaxNodes)) {
-    std::fprintf(stderr, "error: --numa-nodes must be in [0, %u] (got %lld)\n",
-                 NumaTopology::MaxNodes,
-                 static_cast<long long>(NumaNodesFlag));
-    return 1;
-  }
-  uint32_t NumaNodes = static_cast<uint32_t>(NumaNodesFlag);
-  if (NumaNodes == 0)
-    NumaNodes = TrackPages ? 2 : 1; // auto
-  int64_t PageSizeFlag = Flags.getInt("page-size");
-  if (PageSizeFlag < 256 || (PageSizeFlag & (PageSizeFlag - 1)) != 0) {
-    std::fprintf(stderr, "error: --page-size must be a power of two >= 256 "
-                         "(got %lld)\n",
-                 static_cast<long long>(PageSizeFlag));
-    return 1;
-  }
+  for (const std::string &Warning : Options.Warnings)
+    std::fprintf(stderr, "warning: %s\n", Warning.c_str());
 
-  driver::SessionConfig Config;
-  Config.Profiler.Geometry =
-      CacheGeometry(static_cast<uint64_t>(Flags.getInt("line-size")));
-  Config.Profiler.Pmu = Config.Profiler.Pmu.withScaledPeriod(
-      static_cast<uint64_t>(Flags.getInt("sampling-period")));
-  Config.Profiler.Topology = NumaTopology(
-      NumaNodes, static_cast<uint64_t>(Flags.getInt("page-size")));
-  Config.Profiler.Detect.TrackLines = Granularity != "page";
-  Config.Profiler.Detect.TrackPages = TrackPages;
-  Config.Workload.Threads = static_cast<uint32_t>(Flags.getInt("threads"));
-  Config.Workload.Scale = Flags.getDouble("scale");
-  Config.Workload.FixFalseSharing = Flags.getBool("fix");
-  Config.Workload.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
-  Config.Workload.NumaNodes = NumaNodes;
-  Config.Workload.PageBytes = Config.Profiler.Topology.pageSize();
+  driver::SessionConfig &Config = Options.Config;
+  const std::string &Granularity = Options.Granularity;
+  bool TrackPages = Config.Profiler.Detect.TrackPages;
+  uint32_t NumaNodes = Config.Profiler.Topology.nodeCount();
 
   // The report streams through the sink API; everything the sink renders
   // lands in ReportText for the chosen destination.
