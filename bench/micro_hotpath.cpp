@@ -17,8 +17,17 @@
 /// build's native path (lock-free CAS by default, striped-mutex when
 /// configured with -DCHEETAH_LOCKED_TABLE=ON), while
 /// BM_ThreadedIngestStripedLock wraps the same detector in a PR-1-style
-/// 64-stripe mutex harness inside the benchmark, so a single run reports
-/// locked and lock-free throughput side by side at every thread count.
+/// 64-stripe mutex harness inside the benchmark, and
+/// BM_ThreadedIngestSharded drives the epoch-sharded accumulation path
+/// (stage-1 gate + per-thread shard record + quiesce merge) — so a single
+/// run reports shared, locked, and sharded throughput side by side at
+/// every thread count without rebuilding.
+///
+/// `micro_hotpath --emit-ingest-json=PATH` skips google-benchmark and runs
+/// the dedicated ingest sweep instead: shared vs locked vs sharded at
+/// 1..8 threads, written as the machine-readable `BENCH_ingest.json`
+/// (samples/sec/core) that tracks the ingestion-throughput trajectory
+/// across PRs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,10 +42,17 @@
 #include "sim/CoherenceModel.h"
 #include "support/Random.h"
 
+#include "support/Json.h"
+
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <mutex>
+#include <string>
+#include <thread>
 #include <vector>
 
 using namespace cheetah;
@@ -245,6 +261,62 @@ void BM_ThreadedIngestStripedLock(benchmark::State &State) {
 }
 BENCHMARK(BM_ThreadedIngestStripedLock)->ThreadRange(1, 8)->UseRealTime();
 
+/// One sample through the epoch-sharded accumulation path, in-harness:
+/// the same stage-1 susceptibility gate and detail materialization the
+/// detector's line stage runs, with the additive record going to this
+/// thread's shard instead of the shared atomics. Callers quiesce() the
+/// table at the epoch boundary.
+inline void ingestSampleSharded(IngestHarness &Harness,
+                                const pmu::Sample &Sample) {
+  uint32_t Writes = Sample.IsWrite
+                        ? Harness.Shadow.noteWrite(Sample.Address)
+                        : Harness.Shadow.writeCount(Sample.Address);
+  if (Writes <= core::DetectorConfig{}.WriteThreshold)
+    return;
+  uint64_t Base = Harness.Shadow.lineBase(Sample.Address);
+  core::CacheLineInfo &Info = Harness.Shadow.materializeDetail(Base);
+  Harness.Shadow.recordSharded(
+      Base, Info, Sample.Tid, Sample.Tid,
+      Sample.IsWrite ? AccessKind::Write : AccessKind::Read,
+      Harness.Geometry.wordInLine(Sample.Address), /*Span=*/1,
+      Sample.LatencyCycles);
+}
+
+/// The CHEETAH_SHARDED_TABLE ingestion design, runnable from any build:
+/// per-thread shard accumulation with zero cross-thread CAS traffic
+/// beyond the shared two-entry table transition, merged back once at the
+/// end of the run. Compare against BM_ThreadedIngest (shared atomics) and
+/// BM_ThreadedIngestStripedLock (PR-1 mutexes) at the same thread count.
+void BM_ThreadedIngestSharded(benchmark::State &State) {
+  static IngestHarness *Harness = nullptr;
+  if (State.thread_index() == 0)
+    Harness = new IngestHarness(LinesPerIngestThread * State.threads());
+
+  uint64_t SliceBase =
+      0x4000'0000 +
+      uint64_t(State.thread_index()) * LinesPerIngestThread * 64;
+  SplitMix64 Rng(700 + State.thread_index());
+  pmu::Sample Sample;
+  for (auto _ : State) {
+    Sample.Address =
+        SliceBase + Rng.nextBelow(LinesPerIngestThread) * 64 +
+        Rng.nextBelow(16) * 4;
+    Sample.Tid =
+        static_cast<ThreadId>(State.thread_index() * 4 + Rng.nextBelow(4));
+    Sample.IsWrite = Rng.nextBool(0.7);
+    Sample.LatencyCycles = 40;
+    ingestSampleSharded(*Harness, Sample);
+  }
+  State.SetItemsProcessed(State.iterations());
+
+  if (State.thread_index() == 0) {
+    Harness->Shadow.quiesce(); // the epoch merge is part of the design
+    delete Harness;
+    Harness = nullptr;
+  }
+}
+BENCHMARK(BM_ThreadedIngestSharded)->ThreadRange(1, 8)->UseRealTime();
+
 //===----------------------------------------------------------------------===//
 // Page-granularity (NUMA) hot path
 //===----------------------------------------------------------------------===//
@@ -380,6 +452,130 @@ void BM_ProfilerBatchedIngest(benchmark::State &State) {
 }
 BENCHMARK(BM_ProfilerBatchedIngest)->ThreadRange(1, 8)->UseRealTime();
 
+//===----------------------------------------------------------------------===//
+// BENCH_ingest.json: the checked-in ingestion-throughput trajectory
+//===----------------------------------------------------------------------===//
+
+/// One row of the ingest sweep: \p Mode at \p Threads ingest threads.
+struct IngestSweepRow {
+  std::string Mode;
+  unsigned Threads = 0;
+  uint64_t Samples = 0;
+  double Seconds = 0.0;
+};
+
+/// Runs \p SamplesPerThread samples on each of \p Threads threads through
+/// one ingestion mode and returns the timed row. Sample generation and
+/// slice layout match the BM_ThreadedIngest* benchmarks; all threads
+/// start on a barrier so the wall-clock window covers only ingestion
+/// (plus, for the sharded mode, the epoch merge — it is part of that
+/// design's cost).
+IngestSweepRow runIngestSweep(const std::string &Mode, unsigned Threads,
+                              uint64_t SamplesPerThread) {
+  IngestHarness Harness(LinesPerIngestThread * Threads);
+  constexpr size_t StripeCount = 64;
+  std::vector<std::mutex> Stripes(StripeCount);
+
+  std::atomic<bool> Go{false};
+  std::vector<std::thread> Workers;
+  for (unsigned T = 0; T < Threads; ++T)
+    Workers.emplace_back([&, T] {
+      SplitMix64 Rng(900 + T);
+      uint64_t SliceBase = 0x4000'0000 + uint64_t(T) * LinesPerIngestThread * 64;
+      pmu::Sample Sample;
+      while (!Go.load(std::memory_order_acquire)) {
+      }
+      for (uint64_t I = 0; I < SamplesPerThread; ++I) {
+        Sample.Address = SliceBase + Rng.nextBelow(LinesPerIngestThread) * 64 +
+                         Rng.nextBelow(16) * 4;
+        Sample.Tid = static_cast<ThreadId>(T * 4 + Rng.nextBelow(4));
+        Sample.IsWrite = Rng.nextBool(0.7);
+        Sample.LatencyCycles = 40;
+        if (Mode == "shared") {
+          benchmark::DoNotOptimize(Harness.Detect.handleSample(Sample, true));
+        } else if (Mode == "locked") {
+          uint64_t Line = Sample.Address >> 6;
+          std::lock_guard<std::mutex> Lock(
+              Stripes[(Line * 0x9e3779b97f4a7c15ull) >> 58]);
+          benchmark::DoNotOptimize(Harness.Detect.handleSample(Sample, true));
+        } else {
+          ingestSampleSharded(Harness, Sample);
+        }
+      }
+    });
+
+  auto Start = std::chrono::steady_clock::now();
+  Go.store(true, std::memory_order_release);
+  for (std::thread &Worker : Workers)
+    Worker.join();
+  if (Mode == "sharded")
+    Harness.Shadow.quiesce();
+  auto End = std::chrono::steady_clock::now();
+
+  IngestSweepRow Row;
+  Row.Mode = Mode;
+  Row.Threads = Threads;
+  Row.Samples = SamplesPerThread * Threads;
+  Row.Seconds = std::chrono::duration<double>(End - Start).count();
+  return Row;
+}
+
+/// Writes the shared/locked/sharded x 1..8-thread sweep to \p Path as the
+/// `cheetah-bench-ingest-v1` document. \returns false on I/O failure.
+bool emitIngestJson(const std::string &Path) {
+  constexpr uint64_t SamplesPerThread = 1'000'000;
+  std::vector<IngestSweepRow> Rows;
+  for (const char *Mode : {"shared", "locked", "sharded"})
+    for (unsigned Threads = 1; Threads <= 8; ++Threads) {
+      Rows.push_back(runIngestSweep(Mode, Threads, SamplesPerThread));
+      std::fprintf(stderr, "%-7s %u threads: %.1fM samples/sec/core\n",
+                   Mode, Threads,
+                   static_cast<double>(Rows.back().Samples) /
+                       Rows.back().Seconds / Threads / 1e6);
+    }
+
+  std::string Text;
+  JsonWriter Writer(Text);
+  Writer.beginObject();
+  Writer.member("schema", "cheetah-bench-ingest-v1");
+#if CHEETAH_SHARDED_TABLE
+  Writer.member("build_mode", "sharded-table");
+#elif CHEETAH_LOCKED_TABLE
+  Writer.member("build_mode", "locked-table");
+#else
+  Writer.member("build_mode", "lock-free");
+#endif
+  Writer.member("samples_per_thread", SamplesPerThread);
+  Writer.member("lines_per_thread", LinesPerIngestThread);
+  Writer.key("results");
+  Writer.beginArray();
+  for (const IngestSweepRow &Row : Rows) {
+    Writer.beginObject();
+    Writer.member("mode", Row.Mode);
+    Writer.member("threads", Row.Threads);
+    Writer.member("samples", Row.Samples);
+    Writer.member("seconds", Row.Seconds);
+    Writer.member("samples_per_sec",
+                  static_cast<double>(Row.Samples) / Row.Seconds);
+    Writer.member("samples_per_sec_per_core",
+                  static_cast<double>(Row.Samples) / Row.Seconds /
+                      Row.Threads);
+    Writer.endObject();
+  }
+  Writer.endArray();
+  Writer.endObject();
+  Text += "\n";
+
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 Path.c_str());
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  return Written == Text.size() && std::fclose(File) == 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -393,6 +589,15 @@ int main(int argc, char **argv) {
   std::fprintf(stderr,
                "cheetah detect mode: lock-free (packed CAS table)\n");
 #endif
+  // The dedicated ingest sweep replaces the google-benchmark run when
+  // requested: deterministic sample streams, explicit timing, one JSON
+  // document for the checked-in trajectory.
+  for (int I = 1; I < argc; ++I) {
+    const char *Prefix = "--emit-ingest-json=";
+    if (std::strncmp(argv[I], Prefix, std::strlen(Prefix)) == 0)
+      return emitIngestJson(argv[I] + std::strlen(Prefix)) ? 0 : 1;
+  }
+
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv))
     return 1;

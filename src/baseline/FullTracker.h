@@ -61,9 +61,9 @@ public:
               const FullTrackerConfig &Config);
 
   /// Per-line findings with at least \p MinInvalidations, sorted by
-  /// invalidation count (highest first).
-  std::vector<FullTrackerFinding>
-  findings(uint64_t MinInvalidations = 1) const;
+  /// invalidation count (highest first). Quiesces the detector first so
+  /// sharded-build accumulation is folded back before the scan.
+  std::vector<FullTrackerFinding> findings(uint64_t MinInvalidations = 1);
 
   /// Total accesses instrumented.
   uint64_t accessesInstrumented() const { return Accesses; }

@@ -210,6 +210,12 @@ ReportRunStats Profiler::runStats(uint64_t AppRuntime) const {
 
 ProfileResult Profiler::finish(const sim::SimulationResult &Run,
                                ReportSink *Sink) {
+  // Epoch quiesce before any grain is read: in the sharded build this
+  // folds every per-thread shard back into the shared tables (and proves
+  // conservation); in the other builds it is a cheap no-op. The simulator
+  // has joined every thread by now, so no ingestion races the merge.
+  Detect.quiesce();
+
   ProfileResult Result;
   Result.AppRuntime = Run.TotalCycles;
   Result.Detection = Detect.stats();
@@ -226,7 +232,7 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
   ReportBuilder Builder(Heap, Globals, Callsites, Classifier,
                         Config.Geometry, Config.Report);
   Shadow.forEachDetail([&](uint64_t LineBase, const CacheLineInfo &Info) {
-    Builder.addLine(LineBase, Info);
+    Builder.addLine(Info.snapshot(LineBase));
   });
 
   ReportBuilder::Output Built = Builder.finalize(Assess, Run.TotalCycles, Sink);
@@ -243,7 +249,8 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
                                   Config.PageReport);
     Pages->forEachPage(
         [&](uint64_t PageBase, NodeId Home, const PageInfo &Info) {
-          PageBuilder.addPage(PageBase, Home, Info);
+          PageBuilder.addPage(Info.snapshot(PageBase), Home,
+                              Info.numaEvidence());
         });
     Assess.setLocalLatencyTotals(PageBuilder.localAccesses(),
                                  PageBuilder.localCycles());
@@ -251,6 +258,20 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
         PageBuilder.finalize(Assess, Run.TotalCycles, Sink);
     Result.PageReports = std::move(PageBuilt.Reports);
     Result.AllPageInstances = std::move(PageBuilt.AllInstances);
+  }
+
+  // The generic stage enumeration: detection counters from the detector,
+  // tracked/significant totals from whichever builder owns the stage's
+  // reports. A future third grain adds a case here and nowhere else.
+  Result.Stages = Detect.stageSummaries();
+  for (GrainStageSummary &Stage : Result.Stages) {
+    if (Stage.Name == LineGrainTraits::Name) {
+      Stage.Tracked = Result.AllInstances.size();
+      Stage.Significant = Result.Reports.size();
+    } else if (Stage.Name == PageGrainTraits::Name) {
+      Stage.Tracked = Result.AllPageInstances.size();
+      Stage.Significant = Result.PageReports.size();
+    }
   }
 
   if (Sink) {

@@ -7,173 +7,50 @@
 /// \file
 /// Detailed per-cache-line state, allocated lazily for "susceptible" lines
 /// only (those with more than a threshold of sampled writes — the paper's
-/// filter that avoids tracking write-once memory). Holds the two-entry
-/// invalidation table, per-word access tracking for true/false-sharing
-/// differentiation and padding guidance, and per-thread access/cycle
-/// accumulators that feed the assessment equations.
-///
-/// Every mutable field is an atomic updated with relaxed operations (the
-/// two-entry table is a single-word CAS state machine, the per-thread
-/// accumulators live in a lock-free chunk chain), so recordAccess is safe
-/// from any number of ingesting threads with no lock at all. Readers that
-/// run after ingestion quiesces — report generation, tests — take plain
-/// value snapshots via words()/threads().
+/// filter that avoids tracking write-once memory). A thin instantiation of
+/// the granularity-generic GrainInfo: the actors are threads, the buckets
+/// are the line's 4-byte words, and there are no per-grain extras. See
+/// GrainInfo.h for the machinery (two-entry invalidation table, per-bucket
+/// histogram, per-thread EQ.2 accumulators, shard records).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_DETECT_CACHELINEINFO_H
 #define CHEETAH_CORE_DETECT_CACHELINEINFO_H
 
-#include "core/detect/CacheLineTable.h"
-#include "mem/CacheGeometry.h"
-#include "mem/MemoryAccess.h"
-
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <vector>
+#include "core/detect/GrainInfo.h"
 
 namespace cheetah {
 namespace core {
 
-/// Sentinel for "no thread recorded yet" in WordStats.
-inline constexpr ThreadId NoThread = ~static_cast<ThreadId>(0);
-
-/// Snapshot of per 4-byte-word access statistics (paper Section 2.4: "the
-/// amount of reads or writes issued by a particular thread on each word").
-struct WordStats {
-  uint64_t Reads = 0;
-  uint64_t Writes = 0;
-  uint64_t Cycles = 0;
-  /// First thread seen touching this word.
-  ThreadId FirstThread = NoThread;
-  /// Set once a second distinct thread touches the word: the word is truly
-  /// shared (true sharing indicator).
-  bool MultiThread = false;
-
-  uint64_t accesses() const { return Reads + Writes; }
-};
-
-/// Per-thread access/cycle accumulator on one line (and, aggregated, on one
-/// object) — the Accesses_O and Cycles_O of the assessment equations,
-/// broken down per thread for EQ.2.
-struct ThreadLineStats {
-  ThreadId Tid = 0;
-  uint64_t Accesses = 0;
-  uint64_t Cycles = 0;
-};
-
-/// Lock-free per-thread access/cycle accumulator chain, shared by the
-/// line-granularity (CacheLineInfo) and page-granularity (PageInfo) detail
-/// records — both need the per-thread Accesses_O / Cycles_O breakdown that
-/// feeds EQ.2. Slots are claimed by CASing a tid into a fixed-capacity
-/// block; the chain grows by CAS-publishing the next block, so the thread
-/// population is unbounded while the common case (a handful of threads)
-/// stays in the inline first block with no indirection.
-class ThreadStatsChain {
-public:
-  ThreadStatsChain() = default;
-  ~ThreadStatsChain();
-
-  ThreadStatsChain(const ThreadStatsChain &) = delete;
-  ThreadStatsChain &operator=(const ThreadStatsChain &) = delete;
-
-  /// Finds (or claims) \p Tid's slot and accumulates one access. Lock-free;
-  /// safe from any number of ingesting threads.
-  void record(ThreadId Tid, uint64_t LatencyCycles);
-
-  /// Value snapshot of every claimed slot, ordered by thread id.
-  std::vector<ThreadLineStats> snapshot() const;
-
-  /// Number of distinct threads recorded.
-  size_t distinctThreads() const;
-
-  /// Heap bytes behind overflow blocks (the first block is inline in the
-  /// owning object, whose sizeof already covers it).
-  size_t overflowBytes() const;
-
-private:
-  /// One fixed-capacity block of the chain.
-  struct Chunk {
-    static constexpr size_t Capacity = 8;
-    std::atomic<ThreadId> Tids[Capacity];
-    std::atomic<uint64_t> Accesses[Capacity];
-    std::atomic<uint64_t> Cycles[Capacity];
-    std::atomic<Chunk *> Next{nullptr};
-
-    Chunk();
-  };
-
-  Chunk First;
-};
-
 /// Everything Cheetah tracks about one susceptible cache line.
-class CacheLineInfo {
+class CacheLineInfo : public GrainInfo<LineGrainTraits> {
 public:
-  explicit CacheLineInfo(uint64_t WordsPerLine);
-  ~CacheLineInfo();
-
-  CacheLineInfo(const CacheLineInfo &) = delete;
-  CacheLineInfo &operator=(const CacheLineInfo &) = delete;
+  explicit CacheLineInfo(uint64_t WordsPerLine)
+      : GrainInfo(WordsPerLine) {}
 
   /// Records one sampled access landing on this line. Lock-free:
   /// concurrent calls from many ingesting threads never lose an update.
   /// \returns true if it incurred a cache invalidation.
   bool recordAccess(ThreadId Tid, AccessKind Kind, uint64_t WordIndex,
-                    uint64_t WordSpan, uint64_t LatencyCycles);
-
-  /// Cache-invalidation count (the significance signal).
-  uint64_t invalidations() const {
-    return Invalidations.load(std::memory_order_relaxed);
+                    uint64_t WordSpan, uint64_t LatencyCycles) {
+    return record(Tid, Tid, Kind, WordIndex, WordSpan, LatencyCycles);
   }
-
-  /// Total sampled accesses / writes / cycles on the line.
-  uint64_t accesses() const {
-    return Accesses.load(std::memory_order_relaxed);
-  }
-  uint64_t writes() const { return Writes.load(std::memory_order_relaxed); }
-  uint64_t cycles() const { return Cycles.load(std::memory_order_relaxed); }
 
   /// Value snapshot of the per-word statistics, one entry per word of the
   /// line (consistent once ingestion quiesces).
-  std::vector<WordStats> words() const;
-
-  /// Value snapshot of the per-thread accumulators, ordered by thread id.
-  std::vector<ThreadLineStats> threads() const;
-
-  /// Number of distinct threads that accessed the line.
-  size_t threadCount() const;
-
-  /// Access to the invalidation table (tests).
-  const CacheLineTable &table() const { return Table; }
-
-  /// Exact bytes of heap memory behind this line's detailed tracking
-  /// (object, word slots, and every per-thread stats chunk) — feeds the
-  /// memory ablation's honest accounting.
-  size_t footprintBytes() const;
-
-private:
-  /// Atomic backing store for one word's statistics.
-  struct AtomicWordStats {
-    std::atomic<uint64_t> Reads{0};
-    std::atomic<uint64_t> Writes{0};
-    std::atomic<uint64_t> Cycles{0};
-    std::atomic<ThreadId> FirstThread{NoThread};
-    std::atomic<bool> MultiThread{false};
-
-    void record(ThreadId Tid, AccessKind Kind, uint64_t LatencyCycles);
-    WordStats snapshot() const;
-  };
-
-  CacheLineTable Table;
-  std::atomic<uint64_t> Invalidations{0};
-  std::atomic<uint64_t> Accesses{0};
-  std::atomic<uint64_t> Writes{0};
-  std::atomic<uint64_t> Cycles{0};
-  std::unique_ptr<AtomicWordStats[]> Words;
-  uint64_t WordCount;
-  ThreadStatsChain ThreadStats;
+  std::vector<WordStats> words() const { return buckets(); }
 };
+
+// The empty line extras must overlay completely ([[no_unique_address]]) so
+// the line record is exactly as wide as the pre-generalization layout —
+// the shadow-bytes accounting embedded in the report goldens depends on
+// this staying put.
+static_assert(sizeof(CacheLineInfo) ==
+                  sizeof(CacheLineTable) + 4 * sizeof(std::atomic<uint64_t>) +
+                      sizeof(std::unique_ptr<AtomicBucketStats[]>) +
+                      sizeof(uint64_t) + sizeof(ThreadStatsChain),
+              "empty line extras must not widen the grain record");
 
 } // namespace core
 } // namespace cheetah

@@ -6,58 +6,125 @@
 
 #include "core/detect/Detector.h"
 
-#if CHEETAH_LOCKED_TABLE
-#include <mutex>
-#endif
+#include "support/Assert.h"
 
 using namespace cheetah;
 using namespace cheetah::core;
 
-bool Detector::handlePageSample(const pmu::Sample &Sample,
-                                bool InParallelPhase) {
-  // Page stage 1 mirrors the line stage: cheap write counting plus the
-  // first-touch home publication, on every covered sample. Homes are set
-  // even during serial phases — placement happens at first touch no matter
-  // who is running, exactly like the OS policy being modeled.
-  NodeId Node = Topology->nodeOf(Sample.Tid);
-  uint32_t PageWrites = Sample.IsWrite ? Pages->noteWrite(Sample.Address)
-                                       : Pages->writeCount(Sample.Address);
-  NodeId Home = Pages->noteTouch(Sample.Address, Node);
+/// The line grain stage: actors are threads, buckets are the line's 4-byte
+/// words, and an access wider than a word spans several buckets.
+struct Detector::LineStage {
+  Detector &D;
+  uint8_t AccessBytes;
+
+  struct Prep {};
+  struct Decoded {
+    ThreadId Actor;
+    uint64_t Bucket;
+    uint64_t Span;
+    LineAccessContext Ctx;
+  };
+
+  ShadowMemory &table() { return D.Shadow; }
+  uint32_t threshold() const { return D.Config.WriteThreshold; }
+
+  Prep prepare(const pmu::Sample &) { return {}; }
+
+  Decoded decode(const pmu::Sample &Sample, const Prep &) {
+    uint64_t WordIndex = D.Geometry.wordInLine(Sample.Address);
+    uint64_t LastByte = D.Geometry.offsetInLine(Sample.Address) +
+                        (AccessBytes ? AccessBytes : 1) - 1;
+    if (LastByte >= D.Geometry.lineSize())
+      LastByte = D.Geometry.lineSize() - 1; // clamp straddling accesses
+    uint64_t WordSpan = LastByte / WordSize - WordIndex + 1;
+    return {Sample.Tid, WordIndex, WordSpan, {}};
+  }
+
+  void tally(bool Invalidation, const Decoded &) {
+    if (Invalidation)
+      D.Invalidations.fetch_add(1, std::memory_order_relaxed);
+    D.SamplesRecorded.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// The page grain stage: actors are NUMA nodes, buckets are the page's
+/// cache lines, and preparation publishes the first-touch home — on every
+/// covered sample regardless of phase, exactly like the OS placement
+/// policy being modeled.
+struct Detector::PageStage {
+  Detector &D;
+
+  struct Prep {
+    NodeId Node;
+    NodeId Home;
+  };
+  struct Decoded {
+    NodeId Actor;
+    uint64_t Bucket;
+    uint64_t Span;
+    PageAccessContext Ctx;
+  };
+
+  PageTable &table() { return *D.Pages; }
+  uint32_t threshold() const { return D.Config.PageWriteThreshold; }
+
+  Prep prepare(const pmu::Sample &Sample) {
+    NodeId Node = D.Topology->nodeOf(Sample.Tid);
+    NodeId Home = D.Pages->noteTouch(Sample.Address, Node);
+    return {Node, Home};
+  }
+
+  Decoded decode(const pmu::Sample &Sample, const Prep &P) {
+    bool Remote = P.Node != P.Home;
+    // Which node pair the sample crossed: the distance evidence behind the
+    // remoteByDistance report breakdown and the distance-weighted page
+    // assessment. Local samples cross nothing.
+    uint32_t Distance = Remote ? D.Topology->distance(P.Node, P.Home) : 0;
+    return {P.Node, D.Pages->lineIndexInPage(Sample.Address), 1,
+            {Remote, Distance}};
+  }
+
+  void tally(bool Invalidation, const Decoded &A) {
+    if (Invalidation)
+      D.PageInvalidations.fetch_add(1, std::memory_order_relaxed);
+    if (A.Ctx.Remote)
+      D.RemoteSamples.fetch_add(1, std::memory_order_relaxed);
+    D.PageSamplesRecorded.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+template <typename Stage>
+bool Detector::runGrainStage(Stage &S, const pmu::Sample &Sample,
+                             bool InParallelPhase) {
+  auto &Table = S.table();
+
+  // Stage 1: cheap write counting on every covered sample. This is what
+  // makes write-once memory never pay for detailed tracking. Atomic, so
+  // concurrent ingesters never lose a count.
+  uint32_t GrainWrites = Sample.IsWrite ? Table.noteWrite(Sample.Address)
+                                        : Table.writeCount(Sample.Address);
+  auto Prep = S.prepare(Sample);
 
   if (Config.OnlyParallelPhases && !InParallelPhase)
     return false;
 
-  // Page stage 2: detailed tracking only for susceptible pages.
-  PageInfo *Info = Pages->detail(Sample.Address);
+  // Stage 2: detailed tracking only for susceptible grains.
+  auto *Info = Table.detail(Sample.Address);
   if (!Info) {
-    if (PageWrites <= Config.PageWriteThreshold)
+    if (GrainWrites <= S.threshold())
       return false;
-    Info = &Pages->materializeDetail(Sample.Address);
+    Info = &Table.materializeDetail(Sample.Address);
   }
 
-  bool Remote = Node != Home;
-  // Which node pair the sample crossed: the distance evidence behind the
-  // remoteByDistance report breakdown and the distance-weighted page
-  // assessment. Local samples cross nothing.
-  uint32_t Distance = Remote ? Topology->distance(Node, Home) : 0;
-  uint64_t LineIndex = Pages->lineIndexInPage(Sample.Address);
-  bool Invalidation;
-  {
-#if CHEETAH_LOCKED_TABLE
-    // A/B build only: serialize page detail mutation with a striped mutex
-    // so the locked-vs-lock-free sweep covers the page path too.
-    std::lock_guard<std::mutex> Lock(Pages->pageLock(Sample.Address));
-#endif
-    Invalidation = Info->recordAccess(
-        Sample.Tid, Node,
-        Sample.IsWrite ? AccessKind::Write : AccessKind::Read, LineIndex,
-        Sample.LatencyCycles, Remote, Distance);
-  }
-  if (Invalidation)
-    PageInvalidations.fetch_add(1, std::memory_order_relaxed);
-  if (Remote)
-    RemoteSamples.fetch_add(1, std::memory_order_relaxed);
-  PageSamplesRecorded.fetch_add(1, std::memory_order_relaxed);
+  auto Decoded = S.decode(Sample, Prep);
+  // The table dispatches to the build's ingestion mode: the default
+  // lock-free shared path, the striped-mutex A/B path, or the per-thread
+  // shard path merged at quiesce().
+  bool Invalidation = Table.record(
+      Sample.Address, *Info, Sample.Tid, Decoded.Actor,
+      Sample.IsWrite ? AccessKind::Write : AccessKind::Read, Decoded.Bucket,
+      Decoded.Span, Sample.LatencyCycles, Decoded.Ctx);
+  S.tally(Invalidation, Decoded);
   return true;
 }
 
@@ -71,55 +138,63 @@ bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,
   }
 
   bool PageRecorded = false;
-  if (Pages && Config.TrackPages)
-    PageRecorded = handlePageSample(Sample, InParallelPhase);
+  if (Pages && Config.TrackPages) {
+    PageStage Stage{*this};
+    PageRecorded = runGrainStage(Stage, Sample, InParallelPhase);
+  }
   if (!Config.TrackLines)
     return PageRecorded;
 
-  // Stage 1: cheap write counting on every covered sample. This is what
-  // makes write-once memory never pay for detailed tracking. Atomic, so
-  // concurrent ingesters never lose a count.
-  uint32_t LineWrites = 0;
-  if (Sample.IsWrite)
-    LineWrites = Shadow.noteWrite(Sample.Address);
-  else
-    LineWrites = Shadow.writeCount(Sample.Address);
+  LineStage Stage{*this, AccessBytes};
+  bool LineRecorded = runGrainStage(Stage, Sample, InParallelPhase);
+  return LineRecorded || PageRecorded;
+}
 
-  if (Config.OnlyParallelPhases && !InParallelPhase)
-    return PageRecorded;
-
-  // Stage 2: detailed tracking only for susceptible lines.
-  CacheLineInfo *Info = Shadow.detail(Sample.Address);
-  if (!Info) {
-    if (LineWrites <= Config.WriteThreshold)
-      return PageRecorded;
-    Info = &Shadow.materializeDetail(Sample.Address);
-  }
-
-  uint64_t WordIndex = Geometry.wordInLine(Sample.Address);
-  uint64_t LastByte = Geometry.offsetInLine(Sample.Address) +
-                      (AccessBytes ? AccessBytes : 1) - 1;
-  if (LastByte >= Geometry.lineSize())
-    LastByte = Geometry.lineSize() - 1; // clamp straddling accesses
-  uint64_t WordSpan = LastByte / WordSize - WordIndex + 1;
-
-  bool Invalidation;
-  {
-#if CHEETAH_LOCKED_TABLE
-    // A/B build only: serialize detail mutation with the PR-1 striped line
-    // mutex so the cost of the lock itself is measurable against the
-    // default lock-free path.
-    std::lock_guard<std::mutex> Lock(Shadow.lineLock(Sample.Address));
+void Detector::quiesce() {
+  MergedLines += Shadow.quiesce();
+  if (Pages)
+    MergedPages += Pages->quiesce();
+#if CHEETAH_SHARDED_TABLE
+  // In the sharded build every detailed record went through a shard, so
+  // the cumulative merge totals must conserve exactly against the shared
+  // counters the detector kept alongside — the proof that no sample was
+  // lost between a shard and the shared table.
+  CHEETAH_ASSERT(MergedLines.Accesses ==
+                     SamplesRecorded.load(std::memory_order_relaxed),
+                 "sharded merge lost line samples");
+  CHEETAH_ASSERT(MergedLines.Invalidations ==
+                     Invalidations.load(std::memory_order_relaxed),
+                 "sharded merge lost line invalidations");
+  CHEETAH_ASSERT(MergedPages.Accesses ==
+                     PageSamplesRecorded.load(std::memory_order_relaxed),
+                 "sharded merge lost page samples");
+  CHEETAH_ASSERT(MergedPages.Invalidations ==
+                     PageInvalidations.load(std::memory_order_relaxed),
+                 "sharded merge lost cross-node invalidations");
+  CHEETAH_ASSERT(MergedPages.RemoteAccesses ==
+                     RemoteSamples.load(std::memory_order_relaxed),
+                 "sharded merge lost remote samples");
 #endif
-    // CacheLineInfo::recordAccess is lock-free: the two-entry table is one
-    // CAS word and every counter is a relaxed atomic, so no serialization
-    // is needed here in the default build.
-    Invalidation = Info->recordAccess(
-        Sample.Tid, Sample.IsWrite ? AccessKind::Write : AccessKind::Read,
-        WordIndex, WordSpan, Sample.LatencyCycles);
+}
+
+std::vector<GrainStageSummary> Detector::stageSummaries() const {
+  std::vector<GrainStageSummary> Result;
+  DetectorStats Stats = stats();
+  if (Config.TrackLines) {
+    GrainStageSummary Line;
+    Line.Name = LineGrainTraits::Name;
+    Line.SamplesRecorded = Stats.SamplesRecorded;
+    Line.Invalidations = Stats.Invalidations;
+    Result.push_back(std::move(Line));
   }
-  if (Invalidation)
-    Invalidations.fetch_add(1, std::memory_order_relaxed);
-  SamplesRecorded.fetch_add(1, std::memory_order_relaxed);
-  return true;
+  if (Pages && Config.TrackPages) {
+    GrainStageSummary Page;
+    Page.Name = PageGrainTraits::Name;
+    Page.SamplesRecorded = Stats.PageSamplesRecorded;
+    Page.Invalidations = Stats.PageInvalidations;
+    Page.RemoteSamples = Stats.RemoteSamples;
+    Page.HasRemote = true;
+    Result.push_back(std::move(Page));
+  }
+  return Result;
 }

@@ -6,20 +6,22 @@
 ///
 /// \file
 /// The "FS detection" module of Figure 2: consumes the PMU sample stream,
-/// filters it to the monitored heap/global regions, maintains the per-line
-/// write counters, materializes detailed tracking for susceptible lines
-/// (write count above threshold), and applies the two-entry invalidation
-/// rule. Detailed tracking is gated to parallel phases to avoid reporting
-/// initialize-then-share objects as shared (Section 2.4).
+/// filters it to the monitored heap/global regions, and runs one identical
+/// pipeline per active *grain stage* (line granularity, page granularity —
+/// a future third grain slots in the same way): maintain the stage-1 write
+/// counters, materialize detailed tracking for susceptible grains (write
+/// count above threshold), decode the sample into the grain's actor/bucket
+/// coordinates, and record it through the table's build-configured
+/// ingestion mode. Detailed tracking is gated to parallel phases to avoid
+/// reporting initialize-then-share objects as shared (Section 2.4).
 ///
 /// handleSample is safe to call from many ingesting threads concurrently
-/// and, in the default build, entirely lock-free: the stage-1 write
-/// counters are atomic, materialization races are resolved by the shadow
-/// memory's CAS publication, stage-2 line mutation goes through the
-/// single-word CAS table and relaxed atomic counters inside CacheLineInfo,
-/// and the detector's own counters are relaxed atomics (stats() takes a
-/// snapshot). Building with -DCHEETAH_LOCKED_TABLE=ON restores the PR-1
-/// striped line mutexes for A/B benchmarking.
+/// and, in the default build, entirely lock-free. Building with
+/// -DCHEETAH_LOCKED_TABLE=ON restores the PR-1 striped grain mutexes for
+/// A/B benchmarking; -DCHEETAH_SHARDED_TABLE=ON routes detailed recording
+/// into per-thread shards instead, which quiesce() folds back into the
+/// shared tables — proving, in that build, that the merge conserved every
+/// sample against the detector's own shared counters.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +36,8 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace cheetah {
 namespace core {
@@ -68,6 +72,20 @@ struct DetectorStats {
   uint64_t RemoteSamples = 0;       // recorded from a non-home node
 };
 
+/// One active grain stage's identity and end-of-run counters, enumerated
+/// generically so drivers (banners, end-of-run stats) need no per-grain
+/// edits when a stage is added. Tracked/Significant are filled by the
+/// profiler once reports are built; the rest comes from the detector.
+struct GrainStageSummary {
+  std::string Name;               // "line", "page", ...
+  uint64_t Tracked = 0;           // instances tracked by the report builder
+  uint64_t Significant = 0;       // significant findings
+  uint64_t SamplesRecorded = 0;   // reached detailed tracking
+  uint64_t Invalidations = 0;     // stage invalidations
+  uint64_t RemoteSamples = 0;     // remote-actor samples (HasRemote stages)
+  bool HasRemote = false;         // stage distinguishes remote traffic
+};
+
 /// Sample-driven false-sharing detection state machine.
 class Detector {
 public:
@@ -92,6 +110,21 @@ public:
   bool handleSample(const pmu::Sample &Sample, bool InParallelPhase,
                     uint8_t AccessBytes = 4);
 
+  /// Epoch quiesce: folds every per-thread table shard back into the
+  /// shared tables. Must not run concurrently with handleSample — the
+  /// caller provides the happens-before edge (thread join / batch flush).
+  /// A no-op source of work in unsharded builds (no shards ever register
+  /// through the detector), and cheap either way.
+  ///
+  /// In the CHEETAH_SHARDED_TABLE build this also *proves conservation*:
+  /// the cumulative merged totals must equal the detector's shared
+  /// counters, or the merge lost samples and an assertion fires.
+  void quiesce();
+
+  /// Cumulative merge totals across every quiesce() so far (tests).
+  const GrainMergeStats &lineMergeStats() const { return MergedLines; }
+  const GrainMergeStats &pageMergeStats() const { return MergedPages; }
+
   /// Snapshot of the counters (consistent enough once ingestion quiesces).
   DetectorStats stats() const {
     DetectorStats Result;
@@ -107,6 +140,11 @@ public:
     return Result;
   }
 
+  /// The active grain stages in pipeline order with their detection
+  /// counters — the generic enumeration banners and end-of-run stats
+  /// consume (Tracked/Significant are left for the profiler to fill).
+  std::vector<GrainStageSummary> stageSummaries() const;
+
   /// The shadow memory the detector writes into.
   ShadowMemory &shadow() { return Shadow; }
   const ShadowMemory &shadow() const { return Shadow; }
@@ -116,9 +154,18 @@ public:
   const PageTable *pageTable() const { return Pages; }
 
 private:
-  /// The page-granularity stage for one covered sample.
-  /// \returns true if it reached detailed page tracking.
-  bool handlePageSample(const pmu::Sample &Sample, bool InParallelPhase);
+  struct LineStage;
+  struct PageStage;
+
+  /// One grain stage's pipeline over one covered sample: stage-1 write
+  /// counting, stage-specific preparation (runs before the phase gate —
+  /// e.g. first-touch home publication), the parallel-phase gate,
+  /// susceptibility-thresholded materialization, sample decoding into
+  /// actor/bucket coordinates, and the mode-dispatched record.
+  /// \returns true if the sample reached detailed tracking.
+  template <typename Stage>
+  bool runGrainStage(Stage &S, const pmu::Sample &Sample,
+                     bool InParallelPhase);
 
   CacheGeometry Geometry;
   ShadowMemory &Shadow;
@@ -132,6 +179,10 @@ private:
   std::atomic<uint64_t> PageSamplesRecorded{0};
   std::atomic<uint64_t> PageInvalidations{0};
   std::atomic<uint64_t> RemoteSamples{0};
+  /// Cumulative quiesce() merge totals, per stage. Only quiesce() mutates
+  /// these, under its single-caller contract.
+  GrainMergeStats MergedLines;
+  GrainMergeStats MergedPages;
 };
 
 } // namespace core

@@ -1,0 +1,506 @@
+//===- core/detect/GrainInfo.h - Granularity-generic grain record -*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The granularity-parameterized heart of the detector: one detailed
+/// tracking record (`GrainInfo<Traits>`) instantiated per *grain* — a cache
+/// line at line granularity, a page at page granularity. The paper's
+/// machinery is identical at every level of the memory hierarchy; only the
+/// parameters change, and a `GrainTraits` policy carries exactly those:
+///
+///  - the **actor** whose interleaving drives the two-entry invalidation
+///    table (threads for cache false sharing, NUMA nodes for remote-DRAM
+///    page sharing),
+///  - the **bucket** histogram subdividing the grain (4-byte words of a
+///    line, cache lines of a page) that lets SharingClassifier split true
+///    from false sharing,
+///  - per-grain **extras** beyond the shared counters (the page grain adds
+///    remote-traffic totals, per-node accumulators, and remoteByDistance
+///    buckets; the line grain adds nothing).
+///
+/// Every mutable field is a relaxed atomic and the table transition is a
+/// single-word CAS, so `record` is lock-free from any number of ingesting
+/// threads. Readers that run after ingestion quiesces (report generation,
+/// tests) take plain value snapshots.
+///
+/// Each grain additionally knows how to accumulate into and merge from a
+/// per-thread **shard record** (`GrainShardRecord<Traits>`): plain,
+/// single-writer fields a thread fills without any cross-thread CAS
+/// traffic, folded back into the shared atomics at epoch quiesce. Only the
+/// additive statistics shard; the two-entry table stays shared because the
+/// invalidation decision depends on the global interleaving of actors,
+/// which is also what makes the merge *provable* — merged totals must
+/// conserve against the shared-table counters. The shard machinery is
+/// always compiled; `CHEETAH_SHARDED_TABLE` only switches the detector's
+/// ingestion dispatch onto it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_DETECT_GRAININFO_H
+#define CHEETAH_CORE_DETECT_GRAININFO_H
+
+#include "core/detect/CacheLineTable.h"
+#include "mem/CacheGeometry.h"
+#include "mem/MemoryAccess.h"
+#include "mem/NumaTopology.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cheetah {
+namespace core {
+
+/// Sentinel for "no thread recorded yet" in WordStats.
+inline constexpr ThreadId NoThread = ~static_cast<ThreadId>(0);
+
+/// Sentinel for "no actor recorded yet" in a histogram bucket. ThreadId and
+/// NodeId are both uint32_t, so one sentinel serves every grain (it equals
+/// NoThread and NoNode bit-for-bit).
+inline constexpr uint32_t NoActor = ~static_cast<uint32_t>(0);
+
+/// Snapshot of one histogram bucket (paper Section 2.4: "the amount of
+/// reads or writes issued by a particular thread on each word"). At line
+/// granularity a bucket is a 4-byte word and the actor fields hold thread
+/// ids; at page granularity a bucket is a cache line and they hold node
+/// ids — SharingClassifier consumes both unchanged.
+struct WordStats {
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  /// First actor (thread/node) seen touching this bucket.
+  ThreadId FirstThread = NoThread;
+  /// Set once a second distinct actor touches the bucket: the bucket is
+  /// truly shared (true sharing indicator).
+  bool MultiThread = false;
+
+  uint64_t accesses() const { return Reads + Writes; }
+};
+
+/// Per-thread access/cycle accumulator on one grain (and, aggregated, on
+/// one object) — the Accesses_O and Cycles_O of the assessment equations,
+/// broken down per thread for EQ.2.
+struct ThreadLineStats {
+  ThreadId Tid = 0;
+  uint64_t Accesses = 0;
+  uint64_t Cycles = 0;
+};
+
+/// Per-node access/cycle accumulator on one page.
+struct NodePageStats {
+  NodeId Node = 0;
+  uint64_t Accesses = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+};
+
+/// Lock-free per-thread access/cycle accumulator chain shared by every
+/// grain — all of them need the per-thread Accesses_O / Cycles_O breakdown
+/// that feeds EQ.2. Slots are claimed by CASing a tid into a
+/// fixed-capacity block; the chain grows by CAS-publishing the next block,
+/// so the thread population is unbounded while the common case (a handful
+/// of threads) stays in the inline first block with no indirection.
+class ThreadStatsChain {
+public:
+  ThreadStatsChain() = default;
+  ~ThreadStatsChain();
+
+  ThreadStatsChain(const ThreadStatsChain &) = delete;
+  ThreadStatsChain &operator=(const ThreadStatsChain &) = delete;
+
+  /// Finds (or claims) \p Tid's slot and accumulates one access. Lock-free;
+  /// safe from any number of ingesting threads.
+  void record(ThreadId Tid, uint64_t LatencyCycles) {
+    add(Tid, 1, LatencyCycles);
+  }
+
+  /// Bulk variant: accumulates \p Accesses accesses and \p Cycles cycles in
+  /// one claim — how a merged shard folds its per-thread totals back in.
+  void add(ThreadId Tid, uint64_t Accesses, uint64_t Cycles);
+
+  /// Value snapshot of every claimed slot, ordered by thread id.
+  std::vector<ThreadLineStats> snapshot() const;
+
+  /// Number of distinct threads recorded.
+  size_t distinctThreads() const;
+
+  /// Heap bytes behind overflow blocks (the first block is inline in the
+  /// owning object, whose sizeof already covers it).
+  size_t overflowBytes() const;
+
+private:
+  /// One fixed-capacity block of the chain.
+  struct Chunk {
+    static constexpr size_t Capacity = 8;
+    std::atomic<ThreadId> Tids[Capacity];
+    std::atomic<uint64_t> Accesses[Capacity];
+    std::atomic<uint64_t> Cycles[Capacity];
+    std::atomic<Chunk *> Next{nullptr};
+
+    Chunk();
+  };
+
+  Chunk First;
+};
+
+/// One bucket's single-writer accumulation inside a shard: the plain-field
+/// mirror of AtomicBucketStats. FirstActor/MultiActor are tracked per
+/// shard and reconciled at merge (first merged shard to publish wins,
+/// disagreement marks the bucket multi-actor).
+struct ShardBucketStats {
+  uint64_t Reads = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  uint32_t FirstActor = NoActor;
+  bool MultiActor = false;
+
+  void record(uint32_t Actor, AccessKind Kind, uint64_t LatencyCycles) {
+    if (Kind == AccessKind::Read)
+      ++Reads;
+    else
+      ++Writes;
+    Cycles += LatencyCycles;
+    if (FirstActor == NoActor)
+      FirstActor = Actor;
+    else if (FirstActor != Actor)
+      MultiActor = true;
+  }
+};
+
+/// Atomic backing store for one histogram bucket (per-word at line
+/// granularity with thread actors, per-line at page granularity with node
+/// actors).
+struct AtomicBucketStats {
+  std::atomic<uint64_t> Reads{0};
+  std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> Cycles{0};
+  std::atomic<uint32_t> FirstActor{NoActor};
+  std::atomic<bool> MultiActor{false};
+
+  void record(uint32_t Actor, AccessKind Kind, uint64_t LatencyCycles);
+  void merge(const ShardBucketStats &Bucket);
+  WordStats snapshot() const;
+};
+
+/// Granularity-neutral value snapshot of one materialized grain — the
+/// common finding source both report builders consume (line findings read
+/// per-word buckets, page findings per-line buckets; neither needs to know
+/// which grain produced it).
+struct GrainSnapshot {
+  uint64_t Base = 0;
+  uint64_t Accesses = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  uint64_t Invalidations = 0;
+  std::vector<WordStats> Buckets;
+  std::vector<ThreadLineStats> Threads;
+};
+
+/// Per-sample context beyond the generic fields: the line grain needs none.
+struct LineAccessContext {};
+
+/// Per-sample context the page grain carries: whether the access crossed
+/// nodes, and which node-pair distance it crossed (0 for local).
+struct PageAccessContext {
+  bool Remote = false;
+  uint32_t Distance = 0;
+};
+
+/// Line-grain shard extras: nothing beyond the generic shard fields.
+struct LineShardExtras {
+  void record(uint32_t, AccessKind, uint64_t, const LineAccessContext &) {}
+  uint64_t remoteAccesses() const { return 0; }
+};
+
+/// Line-grain per-grain extras: empty (overlaid via [[no_unique_address]]
+/// so the line record stays exactly as wide as before the generalization —
+/// the shadow-bytes accounting the goldens embed depends on it).
+struct LineGrainExtras {
+  void record(uint32_t, AccessKind, uint64_t, const LineAccessContext &) {}
+  void merge(const LineShardExtras &) {}
+};
+
+/// Page-grain shard extras: single-writer mirrors of the remote-traffic
+/// totals, per-node accumulators, and distance buckets.
+struct PageShardExtras {
+  uint64_t RemoteAccesses = 0;
+  uint64_t RemoteCycles = 0;
+  uint64_t NodeAccesses[NumaTopology::MaxNodes] = {};
+  uint64_t NodeWrites[NumaTopology::MaxNodes] = {};
+  uint64_t NodeCycles[NumaTopology::MaxNodes] = {};
+  /// Remote traffic per crossed distance, in arrival order (at most
+  /// MaxNodes - 1 distinct distances exist under a settled home).
+  std::vector<RemoteDistanceStats> Remote;
+
+  void record(NodeId Node, AccessKind Kind, uint64_t LatencyCycles,
+              const PageAccessContext &Ctx);
+  uint64_t remoteAccesses() const { return RemoteAccesses; }
+};
+
+/// Page-grain per-grain extras: everything the NUMA story needs beyond the
+/// generic counters. Node populations are tiny (NumaTopology::MaxNodes) so
+/// they live in fixed arrays rather than the chunk chain.
+struct PageGrainExtras {
+  /// One lock-free distance bucket: claimed by CAS-publishing its distance
+  /// value (0 = empty; validated remote distances are >= 1). A page's home
+  /// is settled at first touch, so at most MaxNodes - 1 distinct distances
+  /// ever occur and the fixed array never fills.
+  struct AtomicDistanceStats {
+    std::atomic<uint32_t> Distance{0};
+    std::atomic<uint64_t> Accesses{0};
+    std::atomic<uint64_t> Cycles{0};
+  };
+
+  std::atomic<uint64_t> RemoteAccesses{0};
+  std::atomic<uint64_t> RemoteCycles{0};
+  /// Fixed per-node accumulators; node ids are bounded by
+  /// NumaTopology::MaxNodes.
+  std::atomic<uint64_t> NodeAccesses[NumaTopology::MaxNodes];
+  std::atomic<uint64_t> NodeWrites[NumaTopology::MaxNodes];
+  std::atomic<uint64_t> NodeCycles[NumaTopology::MaxNodes];
+  /// Remote traffic bucketed by crossed node-pair distance.
+  AtomicDistanceStats DistanceSlots[NumaTopology::MaxNodes];
+
+  PageGrainExtras();
+
+  void record(NodeId Node, AccessKind Kind, uint64_t LatencyCycles,
+              const PageAccessContext &Ctx);
+  void merge(const PageShardExtras &Shard);
+
+  uint64_t remoteAccesses() const {
+    return RemoteAccesses.load(std::memory_order_relaxed);
+  }
+  uint64_t remoteCycles() const {
+    return RemoteCycles.load(std::memory_order_relaxed);
+  }
+  std::vector<NodePageStats> nodes() const;
+  std::vector<RemoteDistanceStats> remoteByDistance() const;
+  size_t nodeCount() const;
+
+private:
+  /// Adds remote samples to their distance bucket (lock-free).
+  void bucketRemote(uint32_t Distance, uint64_t Accesses, uint64_t Cycles);
+};
+
+/// The line grain: threads invalidate each other's cache lines; buckets
+/// are the line's 4-byte words.
+struct LineGrainTraits {
+  using ActorId = ThreadId;
+  using Context = LineAccessContext;
+  using Extras = LineGrainExtras;
+  using ShardExtras = LineShardExtras;
+  static constexpr const char *Name = "line";
+  static constexpr const char *BucketRangeMsg = "word index outside line";
+  static constexpr const char *SpanMsg = "access must cover at least one word";
+};
+
+/// The page grain: NUMA nodes invalidate each other's pages; buckets are
+/// the page's cache lines.
+struct PageGrainTraits {
+  using ActorId = NodeId;
+  using Context = PageAccessContext;
+  using Extras = PageGrainExtras;
+  using ShardExtras = PageShardExtras;
+  static constexpr const char *Name = "page";
+  static constexpr const char *BucketRangeMsg = "line index outside page";
+  static constexpr const char *SpanMsg = "access must cover at least one line";
+};
+
+/// One grain's single-writer accumulation inside a per-thread shard: plain
+/// fields only, keyed by grain base address in the owning shard's map.
+/// Buckets are sized lazily on first touch so untouched grains cost one
+/// map node, not a full histogram.
+template <typename Traits> struct GrainShardRecord {
+  uint64_t Accesses = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  uint64_t Invalidations = 0;
+  std::vector<ShardBucketStats> Buckets;
+  /// Sorted by tid; thread populations per grain are tiny.
+  std::vector<ThreadLineStats> Threads;
+  [[no_unique_address]] typename Traits::ShardExtras Extras;
+};
+
+/// Everything Cheetah tracks about one susceptible grain, parameterized by
+/// the grain policy. CacheLineInfo and PageInfo are thin instantiations.
+template <typename Traits> class GrainInfo {
+public:
+  using ActorId = typename Traits::ActorId;
+  using Context = typename Traits::Context;
+  using ShardRecord = GrainShardRecord<Traits>;
+
+  explicit GrainInfo(uint64_t BucketsPerGrain)
+      : Buckets(std::make_unique<AtomicBucketStats[]>(BucketsPerGrain)),
+        BucketCount(BucketsPerGrain) {}
+
+  GrainInfo(const GrainInfo &) = delete;
+  GrainInfo &operator=(const GrainInfo &) = delete;
+
+  /// Records one sampled access landing on this grain into the shared
+  /// atomics. Lock-free: concurrent calls from many ingesting threads
+  /// never lose an update. \returns true if it incurred an invalidation.
+  bool record(ThreadId Tid, ActorId Actor, AccessKind Kind,
+              uint64_t BucketIndex, uint64_t BucketSpan,
+              uint64_t LatencyCycles, const Context &Ctx = {}) {
+    CHEETAH_ASSERT(BucketIndex < BucketCount, Traits::BucketRangeMsg);
+    CHEETAH_ASSERT(BucketSpan >= 1, Traits::SpanMsg);
+
+    bool Invalidation = Table.recordAccess(Actor, Kind);
+    if (Invalidation)
+      Invalidations.fetch_add(1, std::memory_order_relaxed);
+
+    Accesses.fetch_add(1, std::memory_order_relaxed);
+    if (Kind == AccessKind::Write)
+      Writes.fetch_add(1, std::memory_order_relaxed);
+    Cycles.fetch_add(LatencyCycles, std::memory_order_relaxed);
+    ExtraStats.record(Actor, Kind, LatencyCycles, Ctx);
+
+    // An access wider than a bucket (e.g. a 64-bit store over 4-byte
+    // words) marks every covered bucket; latency attributes to the first
+    // bucket to avoid double counting.
+    uint64_t End = std::min<uint64_t>(BucketIndex + BucketSpan, BucketCount);
+    for (uint64_t B = BucketIndex; B < End; ++B)
+      Buckets[B].record(Actor, Kind, B == BucketIndex ? LatencyCycles : 0);
+
+    ThreadStats.record(Tid, LatencyCycles);
+    return Invalidation;
+  }
+
+  /// Sharded-mode record: the invalidation decision still goes through the
+  /// shared two-entry table (it depends on the global actor interleaving,
+  /// which no per-thread shard can see alone), but every additive
+  /// statistic lands in \p Record — plain fields only this thread writes,
+  /// with no cross-thread CAS traffic. Fold back with mergeShard at epoch
+  /// quiesce.
+  bool recordShard(ShardRecord &Record, ThreadId Tid, ActorId Actor,
+                   AccessKind Kind, uint64_t BucketIndex, uint64_t BucketSpan,
+                   uint64_t LatencyCycles, const Context &Ctx = {}) {
+    CHEETAH_ASSERT(BucketIndex < BucketCount, Traits::BucketRangeMsg);
+    CHEETAH_ASSERT(BucketSpan >= 1, Traits::SpanMsg);
+
+    bool Invalidation = Table.recordAccess(Actor, Kind);
+    if (Invalidation)
+      ++Record.Invalidations;
+
+    ++Record.Accesses;
+    if (Kind == AccessKind::Write)
+      ++Record.Writes;
+    Record.Cycles += LatencyCycles;
+    Record.Extras.record(Actor, Kind, LatencyCycles, Ctx);
+
+    if (Record.Buckets.empty())
+      Record.Buckets.resize(BucketCount);
+    uint64_t End = std::min<uint64_t>(BucketIndex + BucketSpan, BucketCount);
+    for (uint64_t B = BucketIndex; B < End; ++B)
+      Record.Buckets[B].record(Actor, Kind, B == BucketIndex ? LatencyCycles : 0);
+
+    auto It = std::lower_bound(
+        Record.Threads.begin(), Record.Threads.end(), Tid,
+        [](const ThreadLineStats &Slot, ThreadId T) { return Slot.Tid < T; });
+    if (It == Record.Threads.end() || It->Tid != Tid)
+      It = Record.Threads.insert(It, ThreadLineStats{Tid, 0, 0});
+    It->Accesses += 1;
+    It->Cycles += LatencyCycles;
+    return Invalidation;
+  }
+
+  /// Folds one shard's accumulation back into the shared atomics. Callers
+  /// serialize merges against ingestion (epoch quiesce); merging itself may
+  /// race other readers safely since every target is atomic.
+  void mergeShard(const ShardRecord &Record) {
+    CHEETAH_ASSERT(Record.Buckets.empty() ||
+                       Record.Buckets.size() == BucketCount,
+                   "shard bucket count does not match the grain");
+    Invalidations.fetch_add(Record.Invalidations, std::memory_order_relaxed);
+    Accesses.fetch_add(Record.Accesses, std::memory_order_relaxed);
+    Writes.fetch_add(Record.Writes, std::memory_order_relaxed);
+    Cycles.fetch_add(Record.Cycles, std::memory_order_relaxed);
+    ExtraStats.merge(Record.Extras);
+    for (size_t B = 0; B < Record.Buckets.size(); ++B)
+      Buckets[B].merge(Record.Buckets[B]);
+    for (const ThreadLineStats &Thread : Record.Threads)
+      ThreadStats.add(Thread.Tid, Thread.Accesses, Thread.Cycles);
+  }
+
+  /// Invalidation count (the significance signal).
+  uint64_t invalidations() const {
+    return Invalidations.load(std::memory_order_relaxed);
+  }
+
+  /// Total sampled accesses / writes / cycles on the grain.
+  uint64_t accesses() const {
+    return Accesses.load(std::memory_order_relaxed);
+  }
+  uint64_t writes() const { return Writes.load(std::memory_order_relaxed); }
+  uint64_t cycles() const { return Cycles.load(std::memory_order_relaxed); }
+
+  /// Value snapshot of the per-bucket statistics, one entry per bucket of
+  /// the grain (consistent once ingestion quiesces).
+  std::vector<WordStats> buckets() const {
+    std::vector<WordStats> Result;
+    Result.reserve(BucketCount);
+    for (uint64_t B = 0; B < BucketCount; ++B)
+      Result.push_back(Buckets[B].snapshot());
+    return Result;
+  }
+
+  /// Value snapshot of the per-thread accumulators, ordered by thread id.
+  std::vector<ThreadLineStats> threads() const {
+    return ThreadStats.snapshot();
+  }
+
+  /// Number of distinct threads that accessed the grain.
+  size_t threadCount() const { return ThreadStats.distinctThreads(); }
+
+  /// The whole grain as the granularity-neutral finding source the report
+  /// builders consume.
+  GrainSnapshot snapshot(uint64_t Base) const {
+    GrainSnapshot Result;
+    Result.Base = Base;
+    Result.Accesses = accesses();
+    Result.Writes = writes();
+    Result.Cycles = cycles();
+    Result.Invalidations = invalidations();
+    Result.Buckets = buckets();
+    Result.Threads = threads();
+    return Result;
+  }
+
+  /// Access to the invalidation table (tests). This is the packed
+  /// single-word CAS state machine from CacheLineTable.h, storing actor
+  /// ids.
+  const CacheLineTable &table() const { return Table; }
+
+  /// Exact bytes of heap memory behind this grain's detailed tracking
+  /// (object, bucket slots, and every per-thread stats chunk) — feeds the
+  /// memory ablation's honest accounting.
+  size_t footprintBytes() const {
+    return sizeof(GrainInfo) + BucketCount * sizeof(AtomicBucketStats) +
+           ThreadStats.overflowBytes();
+  }
+
+protected:
+  const typename Traits::Extras &extras() const { return ExtraStats; }
+
+private:
+  CacheLineTable Table;
+  std::atomic<uint64_t> Invalidations{0};
+  std::atomic<uint64_t> Accesses{0};
+  std::atomic<uint64_t> Writes{0};
+  std::atomic<uint64_t> Cycles{0};
+  std::unique_ptr<AtomicBucketStats[]> Buckets;
+  uint64_t BucketCount;
+  [[no_unique_address]] typename Traits::Extras ExtraStats;
+  ThreadStatsChain ThreadStats;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_DETECT_GRAININFO_H

@@ -1,0 +1,441 @@
+//===- core/detect/GrainTable.h - Address-to-grain metadata -----*- C++ -*-===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The granularity-generic shadow table (paper Section 2.2 at any level of
+/// the hierarchy): constant-time mapping from an address to its grain's
+/// metadata via bit shifting, possible because the heap arena and global
+/// segment ranges are known up front. Per grain it keeps
+///
+///  - a stage-1 write counter (the susceptibility filter),
+///  - optionally (TrackHomes) the first-touch *home node* — CAS-published
+///    once by whichever access touches the grain first, mirroring the OS
+///    first-touch placement policy,
+///  - a lazily materialized `InfoT` pointer for susceptible grains.
+///
+/// All of it is lock-free in the default build: counters are relaxed
+/// atomics, homes and details are CAS-published (losing allocators delete
+/// their copy), and a materialized GrainInfo is internally lock-free.
+/// Building with -DCHEETAH_LOCKED_TABLE=ON restores the PR-1 striped grain
+/// mutexes around detail mutation for A/B benchmarking.
+///
+/// ## Epoch-sharded ingestion
+///
+/// The table also owns the **per-thread shard registry**: each ingesting OS
+/// thread lazily registers a shard (a map from grain base to a plain-field
+/// GrainShardRecord) and accumulates into it with zero cross-thread CAS
+/// traffic; `quiesce()` folds every shard back into the shared atomics in
+/// deterministic order (shards by registration order, grains by address)
+/// and reports merge totals so callers can prove conservation against the
+/// shared-table counters. Shards key on the *ingesting OS thread*, not the
+/// sample's tid — several OS threads may legitimately deliver samples
+/// carrying the same simulated tid, and single-writer shard ownership must
+/// hold regardless. The machinery is always compiled (benchmarks and the
+/// merge-conservation tests exercise it in every build);
+/// -DCHEETAH_SHARDED_TABLE=ON merely routes `record()` through it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CHEETAH_CORE_DETECT_GRAINTABLE_H
+#define CHEETAH_CORE_DETECT_GRAINTABLE_H
+
+#include "mem/MemoryAccess.h"
+#include "mem/NumaTopology.h"
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#if CHEETAH_LOCKED_TABLE
+#include <array>
+#include <bit>
+#endif
+
+namespace cheetah {
+namespace core {
+
+/// One contiguous monitored address range (heap arena or global segment).
+struct ShadowRegion {
+  uint64_t Base = 0;
+  uint64_t Size = 0;
+};
+
+/// What one quiesce() folded back into the shared table — the evidence the
+/// conservation proof checks against the detector's own counters.
+struct GrainMergeStats {
+  uint64_t Shards = 0;  ///< shards visited (including empty ones)
+  uint64_t Records = 0; ///< per-grain shard records merged
+  uint64_t Accesses = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  uint64_t Invalidations = 0;
+  uint64_t RemoteAccesses = 0;
+
+  GrainMergeStats &operator+=(const GrainMergeStats &Other) {
+    Shards += Other.Shards;
+    Records += Other.Records;
+    Accesses += Other.Accesses;
+    Writes += Other.Writes;
+    Cycles += Other.Cycles;
+    Invalidations += Other.Invalidations;
+    RemoteAccesses += Other.RemoteAccesses;
+    return *this;
+  }
+};
+
+namespace detail {
+/// Globally unique id per GrainTable instance, never reused — what makes
+/// the per-thread shard cache safe against table destruction (a stale
+/// cache entry can never match a new table).
+uint64_t nextGrainRegistryId();
+/// Thread-local lookup of this thread's shard for the table \p RegistryId;
+/// nullptr on miss (including after eviction, which just re-registers).
+void *cachedShardFor(uint64_t RegistryId);
+/// Stores \p Shard as this thread's entry for \p RegistryId.
+void cacheShard(uint64_t RegistryId, void *Shard);
+} // namespace detail
+
+/// Flat-array grain metadata over a set of monitored regions,
+/// parameterized by the detailed record type and whether first-touch homes
+/// are tracked. ShadowMemory and PageTable are thin instantiations.
+template <typename InfoT, bool TrackHomes> class GrainTable {
+public:
+  using ActorId = typename InfoT::ActorId;
+  using Context = typename InfoT::Context;
+  using ShardRecord = typename InfoT::ShardRecord;
+
+  /// \p EmptyRegionMsg / \p AlignmentMsg are the assertion texts for the
+  /// two region-validation failures, so each instantiation keeps its
+  /// historical diagnostics.
+  GrainTable(unsigned GrainShift, uint64_t BucketsPerGrain,
+             std::vector<ShadowRegion> Regions, const char *EmptyRegionMsg,
+             const char *AlignmentMsg)
+      : GrainShift(GrainShift), GrainSize(uint64_t(1) << GrainShift),
+        BucketsPerGrain(BucketsPerGrain),
+        RegistryId(detail::nextGrainRegistryId()) {
+    for (const ShadowRegion &Region : Regions) {
+      CHEETAH_ASSERT(Region.Size > 0, EmptyRegionMsg);
+      CHEETAH_ASSERT((Region.Base & (GrainSize - 1)) == 0, AlignmentMsg);
+      Slab NewSlab;
+      NewSlab.Base = Region.Base;
+      NewSlab.Size = Region.Size;
+      NewSlab.Grains = static_cast<size_t>(
+          (Region.Size + GrainSize - 1) >> GrainShift);
+      NewSlab.WriteCounts =
+          std::make_unique<std::atomic<uint32_t>[]>(NewSlab.Grains);
+      NewSlab.Details =
+          std::make_unique<std::atomic<InfoT *>[]>(NewSlab.Grains);
+      if constexpr (TrackHomes)
+        NewSlab.Homes = std::make_unique<std::atomic<NodeId>[]>(NewSlab.Grains);
+      for (size_t I = 0; I < NewSlab.Grains; ++I) {
+        NewSlab.WriteCounts[I].store(0, std::memory_order_relaxed);
+        NewSlab.Details[I].store(nullptr, std::memory_order_relaxed);
+        if constexpr (TrackHomes)
+          NewSlab.Homes[I].store(NoNode, std::memory_order_relaxed);
+      }
+      Slabs.push_back(std::move(NewSlab));
+    }
+  }
+
+  ~GrainTable() {
+    for (Slab &Region : Slabs)
+      for (size_t I = 0; I < Region.Grains; ++I)
+        delete Region.Details[I].load(std::memory_order_relaxed);
+  }
+
+  GrainTable(const GrainTable &) = delete;
+  GrainTable &operator=(const GrainTable &) = delete;
+
+  /// \returns true if \p Address falls inside a monitored region. Accesses
+  /// elsewhere (stack, kernel, libraries) are filtered out (Section 4.1).
+  bool covers(uint64_t Address) const { return slabFor(Address) != nullptr; }
+
+  /// Atomically increments the write counter of \p Address's grain.
+  /// \returns the new count. \p Address must be covered.
+  uint32_t noteWrite(uint64_t Address) {
+    Slab *Region = slabFor(Address);
+    CHEETAH_ASSERT(Region != nullptr, "noteWrite outside monitored regions");
+    return Region->WriteCounts[grainIndexIn(*Region, Address)].fetch_add(
+               1, std::memory_order_relaxed) +
+           1;
+  }
+
+  /// Current write count of \p Address's grain (0 if never written).
+  uint32_t writeCount(uint64_t Address) const {
+    const Slab *Region = slabFor(Address);
+    CHEETAH_ASSERT(Region != nullptr, "writeCount outside monitored regions");
+    return Region->WriteCounts[grainIndexIn(*Region, Address)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Records a touch by \p Node: publishes it as the grain's first-touch
+  /// home if the grain was untouched, and returns the (now settled) home.
+  /// Called on every covered sample regardless of phase — homes are a
+  /// placement property, not a sharing observation.
+  NodeId noteTouch(uint64_t Address, NodeId Node)
+    requires TrackHomes
+  {
+    Slab *Region = slabFor(Address);
+    CHEETAH_ASSERT(Region != nullptr, "noteTouch outside monitored regions");
+    std::atomic<NodeId> &Home = Region->Homes[grainIndexIn(*Region, Address)];
+    NodeId Current = Home.load(std::memory_order_relaxed);
+    if (Current != NoNode)
+      return Current;
+    if (Home.compare_exchange_strong(Current, Node,
+                                     std::memory_order_relaxed))
+      return Node;
+    // Another touch won first-touch publication; its node is the home.
+    return Current;
+  }
+
+  /// The grain's first-touch home node, or NoNode if never touched.
+  NodeId homeNode(uint64_t Address) const
+    requires TrackHomes
+  {
+    const Slab *Region = slabFor(Address);
+    CHEETAH_ASSERT(Region != nullptr, "homeNode outside monitored regions");
+    return Region->Homes[grainIndexIn(*Region, Address)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// \returns the detailed info for \p Address's grain, or nullptr if it
+  /// was never materialized. \p Address must be covered.
+  InfoT *detail(uint64_t Address) {
+    Slab *Region = slabFor(Address);
+    CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
+    return Region->Details[grainIndexIn(*Region, Address)].load(
+        std::memory_order_acquire);
+  }
+  const InfoT *detail(uint64_t Address) const {
+    const Slab *Region = slabFor(Address);
+    CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
+    return Region->Details[grainIndexIn(*Region, Address)].load(
+        std::memory_order_acquire);
+  }
+
+  /// Materializes (if needed) and returns the detailed info for the grain.
+  /// Safe to race: exactly one allocation wins publication.
+  InfoT &materializeDetail(uint64_t Address) {
+    Slab *Region = slabFor(Address);
+    CHEETAH_ASSERT(Region != nullptr, "materialize outside monitored regions");
+    std::atomic<InfoT *> &Slot =
+        Region->Details[grainIndexIn(*Region, Address)];
+    InfoT *Existing = Slot.load(std::memory_order_acquire);
+    if (Existing)
+      return *Existing;
+    auto *Fresh = new InfoT(BucketsPerGrain);
+    if (Slot.compare_exchange_strong(Existing, Fresh,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      MaterializedCount.fetch_add(1, std::memory_order_relaxed);
+      return *Fresh;
+    }
+    // Another ingesting thread won the race; use its published info.
+    delete Fresh;
+    return *Existing;
+  }
+
+#if CHEETAH_LOCKED_TABLE
+  /// The PR-1 striped lock serializing mutation of \p Address's grain
+  /// detail. Only exists in the locked A/B build; the default ingestion
+  /// path is lock-free and this member is compiled out.
+  std::mutex &grainLock(uint64_t Address) {
+    // Fibonacci hash of the grain index spreads adjacent grains across
+    // stripes; the top bits of the product index the stripe array.
+    static_assert((LockStripeCount & (LockStripeCount - 1)) == 0,
+                  "stripe count must be a power of two");
+    constexpr unsigned Shift = 64 - std::bit_width(LockStripeCount - 1);
+    uint64_t Grain = Address >> GrainShift;
+    return LockStripes[(Grain * 0x9e3779b97f4a7c15ull) >> Shift];
+  }
+#endif
+
+  /// First byte address of the grain containing \p Address.
+  uint64_t grainBase(uint64_t Address) const {
+    return Address & ~(GrainSize - 1);
+  }
+
+  /// Records one decoded sample into \p Info through the build's configured
+  /// ingestion mode: per-thread shard (CHEETAH_SHARDED_TABLE), striped
+  /// mutex (CHEETAH_LOCKED_TABLE), or the default lock-free shared path.
+  bool record(uint64_t Address, InfoT &Info, ThreadId Tid, ActorId Actor,
+              AccessKind Kind, uint64_t Bucket, uint64_t Span,
+              uint64_t LatencyCycles, const Context &Ctx = {}) {
+#if CHEETAH_SHARDED_TABLE
+    return recordSharded(Address, Info, Tid, Actor, Kind, Bucket, Span,
+                         LatencyCycles, Ctx);
+#else
+#if CHEETAH_LOCKED_TABLE
+    std::lock_guard<std::mutex> Lock(grainLock(Address));
+#else
+    (void)Address;
+#endif
+    return Info.record(Tid, Actor, Kind, Bucket, Span, LatencyCycles, Ctx);
+#endif
+  }
+
+  /// The sharded ingestion path, callable in every build (benchmarks and
+  /// conservation tests A/B it against the shared path): accumulates into
+  /// this OS thread's shard with no cross-thread CAS traffic beyond the
+  /// shared two-entry table transition. \p Info must be the materialized
+  /// detail for \p Address's grain.
+  bool recordSharded(uint64_t Address, InfoT &Info, ThreadId Tid,
+                     ActorId Actor, AccessKind Kind, uint64_t Bucket,
+                     uint64_t Span, uint64_t LatencyCycles,
+                     const Context &Ctx = {}) {
+    ShardRecord &Record = localShard().Records[grainBase(Address)];
+    return Info.recordShard(Record, Tid, Actor, Kind, Bucket, Span,
+                            LatencyCycles, Ctx);
+  }
+
+  /// Epoch quiesce: folds every shard back into the shared atomics and
+  /// empties the shards, so successive epochs merge only their deltas.
+  /// Deterministic — shards merge in registration order, grains in address
+  /// order. Must not run concurrently with sharded ingestion; the caller
+  /// provides the happens-before edge (thread join / phase barrier).
+  GrainMergeStats quiesce() {
+    GrainMergeStats Stats;
+    std::lock_guard<std::mutex> Lock(ShardMutex);
+    for (auto &ShardPtr : Shards) {
+      ++Stats.Shards;
+      std::vector<uint64_t> Bases;
+      Bases.reserve(ShardPtr->Records.size());
+      for (const auto &Entry : ShardPtr->Records)
+        Bases.push_back(Entry.first);
+      std::sort(Bases.begin(), Bases.end());
+      for (uint64_t Base : Bases) {
+        const ShardRecord &Record = ShardPtr->Records[Base];
+        InfoT *Info = detail(Base);
+        CHEETAH_ASSERT(Info != nullptr,
+                       "shard record for an unmaterialized grain");
+        Info->mergeShard(Record);
+        ++Stats.Records;
+        Stats.Accesses += Record.Accesses;
+        Stats.Writes += Record.Writes;
+        Stats.Cycles += Record.Cycles;
+        Stats.Invalidations += Record.Invalidations;
+        Stats.RemoteAccesses += Record.Extras.remoteAccesses();
+      }
+      ShardPtr->Records.clear();
+    }
+    return Stats;
+  }
+
+  /// Number of registered per-thread shards (tests/benchmarks).
+  size_t shardCount() const {
+    std::lock_guard<std::mutex> Lock(ShardMutex);
+    return Shards.size();
+  }
+
+  /// Invokes \p Fn(grainBaseAddress, homeNode, info) for every
+  /// materialized grain; home is NoNode when homes are untracked.
+  template <typename Function> void forEachGrain(Function Fn) const {
+    for (const Slab &Region : Slabs)
+      for (size_t I = 0; I < Region.Grains; ++I)
+        if (const InfoT *Info =
+                Region.Details[I].load(std::memory_order_acquire))
+          Fn(Region.Base + (static_cast<uint64_t>(I) << GrainShift),
+             Region.Homes ? Region.Homes[I].load(std::memory_order_relaxed)
+                          : NoNode,
+             *Info);
+  }
+
+  /// Number of grains with materialized detail (O(1): maintained as a
+  /// counter on publication, not by scanning the slabs).
+  size_t materializedGrains() const {
+    return MaterializedCount.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes of shadow metadata currently allocated: the flat per-grain slab
+  /// arrays (write counters, detail pointers, homes when tracked) plus the
+  /// exact footprint of every materialized info record, so the memory
+  /// ablation reports honest numbers.
+  size_t metadataBytes() const {
+    size_t Bytes = 0;
+    for (const Slab &Region : Slabs) {
+      Bytes += Region.Grains * sizeof(std::atomic<uint32_t>);
+      if (Region.Homes)
+        Bytes += Region.Grains * sizeof(std::atomic<NodeId>);
+      Bytes += Region.Grains * sizeof(std::atomic<InfoT *>);
+      for (size_t I = 0; I < Region.Grains; ++I)
+        if (const InfoT *Info =
+                Region.Details[I].load(std::memory_order_acquire))
+          Bytes += Info->footprintBytes();
+    }
+    return Bytes;
+  }
+
+private:
+  struct Slab {
+    uint64_t Base = 0;
+    uint64_t Size = 0;
+    size_t Grains = 0;
+    std::unique_ptr<std::atomic<uint32_t>[]> WriteCounts; // one per grain
+    std::unique_ptr<std::atomic<NodeId>[]> Homes; // first-touch (TrackHomes)
+    std::unique_ptr<std::atomic<InfoT *>[]> Details; // one per grain
+  };
+
+  /// One OS thread's accumulation epoch: only its owner writes Records
+  /// during ingestion; quiesce() reads after the owner synchronized.
+  struct Shard {
+    std::unordered_map<uint64_t, ShardRecord> Records;
+  };
+
+  const Slab *slabFor(uint64_t Address) const {
+    for (const Slab &Region : Slabs)
+      if (Address >= Region.Base && Address < Region.Base + Region.Size)
+        return &Region;
+    return nullptr;
+  }
+  Slab *slabFor(uint64_t Address) {
+    return const_cast<Slab *>(
+        static_cast<const GrainTable *>(this)->slabFor(Address));
+  }
+  size_t grainIndexIn(const Slab &Region, uint64_t Address) const {
+    return static_cast<size_t>((Address - Region.Base) >> GrainShift);
+  }
+
+  /// This OS thread's shard for this table, registering one on first use
+  /// (or after cache eviction — a thread may own several shards of one
+  /// table; single-writer ownership holds either way).
+  Shard &localShard() {
+    if (void *Cached = detail::cachedShardFor(RegistryId))
+      return *static_cast<Shard *>(Cached);
+    auto Fresh = std::make_unique<Shard>();
+    Shard *Raw = Fresh.get();
+    {
+      std::lock_guard<std::mutex> Lock(ShardMutex);
+      Shards.push_back(std::move(Fresh));
+    }
+    detail::cacheShard(RegistryId, Raw);
+    return *Raw;
+  }
+
+  unsigned GrainShift;
+  uint64_t GrainSize;
+  uint64_t BucketsPerGrain;
+  uint64_t RegistryId;
+  std::vector<Slab> Slabs;
+#if CHEETAH_LOCKED_TABLE
+  static constexpr size_t LockStripeCount = 64;
+  std::array<std::mutex, LockStripeCount> LockStripes;
+#endif
+  std::atomic<size_t> MaterializedCount{0};
+  /// Guards shard registration and merge; never taken on the per-sample
+  /// ingestion path (the thread-local cache short-circuits it).
+  mutable std::mutex ShardMutex;
+  std::vector<std::unique_ptr<Shard>> Shards;
+};
+
+} // namespace core
+} // namespace cheetah
+
+#endif // CHEETAH_CORE_DETECT_GRAINTABLE_H

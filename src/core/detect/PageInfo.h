@@ -7,60 +7,46 @@
 /// \file
 /// Detailed per-page state for NUMA (remote-DRAM) sharing detection — the
 /// paper's two-entry-table + per-word-histogram design lifted one level up
-/// the memory hierarchy. The actors become NUMA *nodes* instead of threads
-/// and the histogram buckets become the page's *cache lines* instead of
-/// 4-byte words, but the machinery is identical:
+/// the memory hierarchy, expressed as a thin instantiation of the
+/// granularity-generic GrainInfo:
 ///
-///  - The packed-atomic-word CAS state machine from CacheLineTable.h is
-///    reused verbatim with node ids as the stored "thread" ids. A write
-///    from one node to a page recently touched by another node is a
-///    cross-node invalidation — the remote-DRAM traffic signature, the way
-///    a cache invalidation is the false-sharing signature.
-///  - The per-line histogram distinguishes *false page sharing* (nodes
-///    touch disjoint lines of the page: fixable by page-aligned placement
-///    or node-local allocation) from *true page sharing* (nodes touch the
-///    same lines: genuine communication). SharingClassifier consumes these
-///    snapshots unchanged.
-///  - Per-node accumulators feed the remote-traffic accounting; node
-///    populations are tiny (NumaTopology::MaxNodes) so they live in fixed
-///    arrays rather than CacheLineInfo's chunk chain.
-///
-/// Like CacheLineInfo, every mutable field is a relaxed atomic and the
-/// table transition is a single-word CAS, so recordAccess is lock-free from
-/// any number of ingesting threads.
+///  - The actors become NUMA *nodes* instead of threads: a write from one
+///    node to a page recently touched by another node is a cross-node
+///    invalidation — the remote-DRAM traffic signature, the way a cache
+///    invalidation is the false-sharing signature.
+///  - The histogram buckets become the page's *cache lines* instead of
+///    4-byte words, distinguishing *false page sharing* (nodes touch
+///    disjoint lines: fixable by page-aligned placement or node-local
+///    allocation) from *true page sharing* (genuine communication).
+///    SharingClassifier consumes the snapshots unchanged.
+///  - The page-grain extras add remote-traffic totals, per-node
+///    accumulators, and the remoteByDistance buckets the v4 report schema
+///    and the distance-weighted assessment consume.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_DETECT_PAGEINFO_H
 #define CHEETAH_CORE_DETECT_PAGEINFO_H
 
-#include "core/detect/CacheLineInfo.h"
-#include "core/detect/CacheLineTable.h"
-#include "mem/NumaTopology.h"
-
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <vector>
+#include "core/detect/GrainInfo.h"
 
 namespace cheetah {
 namespace core {
 
-/// Per-node access/cycle accumulator on one page.
-struct NodePageStats {
-  NodeId Node = 0;
-  uint64_t Accesses = 0;
-  uint64_t Writes = 0;
-  uint64_t Cycles = 0;
+/// Page-grain NUMA evidence beyond the generic GrainSnapshot — what
+/// PageReportBuilder consumes next to the common finding source.
+struct PageNumaEvidence {
+  uint64_t RemoteAccesses = 0;
+  uint64_t RemoteCycles = 0;
+  std::vector<RemoteDistanceStats> RemoteByDistance;
+  std::vector<NodePageStats> Nodes;
+  size_t NodesObserved = 0;
 };
 
 /// Everything Cheetah tracks about one susceptible page.
-class PageInfo {
+class PageInfo : public GrainInfo<PageGrainTraits> {
 public:
-  explicit PageInfo(uint64_t LinesPerPage);
-
-  PageInfo(const PageInfo &) = delete;
-  PageInfo &operator=(const PageInfo &) = delete;
+  explicit PageInfo(uint64_t LinesPerPage) : GrainInfo(LinesPerPage) {}
 
   /// Records one sampled access landing on this page. Lock-free; safe from
   /// any number of ingesting threads.
@@ -76,104 +62,46 @@ public:
   /// \returns true if the access incurred a cross-node invalidation.
   bool recordAccess(ThreadId Tid, NodeId Node, AccessKind Kind,
                     uint64_t LineIndex, uint64_t LatencyCycles, bool Remote,
-                    uint32_t Distance = 0);
-
-  /// Cross-node invalidation count (the page-sharing significance signal).
-  uint64_t invalidations() const {
-    return Invalidations.load(std::memory_order_relaxed);
+                    uint32_t Distance = 0) {
+    return record(Tid, Node, Kind, LineIndex, /*BucketSpan=*/1,
+                  LatencyCycles, PageAccessContext{Remote, Distance});
   }
-
-  /// Total sampled accesses / writes / cycles on the page.
-  uint64_t accesses() const {
-    return Accesses.load(std::memory_order_relaxed);
-  }
-  uint64_t writes() const { return Writes.load(std::memory_order_relaxed); }
-  uint64_t cycles() const { return Cycles.load(std::memory_order_relaxed); }
 
   /// Sampled accesses issued from a node other than the page's home, and
   /// the latency cycles they accumulated (remote-DRAM traffic).
-  uint64_t remoteAccesses() const {
-    return RemoteAccesses.load(std::memory_order_relaxed);
-  }
-  uint64_t remoteCycles() const {
-    return RemoteCycles.load(std::memory_order_relaxed);
-  }
+  uint64_t remoteAccesses() const { return extras().remoteAccesses(); }
+  uint64_t remoteCycles() const { return extras().remoteCycles(); }
 
   /// Value snapshot of the per-line statistics, one entry per cache line of
   /// the page. Reuses WordStats with node ids in the thread fields
   /// (FirstThread = first node, MultiThread = multi-node) so
   /// SharingClassifier applies unchanged at page granularity.
-  std::vector<WordStats> lines() const;
+  std::vector<WordStats> lines() const { return buckets(); }
 
   /// Value snapshot of the per-node accumulators, ordered by node id.
-  std::vector<NodePageStats> nodes() const;
+  std::vector<NodePageStats> nodes() const { return extras().nodes(); }
 
   /// Value snapshot of the remote traffic bucketed by crossed node-pair
   /// distance, ordered by distance. With a settled home the bucket
   /// accesses sum exactly to remoteAccesses() and the cycles to
   /// remoteCycles().
-  std::vector<RemoteDistanceStats> remoteByDistance() const;
-
-  /// Value snapshot of the per-thread accumulators, ordered by thread id —
-  /// the page-granularity Accesses_O(t) / Cycles_O(t) evidence EQ.2 needs.
-  std::vector<ThreadLineStats> threads() const;
+  std::vector<RemoteDistanceStats> remoteByDistance() const {
+    return extras().remoteByDistance();
+  }
 
   /// Number of distinct nodes that accessed the page.
-  size_t nodeCount() const;
+  size_t nodeCount() const { return extras().nodeCount(); }
 
-  /// Access to the cross-node invalidation table (tests). This is the
-  /// packed single-word CAS state machine from CacheLineTable.h, storing
-  /// node ids.
-  const CacheLineTable &table() const { return Table; }
-
-  /// Exact bytes of heap memory behind this page's detailed tracking.
-  size_t footprintBytes() const;
-
-private:
-  /// Atomic backing store for one line's statistics (the per-word histogram
-  /// shape, at line granularity with node actors).
-  struct AtomicLineStats {
-    std::atomic<uint64_t> Reads{0};
-    std::atomic<uint64_t> Writes{0};
-    std::atomic<uint64_t> Cycles{0};
-    std::atomic<NodeId> FirstNode{NoNode};
-    std::atomic<bool> MultiNode{false};
-
-    void record(NodeId Node, AccessKind Kind, uint64_t LatencyCycles);
-    WordStats snapshot() const;
-  };
-
-  /// One lock-free distance bucket: claimed by CAS-publishing its distance
-  /// value (0 = empty; validated remote distances are >= 1). A page's home
-  /// is settled at first touch, so at most MaxNodes - 1 distinct distances
-  /// ever occur and the fixed array never fills.
-  struct AtomicDistanceStats {
-    std::atomic<uint32_t> Distance{0};
-    std::atomic<uint64_t> Accesses{0};
-    std::atomic<uint64_t> Cycles{0};
-  };
-
-  /// Adds one remote sample to its distance bucket (lock-free).
-  void bucketRemote(uint32_t Distance, uint64_t LatencyCycles);
-
-  CacheLineTable Table; // node-granularity reuse of the packed CAS table
-  std::atomic<uint64_t> Invalidations{0};
-  std::atomic<uint64_t> Accesses{0};
-  std::atomic<uint64_t> Writes{0};
-  std::atomic<uint64_t> Cycles{0};
-  std::atomic<uint64_t> RemoteAccesses{0};
-  std::atomic<uint64_t> RemoteCycles{0};
-  std::unique_ptr<AtomicLineStats[]> Lines;
-  uint64_t LineCount;
-  /// Fixed per-node accumulators; node ids are bounded by
-  /// NumaTopology::MaxNodes.
-  std::atomic<uint64_t> NodeAccesses[NumaTopology::MaxNodes];
-  std::atomic<uint64_t> NodeWrites[NumaTopology::MaxNodes];
-  std::atomic<uint64_t> NodeCycles[NumaTopology::MaxNodes];
-  /// Remote traffic bucketed by crossed node-pair distance.
-  AtomicDistanceStats DistanceSlots[NumaTopology::MaxNodes];
-  /// Per-thread accumulators (same lock-free chain as CacheLineInfo).
-  ThreadStatsChain ThreadStats;
+  /// The page's NUMA evidence bundled for the report builder.
+  PageNumaEvidence numaEvidence() const {
+    PageNumaEvidence Result;
+    Result.RemoteAccesses = remoteAccesses();
+    Result.RemoteCycles = remoteCycles();
+    Result.RemoteByDistance = remoteByDistance();
+    Result.Nodes = nodes();
+    Result.NodesObserved = nodeCount();
+    return Result;
+  }
 };
 
 } // namespace core

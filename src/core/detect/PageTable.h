@@ -5,91 +5,47 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The page-granularity sibling of ShadowMemory: constant-time mapping from
-/// an address to its page's metadata via bit shifting over the same
-/// monitored heap/global regions. Per page it keeps
-///
-///  - a stage-1 write counter (susceptibility filter, exactly the per-line
-///    write counter one level up),
-///  - the first-touch *home node* — CAS-published once by whichever access
-///    touches the page first, serial or parallel, mirroring the OS
-///    first-touch placement policy the remote-DRAM story depends on,
-///  - a lazily materialized PageInfo pointer for susceptible pages.
-///
-/// All of it is lock-free in the default build: counters are relaxed
-/// atomics, homes and details are CAS-published (losing allocators delete
-/// their copy). Building with -DCHEETAH_LOCKED_TABLE=ON adds striped page
-/// mutexes so the locked-vs-lock-free A/B sweep covers the page path the
-/// same way it covers the line path.
+/// The page-granularity sibling of ShadowMemory: the same generic
+/// GrainTable instantiated one level up the hierarchy, with first-touch
+/// home tracking enabled — homes are CAS-published once by whichever
+/// access touches the page first, serial or parallel, mirroring the OS
+/// first-touch placement policy the remote-DRAM story depends on. See
+/// GrainTable.h for the shared machinery.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_DETECT_PAGETABLE_H
 #define CHEETAH_CORE_DETECT_PAGETABLE_H
 
+#include "core/detect/GrainTable.h"
 #include "core/detect/PageInfo.h"
 #include "core/detect/ShadowMemory.h"
 #include "mem/CacheGeometry.h"
 #include "mem/NumaTopology.h"
 
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <vector>
-
-#if CHEETAH_LOCKED_TABLE
-#include <array>
-#include <mutex>
-#endif
-
 namespace cheetah {
 namespace core {
 
 /// Flat-array page metadata over a set of monitored regions.
-class PageTable {
+class PageTable : public GrainTable<PageInfo, /*TrackHomes=*/true> {
 public:
   /// \p Topology provides the page geometry; \p Geometry the line size used
   /// to index the per-line histogram within each page.
   PageTable(const NumaTopology &Topology, const CacheGeometry &Geometry,
-            std::vector<ShadowRegion> Regions);
-  ~PageTable();
-
-  PageTable(const PageTable &) = delete;
-  PageTable &operator=(const PageTable &) = delete;
-
-  /// \returns true if \p Address falls inside a monitored region.
-  bool covers(uint64_t Address) const;
-
-  /// Atomically increments the write counter of \p Address's page.
-  /// \returns the new count. \p Address must be covered.
-  uint32_t noteWrite(uint64_t Address);
-
-  /// Current write count of \p Address's page (0 if never written).
-  uint32_t writeCount(uint64_t Address) const;
-
-  /// Records a touch by \p Node: publishes it as the page's first-touch
-  /// home if the page was untouched, and returns the (now settled) home.
-  /// Called on every covered sample regardless of phase — homes are a
-  /// placement property, not a sharing observation.
-  NodeId noteTouch(uint64_t Address, NodeId Node);
-
-  /// The page's first-touch home node, or NoNode if never touched.
-  NodeId homeNode(uint64_t Address) const;
-
-  /// \returns the detailed info for \p Address's page, or nullptr if never
-  /// materialized. \p Address must be covered.
-  PageInfo *detail(uint64_t Address);
-  const PageInfo *detail(uint64_t Address) const;
-
-  /// Materializes (if needed) and returns the detailed info for the page.
-  /// Safe to race: exactly one allocation wins publication.
-  PageInfo &materializeDetail(uint64_t Address);
+            std::vector<ShadowRegion> Regions)
+      : GrainTable(Topology.pageShift(),
+                   Topology.pageSize() >> Geometry.lineShift(),
+                   std::move(Regions), "empty page-table region",
+                   "page-table region must be page-aligned"),
+        Topology(Topology), Geometry(Geometry) {
+    CHEETAH_ASSERT(Geometry.lineSize() <= Topology.pageSize(),
+                   "cache lines must fit inside pages");
+  }
 
 #if CHEETAH_LOCKED_TABLE
-  /// Striped lock serializing mutation of \p Address's page detail — the
-  /// locked A/B build only; the default ingestion path is lock-free and
-  /// this member is compiled out.
-  std::mutex &pageLock(uint64_t Address);
+  /// Striped lock serializing mutation of \p Address's page detail —
+  /// the locked A/B build only.
+  std::mutex &pageLock(uint64_t Address) { return grainLock(Address); }
 #endif
 
   /// First byte address of the page containing \p Address.
@@ -110,47 +66,23 @@ public:
   /// Invokes \p Fn(pageBaseAddress, homeNode, info) for every materialized
   /// page.
   template <typename Function> void forEachPage(Function Fn) const {
-    for (const Slab &Region : Slabs)
-      for (size_t I = 0; I < Region.Pages; ++I)
-        if (const PageInfo *Info =
-                Region.Details[I].load(std::memory_order_acquire))
-          Fn(Region.Base + (static_cast<uint64_t>(I) << Topology.pageShift()),
-             Region.Homes[I].load(std::memory_order_relaxed), *Info);
+    forEachGrain([&Fn](uint64_t Base, NodeId Home, const PageInfo &Info) {
+      Fn(Base, Home, Info);
+    });
   }
 
   /// Number of pages with materialized detail (O(1) counter).
-  size_t materializedPages() const {
-    return MaterializedCount.load(std::memory_order_relaxed);
-  }
+  size_t materializedPages() const { return materializedGrains(); }
 
   /// Bytes of page-table metadata currently allocated: the flat per-page
   /// arrays plus every materialized PageInfo's exact footprint.
-  size_t pageBytes() const;
+  size_t pageBytes() const { return metadataBytes(); }
 
   const NumaTopology &topology() const { return Topology; }
 
 private:
-  struct Slab {
-    uint64_t Base = 0;
-    uint64_t Size = 0;
-    size_t Pages = 0;
-    std::unique_ptr<std::atomic<uint32_t>[]> WriteCounts; // one per page
-    std::unique_ptr<std::atomic<NodeId>[]> Homes;         // first-touch node
-    std::unique_ptr<std::atomic<PageInfo *>[]> Details;   // one per page
-  };
-
-  const Slab *slabFor(uint64_t Address) const;
-  Slab *slabFor(uint64_t Address);
-  size_t pageIndexIn(const Slab &Region, uint64_t Address) const;
-
   NumaTopology Topology;
   CacheGeometry Geometry;
-  std::vector<Slab> Slabs;
-#if CHEETAH_LOCKED_TABLE
-  static constexpr size_t LockStripeCount = 64;
-  std::array<std::mutex, LockStripeCount> LockStripes;
-#endif
-  std::atomic<size_t> MaterializedCount{0};
 };
 
 } // namespace core

@@ -7,23 +7,11 @@
 /// \file
 /// Shadow memory (paper Section 2.2): constant-time mapping from an address
 /// to its cache line's metadata via bit shifting, possible because the heap
-/// arena and global segment ranges are known up front. Two flat arrays per
-/// monitored region, exactly as the paper describes: one per-line write
-/// counter, and one per-line pointer to detailed tracking state that is
-/// only materialized for lines whose write count crosses the susceptibility
-/// threshold.
-///
-/// The arrays are safe to update from many ingesting threads concurrently
-/// with no locking: write counters are per-slab arrays of relaxed atomics,
-/// detail pointers are published with a compare-and-swap (losers delete
-/// their allocation), and a materialized CacheLineInfo is internally
-/// lock-free (single-word CAS table, relaxed atomic counters), so the whole
-/// ingestion path is mutex-free. Readers that run after ingestion quiesces
-/// (report generation, tests) see fully published state.
-///
-/// Building with -DCHEETAH_LOCKED_TABLE=ON restores the PR-1 striped line
-/// mutexes around detail mutation for A/B benchmarking of the lock-free
-/// hot path; the default build contains no mutex here at all.
+/// arena and global segment ranges are known up front. A thin line-grain
+/// instantiation of the generic GrainTable — see GrainTable.h for the slab
+/// layout, lock-free publication discipline, table-mode dispatch
+/// (default / CHEETAH_LOCKED_TABLE / CHEETAH_SHARDED_TABLE), and the
+/// epoch-shard registry.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,62 +19,25 @@
 #define CHEETAH_CORE_DETECT_SHADOWMEMORY_H
 
 #include "core/detect/CacheLineInfo.h"
+#include "core/detect/GrainTable.h"
 #include "mem/CacheGeometry.h"
-
-#include <atomic>
-#include <cstdint>
-#include <memory>
-#include <vector>
-
-#if CHEETAH_LOCKED_TABLE
-#include <array>
-#include <mutex>
-#endif
 
 namespace cheetah {
 namespace core {
 
-/// One contiguous monitored address range (heap arena or global segment).
-struct ShadowRegion {
-  uint64_t Base = 0;
-  uint64_t Size = 0;
-};
-
 /// Flat-array shadow metadata over a set of monitored regions.
-class ShadowMemory {
+class ShadowMemory : public GrainTable<CacheLineInfo, /*TrackHomes=*/false> {
 public:
-  ShadowMemory(const CacheGeometry &Geometry,
-               std::vector<ShadowRegion> Regions);
-  ~ShadowMemory();
-
-  ShadowMemory(const ShadowMemory &) = delete;
-  ShadowMemory &operator=(const ShadowMemory &) = delete;
-
-  /// \returns true if \p Address falls inside a monitored region. Accesses
-  /// elsewhere (stack, kernel, libraries) are filtered out (Section 4.1).
-  bool covers(uint64_t Address) const;
-
-  /// Atomically increments the write counter of \p Address's line.
-  /// \returns the new count. \p Address must be covered.
-  uint32_t noteWrite(uint64_t Address);
-
-  /// Current write count of \p Address's line (0 if never written).
-  uint32_t writeCount(uint64_t Address) const;
-
-  /// \returns the detailed info for \p Address's line, or nullptr if it was
-  /// never materialized. \p Address must be covered.
-  CacheLineInfo *detail(uint64_t Address);
-  const CacheLineInfo *detail(uint64_t Address) const;
-
-  /// Materializes (if needed) and returns the detailed info for the line.
-  /// Safe to race: exactly one allocation wins publication.
-  CacheLineInfo &materializeDetail(uint64_t Address);
+  ShadowMemory(const CacheGeometry &Geometry, std::vector<ShadowRegion> Regions)
+      : GrainTable(Geometry.lineShift(), Geometry.wordsPerLine(),
+                   std::move(Regions), "empty shadow region",
+                   "shadow region must be line-aligned"),
+        Geometry(Geometry) {}
 
 #if CHEETAH_LOCKED_TABLE
-  /// The PR-1 striped lock serializing mutation of \p Address's line detail.
-  /// Only exists in the locked A/B build; the default ingestion path is
-  /// lock-free and this member is compiled out.
-  std::mutex &lineLock(uint64_t Address);
+  /// The PR-1 striped lock serializing mutation of \p Address's line
+  /// detail (locked A/B build only).
+  std::mutex &lineLock(uint64_t Address) { return grainLock(Address); }
 #endif
 
   /// First byte address of the line containing \p Address.
@@ -96,48 +47,24 @@ public:
 
   /// Invokes \p Fn(lineBaseAddress, info) for every materialized line.
   template <typename Function> void forEachDetail(Function Fn) const {
-    for (const Slab &Region : Slabs)
-      for (size_t I = 0; I < Region.Lines; ++I)
-        if (const CacheLineInfo *Info =
-                Region.Details[I].load(std::memory_order_acquire))
-          Fn(Region.Base + (static_cast<uint64_t>(I) << Geometry.lineShift()),
-             *Info);
+    forEachGrain([&Fn](uint64_t Base, NodeId, const CacheLineInfo &Info) {
+      Fn(Base, Info);
+    });
   }
 
-  /// Number of lines with materialized detail (O(1): maintained as a
-  /// counter on publication, not by scanning the slabs).
-  size_t materializedLines() const {
-    return MaterializedCount.load(std::memory_order_relaxed);
-  }
+  /// Number of lines with materialized detail (O(1) counter).
+  size_t materializedLines() const { return materializedGrains(); }
 
   /// Bytes of shadow metadata currently allocated: the flat per-line slab
   /// arrays plus the exact footprint of every materialized CacheLineInfo
   /// (word slots and per-thread stats chunks included), so the memory
   /// ablation reports honest numbers.
-  size_t shadowBytes() const;
+  size_t shadowBytes() const { return metadataBytes(); }
 
   const CacheGeometry &geometry() const { return Geometry; }
 
 private:
-  struct Slab {
-    uint64_t Base = 0;
-    uint64_t Size = 0;
-    size_t Lines = 0;
-    std::unique_ptr<std::atomic<uint32_t>[]> WriteCounts;     // one per line
-    std::unique_ptr<std::atomic<CacheLineInfo *>[]> Details;  // one per line
-  };
-
-  const Slab *slabFor(uint64_t Address) const;
-  Slab *slabFor(uint64_t Address);
-  size_t lineIndexIn(const Slab &Region, uint64_t Address) const;
-
   CacheGeometry Geometry;
-  std::vector<Slab> Slabs;
-#if CHEETAH_LOCKED_TABLE
-  static constexpr size_t LockStripeCount = 64;
-  std::array<std::mutex, LockStripeCount> LockStripes;
-#endif
-  std::atomic<size_t> MaterializedCount{0};
 };
 
 } // namespace core

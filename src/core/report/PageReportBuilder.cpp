@@ -24,26 +24,26 @@ PageReportBuilder::PageReportBuilder(const runtime::HeapAllocator &Heap,
       Gate(Gate) {}
 
 PageReportBuilder::PendingPage
-PageReportBuilder::buildReport(uint64_t PageBase, NodeId Home,
-                               const PageInfo &Info) const {
+PageReportBuilder::buildReport(const GrainSnapshot &Page, NodeId Home,
+                               const PageNumaEvidence &Numa) const {
   PendingPage Pending;
   PageSharingReport &Report = Pending.Report;
-  Report.PageBase = PageBase;
+  Report.PageBase = Page.Base;
   Report.PageSize = Topology.pageSize();
   Report.HomeNode = Home;
-  Report.SampledAccesses = Info.accesses();
-  Report.SampledWrites = Info.writes();
-  Report.RemoteAccesses = Info.remoteAccesses();
-  Report.Invalidations = Info.invalidations();
-  Report.LatencyCycles = Info.cycles();
-  Report.RemoteLatencyCycles = Info.remoteCycles();
-  Report.RemoteByDistance = Info.remoteByDistance();
-  Report.NodesObserved = static_cast<uint32_t>(Info.nodeCount());
+  Report.SampledAccesses = Page.Accesses;
+  Report.SampledWrites = Page.Writes;
+  Report.RemoteAccesses = Numa.RemoteAccesses;
+  Report.Invalidations = Page.Invalidations;
+  Report.LatencyCycles = Page.Cycles;
+  Report.RemoteLatencyCycles = Numa.RemoteCycles;
+  Report.RemoteByDistance = Numa.RemoteByDistance;
+  Report.NodesObserved = static_cast<uint32_t>(Numa.NodesObserved);
 
-  // One snapshot serves classification and the per-line entries. The
-  // classifier is the word-granularity one applied unchanged: lines are the
-  // page's "words", nodes are its "threads".
-  const std::vector<WordStats> Lines = Info.lines();
+  // The snapshot's one consistent view serves classification and the
+  // per-line entries. The classifier is the word-granularity one applied
+  // unchanged: lines are the page's "words", nodes are its "threads".
+  const std::vector<WordStats> &Lines = Page.Buckets;
   LineClassification Verdict =
       Classifier.classify(Lines, Report.NodesObserved);
   Report.Kind = Verdict.Kind;
@@ -63,7 +63,7 @@ PageReportBuilder::buildReport(uint64_t PageBase, NodeId Home,
 
     // Attribute the touched line to its owning object so the finding names
     // what to move, not just a raw page address.
-    uint64_t LineAddress = PageBase + Entry.Offset;
+    uint64_t LineAddress = Page.Base + Entry.Offset;
     std::string Name;
     if (const runtime::HeapObject *Object = Heap.objectAt(LineAddress)) {
       const auto &Frames = Callsites.get(Object->Site).Frames;
@@ -99,18 +99,18 @@ PageReportBuilder::buildReport(uint64_t PageBase, NodeId Home,
   // pre-distance arithmetic — and thus their goldens — bit for bit.
   if (!Topology.uniformRemoteDistances())
     Pending.Profile.RemoteByDistance = Report.RemoteByDistance;
-  Pending.Profile.PerThread = Info.threads();
+  Pending.Profile.PerThread = Page.Threads;
   return Pending;
 }
 
-void PageReportBuilder::addPage(uint64_t PageBase, NodeId Home,
-                                const PageInfo &Info) {
-  if (Info.accesses() == 0)
+void PageReportBuilder::addPage(const GrainSnapshot &Page, NodeId Home,
+                                const PageNumaEvidence &Numa) {
+  if (Page.Accesses == 0)
     return;
-  PendingPage Page = buildReport(PageBase, Home, Info);
-  LocalAccesses += Page.Profile.localAccesses();
-  LocalCycles += Page.Profile.localCycles();
-  Pending.push_back(std::move(Page));
+  PendingPage Built = buildReport(Page, Home, Numa);
+  LocalAccesses += Built.Profile.localAccesses();
+  LocalCycles += Built.Profile.localCycles();
+  Pending.push_back(std::move(Built));
 }
 
 PageReportBuilder::Output PageReportBuilder::finalize(const Assessor &Assess,

@@ -5,9 +5,10 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Builds per-page NUMA sharing findings from materialized PageInfo state,
-/// the page-granularity mirror of ReportBuilder: pages stream in one at a
-/// time as they quiesce (addPage), finalize() assesses each with the
+/// Builds per-page NUMA sharing findings from the detection core's common
+/// finding source (GrainSnapshot + PageNumaEvidence), the page-granularity
+/// mirror of ReportBuilder: pages stream in one at a time as they quiesce
+/// (addPage), finalize() assesses each with the
 /// EQ.1–EQ.4 page machinery (no-remote-access AverCycles baseline),
 /// classifies it with the unchanged SharingClassifier (nodes over lines
 /// instead of threads over words), attributes the overlapping heap/global
@@ -58,9 +59,12 @@ public:
                     const NumaTopology &Topology, const CacheGeometry &Geometry,
                     const PageReportGate &Gate);
 
-  /// Folds one quiesced page in. Pages with zero recorded accesses are
-  /// skipped.
-  void addPage(uint64_t PageBase, NodeId Home, const PageInfo &Info);
+  /// Folds one quiesced page in — the granularity-neutral GrainSnapshot
+  /// the detection core emits (per-line buckets, per-thread stats) plus
+  /// the page-grain NUMA evidence alongside it. Pages with zero recorded
+  /// accesses are skipped.
+  void addPage(const GrainSnapshot &Page, NodeId Home,
+               const PageNumaEvidence &Numa);
 
   /// Run-wide local (home-node) sample totals over every added page: the
   /// fallback EQ.1 baseline for pages with no local population of their
@@ -90,8 +94,8 @@ private:
     ObjectAccessProfile Profile;
   };
 
-  PendingPage buildReport(uint64_t PageBase, NodeId Home,
-                          const PageInfo &Info) const;
+  PendingPage buildReport(const GrainSnapshot &Page, NodeId Home,
+                          const PageNumaEvidence &Numa) const;
 
   const runtime::HeapAllocator &Heap;
   const runtime::GlobalRegistry &Globals;

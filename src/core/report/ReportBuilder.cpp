@@ -77,22 +77,23 @@ ReportBuilder::ObjectAggregate &ReportBuilder::aggregateFor(uint64_t LineBase) {
   return Aggregate;
 }
 
-void ReportBuilder::addLine(uint64_t LineBase, const CacheLineInfo &Info) {
-  if (Info.accesses() == 0)
+void ReportBuilder::addLine(const GrainSnapshot &Line) {
+  if (Line.Accesses == 0)
     return;
-  ObjectAggregate &Aggregate = aggregateFor(LineBase);
+  ObjectAggregate &Aggregate = aggregateFor(Line.Base);
 
-  // One snapshot of each lock-free structure serves every use below:
-  // words feed classification and the per-word entries, threads feed the
-  // per-thread merge and the classifier's distinct-thread count.
-  const std::vector<WordStats> Words = Info.words();
-  const std::vector<ThreadLineStats> LineThreads = Info.threads();
+  // The snapshot's one consistent view of each lock-free structure serves
+  // every use below: buckets feed classification and the per-word entries,
+  // threads feed the per-thread merge and the classifier's distinct-thread
+  // count.
+  const std::vector<WordStats> &Words = Line.Buckets;
+  const std::vector<ThreadLineStats> &LineThreads = Line.Threads;
 
   ++Aggregate.Lines;
-  Aggregate.Profile.SampledAccesses += Info.accesses();
-  Aggregate.Profile.SampledWrites += Info.writes();
-  Aggregate.Profile.SampledCycles += Info.cycles();
-  Aggregate.Profile.Invalidations += Info.invalidations();
+  Aggregate.Profile.SampledAccesses += Line.Accesses;
+  Aggregate.Profile.SampledWrites += Line.Writes;
+  Aggregate.Profile.SampledCycles += Line.Cycles;
+  Aggregate.Profile.Invalidations += Line.Invalidations;
 
   for (const ThreadLineStats &Stats : LineThreads) {
     auto &PerThread = Aggregate.Profile.PerThread;
@@ -137,7 +138,7 @@ void ReportBuilder::addLine(uint64_t LineBase, const CacheLineInfo &Info) {
     if (Words[W].accesses() == 0)
       continue;
     WordReportEntry Entry;
-    uint64_t WordAddress = LineBase + W * WordSize;
+    uint64_t WordAddress = Line.Base + W * WordSize;
     Entry.Offset = WordAddress >= Aggregate.Object.Start
                        ? WordAddress - Aggregate.Object.Start
                        : 0;

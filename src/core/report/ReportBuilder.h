@@ -19,7 +19,7 @@
 #define CHEETAH_CORE_REPORT_REPORTBUILDER_H
 
 #include "core/assess/Assessor.h"
-#include "core/detect/CacheLineInfo.h"
+#include "core/detect/GrainInfo.h"
 #include "core/detect/SharingClassifier.h"
 #include "core/report/Report.h"
 #include "core/report/ReportSink.h"
@@ -54,9 +54,11 @@ public:
                 const CacheGeometry &Geometry, const ReportGate &Gate);
   ~ReportBuilder();
 
-  /// Folds one quiesced line into its owning object's aggregate. Lines may
-  /// arrive in any order; a line with zero recorded accesses is skipped.
-  void addLine(uint64_t LineBase, const CacheLineInfo &Info);
+  /// Folds one quiesced line — as the granularity-neutral GrainSnapshot
+  /// the detection core emits — into its owning object's aggregate. Lines
+  /// may arrive in any order; a line with zero recorded accesses is
+  /// skipped.
+  void addLine(const GrainSnapshot &Line);
 
   /// Number of objects aggregated so far.
   size_t objectCount() const { return Aggregates.size(); }

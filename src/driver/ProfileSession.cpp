@@ -7,6 +7,7 @@
 #include "driver/ProfileSession.h"
 
 #include "support/Assert.h"
+#include "support/StringUtils.h"
 
 using namespace cheetah;
 using namespace cheetah::driver;
@@ -57,6 +58,20 @@ cheetah::driver::makeRunInfo(const workloads::Workload &Workload,
   else
     Info.Granularity = "line";
   return Info;
+}
+
+std::string
+cheetah::driver::formatStageSummary(const core::GrainStageSummary &Stage) {
+  std::string Line = "grain " + Stage.Name + ": " +
+                     formatWithCommas(Stage.Tracked) + " tracked, " +
+                     formatWithCommas(Stage.Significant) +
+                     " significant findings, " +
+                     formatWithCommas(Stage.SamplesRecorded) + " samples (" +
+                     formatWithCommas(Stage.Invalidations) + " invalidations";
+  if (Stage.HasRemote)
+    Line += ", " + formatWithCommas(Stage.RemoteSamples) + " remote";
+  Line += ")";
+  return Line;
 }
 
 SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,

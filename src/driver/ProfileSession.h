@@ -22,6 +22,7 @@
 #include "workloads/Workload.h"
 
 #include <memory>
+#include <string>
 
 namespace cheetah {
 namespace driver {
@@ -51,6 +52,14 @@ sim::ForkJoinProgram buildProgram(const workloads::Workload &Workload,
 /// Fills the sink-facing run identification from a session configuration.
 core::ReportRunInfo makeRunInfo(const workloads::Workload &Workload,
                                 const SessionConfig &Config);
+
+/// One human-readable banner line for an active grain stage, e.g.
+///   grain line: 7 tracked, 2 significant findings, 12,345 samples
+///   (1,024 invalidations)
+/// with a ", N remote" clause for stages that distinguish remote traffic.
+/// Drivers print one per entry of ProfileResult::Stages, so a future third
+/// grain shows up in every banner with no tool edits.
+std::string formatStageSummary(const core::GrainStageSummary &Stage);
 
 /// Runs \p Workload under the Cheetah profiler (or natively when
 /// EnableProfiler is false).

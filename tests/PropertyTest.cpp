@@ -567,6 +567,10 @@ TEST(PagePropertyTest, ConcurrentHammerMatchesSequentialTotalsPerPage) {
                               Node != Home->second);
   }
 
+  // Fold any per-thread shards back before reading detail (no-op in the
+  // shared-table builds).
+  Detect.quiesce();
+
   EXPECT_EQ(Table.materializedPages(), References.size());
   for (const auto &[Page, Reference] : References) {
     uint64_t Address = Base + Page * PageSizeBytes;

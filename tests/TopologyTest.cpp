@@ -437,6 +437,60 @@ TEST(SessionOptionsTest, TopologyFileErrorsExitCleanly) {
   EXPECT_NE(Error.find("symmetric"), std::string::npos) << Error;
 }
 
+TEST(SessionOptionsTest, BannerEnumeratesActiveGrainStagesGenerically) {
+  // The banner contract: `cheetah-profile` prints exactly one
+  // formatStageSummary line per entry of ProfileResult::Stages, so the set
+  // of lines must track the configured granularity with no per-grain logic
+  // in the tool. Table-driven like the rest of the CLI regressions.
+  struct Case {
+    const char *Granularity;
+    std::vector<std::string> Stages;
+  };
+  const Case Cases[] = {
+      {"line", {"line"}},
+      {"page", {"page"}},
+      {"both", {"line", "page"}},
+  };
+  for (const Case &Test : Cases) {
+    driver::SessionOptions Options;
+    std::string Error;
+    std::string GranFlag = std::string("--granularity=") + Test.Granularity;
+    ASSERT_TRUE(buildFromArgs({"--workload=numa_first_touch", "--threads=4",
+                               "--sampling-period=512", GranFlag.c_str()},
+                              Options, Error))
+        << Error;
+    auto Workload = workloads::createWorkload("numa_first_touch");
+    ASSERT_NE(Workload, nullptr);
+    driver::SessionResult Result =
+        driver::runWorkload(*Workload, Options.Config);
+
+    const std::vector<core::GrainStageSummary> &Stages = Result.Profile.Stages;
+    ASSERT_EQ(Stages.size(), Test.Stages.size()) << Test.Granularity;
+    for (size_t I = 0; I < Stages.size(); ++I) {
+      EXPECT_EQ(Stages[I].Name, Test.Stages[I]) << Test.Granularity;
+      std::string Line = driver::formatStageSummary(Stages[I]);
+      EXPECT_EQ(Line.rfind("grain " + Stages[I].Name + ": ", 0), 0u) << Line;
+      EXPECT_NE(Line.find("tracked"), std::string::npos) << Line;
+      EXPECT_NE(Line.find("significant findings"), std::string::npos) << Line;
+      EXPECT_NE(Line.find("invalidations"), std::string::npos) << Line;
+      EXPECT_EQ(Line.find("remote") != std::string::npos, Stages[I].HasRemote)
+          << Line;
+    }
+    // Tracked/Significant reflect the built reports of the owning stage.
+    for (const core::GrainStageSummary &Stage : Stages) {
+      if (Stage.Name == "line") {
+        EXPECT_FALSE(Stage.HasRemote);
+        EXPECT_EQ(Stage.Tracked, Result.Profile.AllInstances.size());
+        EXPECT_EQ(Stage.Significant, Result.Profile.Reports.size());
+      } else if (Stage.Name == "page") {
+        EXPECT_TRUE(Stage.HasRemote);
+        EXPECT_EQ(Stage.Tracked, Result.Profile.AllPageInstances.size());
+        EXPECT_EQ(Stage.Significant, Result.Profile.PageReports.size());
+      }
+    }
+  }
+}
+
 TEST(SessionOptionsTest, ExplicitFlagsConflictingWithFileAreErrors) {
   std::string Path = writeTempFile("topo_conflict.json", ValidDocument);
   driver::SessionOptions Options;

@@ -175,18 +175,12 @@ int main(int Argc, char **Argv) {
                formatWithCommas(Coherence.Upgrades).c_str(),
                formatWithCommas(Coherence.InvalidationsSent).c_str());
 
+  // One line per active grain stage, formatted by the driver: a future
+  // third granularity appears here with no tool edits.
+  for (const core::GrainStageSummary &Stage : Profile.Stages)
+    std::fprintf(Aux, "%s\n", driver::formatStageSummary(Stage).c_str());
   if (TrackPages)
-    std::fprintf(Aux,
-                 "pages: %s tracked, %s significant findings, %s page "
-                 "samples (%s remote, %s cross-node invalidations); "
-                 "simulator charged %s remote accesses +%s cycles\n",
-                 formatWithCommas(Profile.AllPageInstances.size()).c_str(),
-                 formatWithCommas(Profile.PageReports.size()).c_str(),
-                 formatWithCommas(Profile.Detection.PageSamplesRecorded)
-                     .c_str(),
-                 formatWithCommas(Profile.Detection.RemoteSamples).c_str(),
-                 formatWithCommas(Profile.Detection.PageInvalidations)
-                     .c_str(),
+    std::fprintf(Aux, "simulator charged %s remote accesses +%s cycles\n",
                  formatWithCommas(Result.Run.RemoteNumaAccesses).c_str(),
                  formatWithCommas(Result.Run.RemoteNumaExtraCycles).c_str());
 
