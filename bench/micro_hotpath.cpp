@@ -24,14 +24,17 @@
 /// every thread count without rebuilding.
 ///
 /// `micro_hotpath --emit-ingest-json=PATH` skips google-benchmark and runs
-/// the dedicated ingest sweep instead: shared vs locked vs sharded at
-/// 1..8 threads, written as the machine-readable `BENCH_ingest.json`
+/// the dedicated ingest sweep instead: shared vs locked vs sharded vs
+/// batched (the staged handleBatch pipeline) at 1..8 threads, plus the
+/// decode dimension — the scalar and SIMD sample-decode kernels at batch
+/// sizes 1/16/64/256 — written as the machine-readable `BENCH_ingest.json`
 /// (samples/sec/core) that tracks the ingestion-throughput trajectory
 /// across PRs.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Profiler.h"
+#include "core/detect/BatchDecode.h"
 #include "core/detect/CacheLineTable.h"
 #include "core/detect/Detector.h"
 #include "core/detect/PageInfo.h"
@@ -46,6 +49,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -122,6 +126,31 @@ void BM_DetectorHandleSample(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_DetectorHandleSample);
+
+/// The same detection hot path through the staged batch pipeline — vector
+/// decode, prefetched stage-1 sweep, branchless filter, prefetched detail
+/// lookups — over full 256-sample chunks. Compare items_per_second against
+/// BM_DetectorHandleSample for the batching win.
+void BM_DetectorHandleBatch(benchmark::State &State) {
+  CacheGeometry Geometry(64);
+  core::ShadowMemory Shadow(Geometry, {{0x40000000, 1 << 20}});
+  core::DetectorConfig Config;
+  core::Detector Detect(Geometry, Shadow, Config);
+  SplitMix64 Rng(3);
+  std::vector<pmu::Sample> Batch(256);
+  for (auto _ : State) {
+    for (pmu::Sample &Sample : Batch) {
+      Sample.Address = 0x40000000 + (Rng.nextBelow(256) * 8);
+      Sample.Tid = static_cast<ThreadId>(Rng.nextBelow(16));
+      Sample.IsWrite = Rng.nextBool(0.7);
+      Sample.LatencyCycles = 40;
+    }
+    benchmark::DoNotOptimize(
+        Detect.handleBatch(Batch.data(), Batch.size(), true));
+  }
+  State.SetItemsProcessed(State.iterations() * Batch.size());
+}
+BENCHMARK(BM_DetectorHandleBatch);
 
 void BM_HeapAllocateFree(benchmark::State &State) {
   CacheGeometry Geometry(64);
@@ -485,6 +514,27 @@ IngestSweepRow runIngestSweep(const std::string &Mode, unsigned Threads,
       pmu::Sample Sample;
       while (!Go.load(std::memory_order_acquire)) {
       }
+      if (Mode == "batched") {
+        // The staged pipeline: identical sample stream, delivered in
+        // 256-sample batches through handleBatch.
+        std::vector<pmu::Sample> Batch(core::DecodedBatch::Capacity);
+        for (uint64_t I = 0; I < SamplesPerThread;) {
+          size_t N = static_cast<size_t>(
+              std::min<uint64_t>(Batch.size(), SamplesPerThread - I));
+          for (size_t J = 0; J < N; ++J) {
+            Batch[J].Address = SliceBase +
+                               Rng.nextBelow(LinesPerIngestThread) * 64 +
+                               Rng.nextBelow(16) * 4;
+            Batch[J].Tid = static_cast<ThreadId>(T * 4 + Rng.nextBelow(4));
+            Batch[J].IsWrite = Rng.nextBool(0.7);
+            Batch[J].LatencyCycles = 40;
+          }
+          benchmark::DoNotOptimize(
+              Harness.Detect.handleBatch(Batch.data(), N, true));
+          I += N;
+        }
+        return;
+      }
       for (uint64_t I = 0; I < SamplesPerThread; ++I) {
         Sample.Address = SliceBase + Rng.nextBelow(LinesPerIngestThread) * 64 +
                          Rng.nextBelow(16) * 4;
@@ -520,12 +570,68 @@ IngestSweepRow runIngestSweep(const std::string &Mode, unsigned Threads,
   return Row;
 }
 
-/// Writes the shared/locked/sharded x 1..8-thread sweep to \p Path as the
-/// `cheetah-bench-ingest-v1` document. \returns false on I/O failure.
+/// One row of the decode-kernel sweep: the \p Kernel decode path at
+/// \p Batch samples per decode() call.
+struct DecodeSweepRow {
+  std::string Kernel;    // requested: "scalar" or "simd"
+  std::string Effective; // kernel actually dispatched to
+  size_t Batch = 0;
+  uint64_t Samples = 0;
+  double Seconds = 0.0;
+};
+
+/// Times the pure decode front (coverage + word/span arithmetic) over a
+/// pregenerated sample stream at one batch size, single-threaded — the
+/// isolated kernel cost behind the batched mode's first stage. The "simd"
+/// request silently degrades to scalar when the AVX2 kernel is compiled
+/// out or unsupported (the Effective field records what actually ran), so
+/// the sweep emits the same row set in every build.
+DecodeSweepRow runDecodeSweep(const std::string &Kernel, size_t Batch,
+                              uint64_t TotalSamples) {
+  CacheGeometry Geometry(64);
+  std::vector<core::ShadowRegion> Regions{
+      {0x4000'0000, LinesPerIngestThread * 64}};
+  core::BatchDecoder Decoder(Geometry, Regions,
+                             /*ForceScalar=*/Kernel == "scalar");
+
+  SplitMix64 Rng(1200);
+  std::vector<pmu::Sample> Samples(core::DecodedBatch::Capacity);
+  for (pmu::Sample &Sample : Samples) {
+    // Mostly covered addresses with an uncovered tail, like a real stream.
+    Sample.Address = Rng.nextBool(0.9)
+                         ? 0x4000'0000 +
+                               Rng.nextBelow(LinesPerIngestThread) * 64 +
+                               Rng.nextBelow(16) * 4
+                         : Rng.nextBelow(1ull << 40);
+  }
+  core::DecodedBatch Out;
+
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t Done = 0;
+  while (Done < TotalSamples) {
+    Decoder.decode(Samples.data(), Batch, /*AccessBytes=*/4, Out);
+    benchmark::DoNotOptimize(Out.Covered[0]);
+    benchmark::DoNotOptimize(Out.Span[Batch - 1]);
+    Done += Batch;
+  }
+  auto End = std::chrono::steady_clock::now();
+
+  DecodeSweepRow Row;
+  Row.Kernel = Kernel;
+  Row.Effective = core::decodeKernelName(Decoder.kernel());
+  Row.Batch = Batch;
+  Row.Samples = Done;
+  Row.Seconds = std::chrono::duration<double>(End - Start).count();
+  return Row;
+}
+
+/// Writes the shared/locked/sharded/batched x 1..8-thread sweep plus the
+/// decode-kernel dimension to \p Path as the `cheetah-bench-ingest-v2`
+/// document. \returns false on I/O failure.
 bool emitIngestJson(const std::string &Path) {
   constexpr uint64_t SamplesPerThread = 1'000'000;
   std::vector<IngestSweepRow> Rows;
-  for (const char *Mode : {"shared", "locked", "sharded"})
+  for (const char *Mode : {"shared", "locked", "sharded", "batched"})
     for (unsigned Threads = 1; Threads <= 8; ++Threads) {
       Rows.push_back(runIngestSweep(Mode, Threads, SamplesPerThread));
       std::fprintf(stderr, "%-7s %u threads: %.1fM samples/sec/core\n",
@@ -534,10 +640,21 @@ bool emitIngestJson(const std::string &Path) {
                        Rows.back().Seconds / Threads / 1e6);
     }
 
+  constexpr uint64_t DecodeSamples = 64'000'000;
+  std::vector<DecodeSweepRow> DecodeRows;
+  for (const char *Kernel : {"scalar", "simd"})
+    for (size_t Batch : {size_t(1), size_t(16), size_t(64), size_t(256)}) {
+      DecodeRows.push_back(runDecodeSweep(Kernel, Batch, DecodeSamples));
+      std::fprintf(stderr, "decode %-6s (%s) batch %-3zu: %.0fM samples/sec\n",
+                   Kernel, DecodeRows.back().Effective.c_str(), Batch,
+                   static_cast<double>(DecodeRows.back().Samples) /
+                       DecodeRows.back().Seconds / 1e6);
+    }
+
   std::string Text;
   JsonWriter Writer(Text);
   Writer.beginObject();
-  Writer.member("schema", "cheetah-bench-ingest-v1");
+  Writer.member("schema", "cheetah-bench-ingest-v2");
 #if CHEETAH_SHARDED_TABLE
   Writer.member("build_mode", "sharded-table");
 #elif CHEETAH_LOCKED_TABLE
@@ -547,6 +664,10 @@ bool emitIngestJson(const std::string &Path) {
 #endif
   Writer.member("samples_per_thread", SamplesPerThread);
   Writer.member("lines_per_thread", LinesPerIngestThread);
+  Writer.member("simd_available", core::BatchDecoder::simdAvailable());
+  Writer.member("decode_kernel",
+                core::decodeKernelName(
+                    core::BatchDecoder(CacheGeometry(64), {}).kernel()));
   Writer.key("results");
   Writer.beginArray();
   for (const IngestSweepRow &Row : Rows) {
@@ -560,6 +681,18 @@ bool emitIngestJson(const std::string &Path) {
     Writer.member("samples_per_sec_per_core",
                   static_cast<double>(Row.Samples) / Row.Seconds /
                       Row.Threads);
+    Writer.endObject();
+  }
+  for (const DecodeSweepRow &Row : DecodeRows) {
+    Writer.beginObject();
+    Writer.member("mode", "decode");
+    Writer.member("kernel", Row.Kernel);
+    Writer.member("effective_kernel", Row.Effective);
+    Writer.member("batch", static_cast<uint64_t>(Row.Batch));
+    Writer.member("samples", Row.Samples);
+    Writer.member("seconds", Row.Seconds);
+    Writer.member("samples_per_sec",
+                  static_cast<double>(Row.Samples) / Row.Seconds);
     Writer.endObject();
   }
   Writer.endArray();

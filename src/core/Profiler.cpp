@@ -172,6 +172,10 @@ void Profiler::ingestBatch(const pmu::Sample *Samples, size_t Count) {
       ++T;
     if (T == NumTids) {
       if (NumTids == MaxBatchTids) {
+        // Scratch table full: flush what we have and keep accumulating —
+        // a batch carrying more than MaxBatchTids distinct threads costs
+        // extra lock acquisitions, never dropped samples (guarded by the
+        // 32-tid conservation test).
         FlushBookkeeping();
         T = 0;
       }
@@ -186,9 +190,14 @@ void Profiler::ingestBatch(const pmu::Sample *Samples, size_t Count) {
       BatchSerial.add(Sample.LatencyCycles);
       ++BatchSerialCount;
     }
-    Detect.handleSample(Sample, InParallel);
   }
   FlushBookkeeping();
+
+  // Detection runs over the whole batch through the staged pipeline:
+  // vector decode, prefetched stage-1 counting, branchless filtering, and
+  // prefetched detail lookups — semantically identical to per-sample
+  // handleSample delivery, outside the ingest lock.
+  Detect.handleBatch(Samples, Count, InParallel);
 }
 
 ReportRunStats Profiler::runStats(uint64_t AppRuntime) const {

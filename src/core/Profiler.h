@@ -156,6 +156,7 @@ public:
   const runtime::PhaseTracker &phases() const { return Phases; }
   const runtime::ThreadRegistry &threadRegistry() const { return Threads; }
   const ShadowMemory &shadow() const { return Shadow; }
+  const Detector &detector() const { return Detect; }
   /// The page table (nullptr when Detect.TrackPages is off).
   const PageTable *pages() const { return Pages.get(); }
   const pmu::SimPmu &pmu() const { return Pmu; }

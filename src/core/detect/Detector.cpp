@@ -7,15 +7,54 @@
 #include "core/detect/Detector.h"
 
 #include "support/Assert.h"
+#include "support/CpuFeatures.h"
+
+#include <algorithm>
+#include <type_traits>
 
 using namespace cheetah;
 using namespace cheetah::core;
+
+namespace {
+
+/// How many iterations ahead the batched sweeps issue their software
+/// prefetches: far enough that a DRAM miss has left by the time the demand
+/// access arrives, near enough that the prefetched line is still cached.
+constexpr size_t PrefetchDistance = 8;
+
+/// Per-ingesting-thread scratch behind the staged batch pipeline: decoded
+/// line coordinates plus the per-stage working arrays. Thread-local so
+/// concurrent batch deliveries never share it and no batch allocates.
+struct BatchScratch {
+  DecodedBatch Decode;
+  /// Post-sample stage-1 write counts (0 for uncovered samples).
+  uint32_t Writes[DecodedBatch::Capacity];
+  /// Indices of samples that survived the susceptibility filter.
+  uint32_t Kept[DecodedBatch::Capacity];
+  /// Detail pointers for the kept samples (nullptr until materialized).
+  void *Infos[DecodedBatch::Capacity];
+  /// 1 once any grain stage recorded the sample.
+  uint8_t Recorded[DecodedBatch::Capacity];
+  /// Page-stage prepare results (node of the accessing thread, settled
+  /// first-touch home).
+  NodeId Node[DecodedBatch::Capacity];
+  NodeId Home[DecodedBatch::Capacity];
+};
+
+BatchScratch &batchScratch() {
+  static thread_local BatchScratch Scratch;
+  return Scratch;
+}
+
+} // namespace
 
 /// The line grain stage: actors are threads, buckets are the line's 4-byte
 /// words, and an access wider than a word spans several buckets.
 struct Detector::LineStage {
   Detector &D;
   uint8_t AccessBytes;
+  /// Vector-decoded coordinates when running under the batch pipeline.
+  const DecodedBatch *Batch = nullptr;
 
   struct Prep {};
   struct Decoded {
@@ -40,6 +79,15 @@ struct Detector::LineStage {
     return {Sample.Tid, WordIndex, WordSpan, {}};
   }
 
+  // Batch pipeline hooks: stage-1 state to pull ahead of the counter
+  // sweep, per-sample preparation (none at line grain), and the decoded
+  // coordinates — already computed data-parallel for the whole chunk.
+  void prefetchStage1(uint64_t Address) { D.Shadow.prefetchWriteCounter(Address); }
+  void prepareAt(size_t, const pmu::Sample &) {}
+  Decoded decodeAt(size_t I, const pmu::Sample &Sample) {
+    return {Sample.Tid, Batch->Bucket[I], Batch->Span[I], {}};
+  }
+
   void tally(bool Invalidation, const Decoded &) {
     if (Invalidation)
       D.Invalidations.fetch_add(1, std::memory_order_relaxed);
@@ -53,6 +101,10 @@ struct Detector::LineStage {
 /// policy being modeled.
 struct Detector::PageStage {
   Detector &D;
+  /// Batch-pipeline prepare results, stored per sample index (the scratch
+  /// Node/Home arrays) so decodeAt can run in a later sweep.
+  NodeId *Nodes = nullptr;
+  NodeId *Homes = nullptr;
 
   struct Prep {
     NodeId Node;
@@ -82,6 +134,23 @@ struct Detector::PageStage {
     uint32_t Distance = Remote ? D.Topology->distance(P.Node, P.Home) : 0;
     return {P.Node, D.Pages->lineIndexInPage(Sample.Address), 1,
             {Remote, Distance}};
+  }
+
+  // Batch pipeline hooks. Preparation (first-touch home publication) runs
+  // in the stage-1 sweep for every covered sample regardless of phase,
+  // exactly like the per-sample path: homes are a placement property, not
+  // a sharing observation.
+  void prefetchStage1(uint64_t Address) {
+    D.Pages->prefetchWriteCounter(Address);
+    D.Pages->prefetchHome(Address);
+  }
+  void prepareAt(size_t I, const pmu::Sample &Sample) {
+    Prep P = prepare(Sample);
+    Nodes[I] = P.Node;
+    Homes[I] = P.Home;
+  }
+  Decoded decodeAt(size_t I, const pmu::Sample &Sample) {
+    return decode(Sample, Prep{Nodes[I], Homes[I]});
   }
 
   void tally(bool Invalidation, const Decoded &A) {
@@ -126,6 +195,119 @@ bool Detector::runGrainStage(Stage &S, const pmu::Sample &Sample,
       Decoded.Span, Sample.LatencyCycles, Decoded.Ctx);
   S.tally(Invalidation, Decoded);
   return true;
+}
+
+template <typename Stage>
+size_t Detector::runGrainStageBatch(Stage &S, const pmu::Sample *Samples,
+                                    size_t Count, const uint8_t *Covered,
+                                    bool InParallelPhase, uint8_t *Recorded) {
+  using InfoT = typename std::remove_reference_t<decltype(S.table())>::Info;
+  auto &Table = S.table();
+  BatchScratch &Scratch = batchScratch();
+
+  // Stage-1 sweep: write counters (and stage preparation) for every
+  // covered sample, with the counter slots software-prefetched a fixed
+  // distance ahead — the walk is random-address, so without the prefetch
+  // each miss would serialize behind the previous one.
+  for (size_t I = 0; I < Count; ++I) {
+    size_t Ahead = I + PrefetchDistance;
+    if (Ahead < Count && Covered[Ahead])
+      S.prefetchStage1(Samples[Ahead].Address);
+    Scratch.Writes[I] = 0;
+    if (!Covered[I])
+      continue;
+    const pmu::Sample &Sample = Samples[I];
+    Scratch.Writes[I] = Sample.IsWrite ? Table.noteWrite(Sample.Address)
+                                       : Table.writeCount(Sample.Address);
+    S.prepareAt(I, Sample);
+  }
+
+  if (Config.OnlyParallelPhases && !InParallelPhase)
+    return 0;
+
+  // Branchless stage-1 filter: compact the survivors' indices without a
+  // single data-dependent branch, and without loading any detail pointer —
+  // cold samples never dereference the shadow. The count-only predicate is
+  // exactly the per-sample detail-or-threshold check because write counts
+  // are monotone: a grain's detail exists iff some earlier sample already
+  // saw its count above the threshold.
+  const uint32_t Threshold = S.threshold();
+  size_t NumKept = 0;
+  for (size_t I = 0; I < Count; ++I) {
+    Scratch.Kept[NumKept] = static_cast<uint32_t>(I);
+    NumKept += Covered[I] &
+               static_cast<uint8_t>(Scratch.Writes[I] > Threshold);
+  }
+
+  // Lookup sweep: resolve the survivors' detail pointers with the slot
+  // array prefetched ahead (distance-pipelined — the first few iterations
+  // pay their miss, the rest overlap).
+  for (size_t J = 0; J < NumKept; ++J) {
+    size_t Ahead = J + PrefetchDistance;
+    if (Ahead < NumKept)
+      Table.prefetchDetail(Samples[Scratch.Kept[Ahead]].Address);
+    Scratch.Infos[J] = Table.detail(Samples[Scratch.Kept[J]].Address);
+  }
+
+  // Record sweep: prefetch the grain records themselves ahead, then run
+  // the mode-dispatched record in original batch order (per-grain record
+  // order is what keeps reports byte-identical with per-sample delivery).
+  for (size_t J = 0; J < NumKept; ++J) {
+    size_t Ahead = J + PrefetchDistance;
+    if (Ahead < NumKept && Scratch.Infos[Ahead])
+      support::prefetchForWrite(Scratch.Infos[Ahead]);
+    size_t I = Scratch.Kept[J];
+    const pmu::Sample &Sample = Samples[I];
+    auto *Info = static_cast<InfoT *>(Scratch.Infos[J]);
+    if (!Info)
+      Info = &Table.materializeDetail(Sample.Address);
+    auto Decoded = S.decodeAt(I, Sample);
+    bool Invalidation = Table.record(
+        Sample.Address, *Info, Sample.Tid, Decoded.Actor,
+        Sample.IsWrite ? AccessKind::Write : AccessKind::Read, Decoded.Bucket,
+        Decoded.Span, Sample.LatencyCycles, Decoded.Ctx);
+    S.tally(Invalidation, Decoded);
+    Recorded[I] = 1;
+  }
+  return NumKept;
+}
+
+size_t Detector::handleBatch(const pmu::Sample *Samples, size_t Count,
+                             bool InParallelPhase, uint8_t AccessBytes) {
+  size_t TotalRecorded = 0;
+  BatchScratch &Scratch = batchScratch();
+  for (size_t Offset = 0; Offset < Count; Offset += DecodedBatch::Capacity) {
+    size_t Chunk = std::min(Count - Offset, DecodedBatch::Capacity);
+    const pmu::Sample *ChunkSamples = Samples + Offset;
+
+    // Vector decode of the whole chunk: coverage flags plus word/span line
+    // coordinates, through the runtime-dispatched kernel.
+    LineDecoder.decode(ChunkSamples, Chunk, AccessBytes, Scratch.Decode);
+
+    SamplesSeen.fetch_add(Chunk, std::memory_order_relaxed);
+    uint64_t CoveredCount = 0;
+    for (size_t I = 0; I < Chunk; ++I) {
+      CoveredCount += Scratch.Decode.Covered[I];
+      Scratch.Recorded[I] = 0;
+    }
+    if (CoveredCount != Chunk)
+      SamplesFiltered.fetch_add(Chunk - CoveredCount,
+                                std::memory_order_relaxed);
+
+    if (Pages && Config.TrackPages) {
+      PageStage Stage{*this, Scratch.Node, Scratch.Home};
+      runGrainStageBatch(Stage, ChunkSamples, Chunk, Scratch.Decode.Covered,
+                         InParallelPhase, Scratch.Recorded);
+    }
+    if (Config.TrackLines) {
+      LineStage Stage{*this, AccessBytes, &Scratch.Decode};
+      runGrainStageBatch(Stage, ChunkSamples, Chunk, Scratch.Decode.Covered,
+                         InParallelPhase, Scratch.Recorded);
+    }
+    for (size_t I = 0; I < Chunk; ++I)
+      TotalRecorded += Scratch.Recorded[I];
+  }
+  return TotalRecorded;
 }
 
 bool Detector::handleSample(const pmu::Sample &Sample, bool InParallelPhase,

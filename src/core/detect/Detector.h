@@ -28,6 +28,7 @@
 #ifndef CHEETAH_CORE_DETECT_DETECTOR_H
 #define CHEETAH_CORE_DETECT_DETECTOR_H
 
+#include "core/detect/BatchDecode.h"
 #include "core/detect/PageTable.h"
 #include "core/detect/ShadowMemory.h"
 #include "mem/CacheGeometry.h"
@@ -91,7 +92,8 @@ class Detector {
 public:
   Detector(const CacheGeometry &Geometry, ShadowMemory &Shadow,
            const DetectorConfig &Config)
-      : Geometry(Geometry), Shadow(Shadow), Config(Config) {}
+      : Geometry(Geometry), Shadow(Shadow), Config(Config),
+        LineDecoder(Geometry, Shadow.regions()) {}
 
   /// Enables the page-granularity stage: samples additionally update
   /// \p PageTable, with thread ids mapped to NUMA nodes through
@@ -109,6 +111,23 @@ public:
   /// either granularity).
   bool handleSample(const pmu::Sample &Sample, bool InParallelPhase,
                     uint8_t AccessBytes = 4);
+
+  /// Processes \p Count samples through the staged, data-parallel batch
+  /// pipeline — per grain stage: vector decode of the whole chunk
+  /// (coverage + line coordinates via the runtime-dispatched SIMD kernel),
+  /// a software-prefetched stage-1 write-counter sweep, a branchless
+  /// susceptibility filter that keeps cold samples from ever dereferencing
+  /// grain details, and a distance-pipelined lookup + record sweep over
+  /// the survivors. Semantically identical to calling handleSample on each
+  /// sample in order, and equally thread-safe — concurrent ingesters may
+  /// deliver batches simultaneously.
+  /// \returns the number of samples recorded in detailed tracking (at
+  /// either granularity).
+  size_t handleBatch(const pmu::Sample *Samples, size_t Count,
+                     bool InParallelPhase, uint8_t AccessBytes = 4);
+
+  /// The decode kernel the batch pipeline dispatches to (bench/tests).
+  DecodeKernel decodeKernel() const { return LineDecoder.kernel(); }
 
   /// Epoch quiesce: folds every per-thread table shard back into the
   /// shared tables. Must not run concurrently with handleSample — the
@@ -167,6 +186,15 @@ private:
   bool runGrainStage(Stage &S, const pmu::Sample &Sample,
                      bool InParallelPhase);
 
+  /// The batched counterpart: one grain stage's pipeline over a decoded
+  /// chunk (stage-1 counter sweep with prefetch, branchless filter,
+  /// prefetched lookup and record sweeps). Marks recorded samples in
+  /// \p Recorded and returns how many this stage recorded.
+  template <typename Stage>
+  size_t runGrainStageBatch(Stage &S, const pmu::Sample *Samples,
+                            size_t Count, const uint8_t *Covered,
+                            bool InParallelPhase, uint8_t *Recorded);
+
   CacheGeometry Geometry;
   ShadowMemory &Shadow;
   DetectorConfig Config;
@@ -183,6 +211,9 @@ private:
   /// these, under its single-caller contract.
   GrainMergeStats MergedLines;
   GrainMergeStats MergedPages;
+  /// Vector decoder over the line geometry and the shadow regions (the
+  /// page table's coverage is identical by the attach contract).
+  BatchDecoder LineDecoder;
 };
 
 } // namespace core

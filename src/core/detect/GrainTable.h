@@ -45,6 +45,7 @@
 #include "mem/MemoryAccess.h"
 #include "mem/NumaTopology.h"
 #include "support/Assert.h"
+#include "support/CpuFeatures.h"
 
 #include <algorithm>
 #include <atomic>
@@ -108,6 +109,7 @@ void cacheShard(uint64_t RegistryId, void *Shard);
 /// are tracked. ShadowMemory and PageTable are thin instantiations.
 template <typename InfoT, bool TrackHomes> class GrainTable {
 public:
+  using Info = InfoT;
   using ActorId = typename InfoT::ActorId;
   using Context = typename InfoT::Context;
   using ShardRecord = typename InfoT::ShardRecord;
@@ -157,6 +159,44 @@ public:
   /// \returns true if \p Address falls inside a monitored region. Accesses
   /// elsewhere (stack, kernel, libraries) are filtered out (Section 4.1).
   bool covers(uint64_t Address) const { return slabFor(Address) != nullptr; }
+
+  /// The monitored regions, in registration order — what a BatchDecoder
+  /// needs to evaluate this table's coverage data-parallel.
+  std::vector<ShadowRegion> regions() const {
+    std::vector<ShadowRegion> Result;
+    Result.reserve(Slabs.size());
+    for (const Slab &Region : Slabs)
+      Result.push_back({Region.Base, Region.Size});
+    return Result;
+  }
+
+  /// Software-prefetches the grain's stage-1 write counter (write intent:
+  /// the counter is about to take an atomic RMW). The batched ingestion
+  /// loop issues these a fixed distance ahead so the random-address
+  /// counter walk overlaps cache misses instead of serializing them.
+  /// Safe on any address; a no-op outside the monitored regions.
+  void prefetchWriteCounter(uint64_t Address) const {
+    if (const Slab *Region = slabFor(Address))
+      support::prefetchForWrite(
+          &Region->WriteCounts[grainIndexIn(*Region, Address)]);
+  }
+
+  /// Software-prefetches the grain's detail-pointer slot (read intent).
+  void prefetchDetail(uint64_t Address) const {
+    if (const Slab *Region = slabFor(Address))
+      support::prefetchForRead(
+          &Region->Details[grainIndexIn(*Region, Address)]);
+  }
+
+  /// Software-prefetches the grain's first-touch home slot (write intent:
+  /// an untouched grain is about to CAS-publish its home).
+  void prefetchHome(uint64_t Address) const
+    requires TrackHomes
+  {
+    if (const Slab *Region = slabFor(Address))
+      support::prefetchForWrite(
+          &Region->Homes[grainIndexIn(*Region, Address)]);
+  }
 
   /// Atomically increments the write counter of \p Address's grain.
   /// \returns the new count. \p Address must be covered.

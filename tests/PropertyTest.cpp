@@ -29,12 +29,17 @@
 ///    cycles, improves (> 1) only when removable excess exists, and is
 ///    monotone in the remote fraction;
 ///  - ReportDiff::parseReport against truncated/mutated/version-mismatched
-///    report documents: loud errors, never a crash.
+///    report documents: loud errors, never a crash;
+///  - the batch sample decoder (both kernels) against the per-sample decode
+///    formula: fuzzed geometries/addresses/access widths, plus an
+///    exhaustive sweep of every address x access width over a small
+///    geometry where enumeration is affordable.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "baseline/ReferenceModel.h"
 #include "core/Profiler.h"
+#include "core/detect/BatchDecode.h"
 #include "core/detect/PageInfo.h"
 #include "core/detect/PageTable.h"
 #include "core/report/ReportDiff.h"
@@ -1012,6 +1017,137 @@ TEST_P(ReportDiffFuzzTest, HostileReportInputNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReportDiffFuzzTest,
                          ::testing::Range<uint64_t>(1, 7));
+
+//===----------------------------------------------------------------------===//
+// Batch sample decode vs the per-sample formula, fuzzed and exhaustive
+//===----------------------------------------------------------------------===//
+
+/// The per-sample decode restated from CacheGeometry first principles.
+struct DecodeExpectation {
+  uint8_t Covered;
+  uint32_t Bucket;
+  uint32_t Span;
+};
+
+DecodeExpectation expectedDecode(const CacheGeometry &Geometry,
+                                 const std::vector<core::ShadowRegion> &Regions,
+                                 uint64_t Address, uint8_t AccessBytes) {
+  uint64_t Bytes = AccessBytes ? AccessBytes : 1;
+  uint64_t Word = Geometry.wordInLine(Address);
+  uint64_t LastByte = Geometry.offsetInLine(Address) + Bytes - 1;
+  if (LastByte >= Geometry.lineSize())
+    LastByte = Geometry.lineSize() - 1;
+  DecodeExpectation Want;
+  Want.Bucket = static_cast<uint32_t>(Word);
+  Want.Span = static_cast<uint32_t>(LastByte / WordSize - Word + 1);
+  Want.Covered = 0;
+  for (const core::ShadowRegion &Region : Regions)
+    Want.Covered |=
+        Address >= Region.Base && Address - Region.Base < Region.Size;
+  return Want;
+}
+
+class BatchDecodeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchDecodeFuzzTest, BothKernelsMatchThePerSampleFormula) {
+  SplitMix64 Rng(GetParam() ^ 0xDECDE);
+  for (int Round = 0; Round < 40; ++Round) {
+    uint64_t LineSize = 8ull << Rng.nextBelow(6); // 8..256
+    CacheGeometry Geometry(LineSize);
+    // One or two random regions, line-aligned, small enough that random
+    // addresses land inside, at the edges, and far outside.
+    std::vector<core::ShadowRegion> Regions;
+    uint64_t Base = (1 + Rng.nextBelow(1 << 20)) * LineSize;
+    Regions.push_back({Base, (1 + Rng.nextBelow(256)) * LineSize});
+    if (Rng.nextBool(0.5)) {
+      uint64_t Base2 = Base + Regions[0].Size + Rng.nextBelow(64) * LineSize;
+      Regions.push_back({Base2, (1 + Rng.nextBelow(64)) * LineSize});
+    }
+    core::BatchDecoder Simd(Geometry, Regions);
+    core::BatchDecoder Scalar(Geometry, Regions, /*ForceScalar=*/true);
+
+    size_t Count = 1 + Rng.nextBelow(core::DecodedBatch::Capacity);
+    std::vector<pmu::Sample> Samples(Count);
+    for (pmu::Sample &Sample : Samples) {
+      const core::ShadowRegion &Region = Regions[Rng.nextBelow(Regions.size())];
+      switch (Rng.nextBelow(4)) {
+      case 0: // uniformly inside a region
+        Sample.Address = Region.Base + Rng.nextBelow(Region.Size);
+        break;
+      case 1: // hugging a region boundary from either side
+        Sample.Address = Region.Base + (Rng.nextBool(0.5) ? Region.Size : 0) -
+                         8 + Rng.nextBelow(16);
+        break;
+      case 2: // anywhere in the low 44 bits
+        Sample.Address = Rng.nextBelow(1ull << 44);
+        break;
+      default: // full-width addresses (sign-flip compare edge)
+        Sample.Address = Rng.next();
+        break;
+      }
+    }
+    uint8_t AccessBytes = static_cast<uint8_t>(Rng.nextBelow(33));
+
+    core::DecodedBatch FromSimd, FromScalar;
+    Simd.decode(Samples.data(), Count, AccessBytes, FromSimd);
+    Scalar.decode(Samples.data(), Count, AccessBytes, FromScalar);
+    for (size_t I = 0; I < Count; ++I) {
+      DecodeExpectation Want =
+          expectedDecode(Geometry, Regions, Samples[I].Address, AccessBytes);
+      ASSERT_EQ(FromScalar.Covered[I], Want.Covered)
+          << "line " << LineSize << " sample " << I << " address 0x"
+          << std::hex << Samples[I].Address;
+      ASSERT_EQ(FromScalar.Bucket[I], Want.Bucket) << "sample " << I;
+      ASSERT_EQ(FromScalar.Span[I], Want.Span) << "sample " << I;
+      // Kernel differential: SIMD must agree with scalar bit for bit.
+      ASSERT_EQ(FromSimd.Covered[I], FromScalar.Covered[I]) << "sample " << I;
+      ASSERT_EQ(FromSimd.Bucket[I], FromScalar.Bucket[I]) << "sample " << I;
+      ASSERT_EQ(FromSimd.Span[I], FromScalar.Span[I]) << "sample " << I;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchDecodeFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST(BatchDecodeFuzzTest, ExhaustiveSmallGeometrySweep) {
+  // The smallest legal geometry (8-byte lines, two words) over a 4-line
+  // region makes full enumeration affordable: every address in a window
+  // straddling the region boundaries x every access width 0..16, through
+  // both kernels, against the formula. Batches of 5 keep the SIMD tail
+  // path (4 vectorized + 1 scalar) exercised on every call.
+  CacheGeometry Geometry(8);
+  constexpr uint64_t Base = 64;
+  constexpr uint64_t Size = 4 * 8;
+  std::vector<core::ShadowRegion> Regions{{Base, Size}};
+  core::BatchDecoder Simd(Geometry, Regions);
+  core::BatchDecoder Scalar(Geometry, Regions, /*ForceScalar=*/true);
+
+  for (unsigned Bytes = 0; Bytes <= 16; ++Bytes) {
+    for (uint64_t Address = Base - 16; Address < Base + Size + 16;
+         Address += 5) {
+      pmu::Sample Samples[5];
+      for (uint64_t J = 0; J < 5; ++J)
+        Samples[J].Address = Address + J;
+      core::DecodedBatch FromSimd, FromScalar;
+      Simd.decode(Samples, 5, static_cast<uint8_t>(Bytes), FromSimd);
+      Scalar.decode(Samples, 5, static_cast<uint8_t>(Bytes), FromScalar);
+      for (uint64_t J = 0; J < 5; ++J) {
+        DecodeExpectation Want = expectedDecode(
+            Geometry, Regions, Address + J, static_cast<uint8_t>(Bytes));
+        ASSERT_EQ(FromScalar.Covered[J], Want.Covered)
+            << "address " << Address + J << " bytes " << Bytes;
+        ASSERT_EQ(FromScalar.Bucket[J], Want.Bucket)
+            << "address " << Address + J << " bytes " << Bytes;
+        ASSERT_EQ(FromScalar.Span[J], Want.Span)
+            << "address " << Address + J << " bytes " << Bytes;
+        ASSERT_EQ(FromSimd.Covered[J], FromScalar.Covered[J]);
+        ASSERT_EQ(FromSimd.Bucket[J], FromScalar.Bucket[J]);
+        ASSERT_EQ(FromSimd.Span[J], FromScalar.Span[J]);
+      }
+    }
+  }
+}
 
 TEST(JsonFuzzTest, HostileHandWrittenInputsErrorCleanly) {
   // Inputs chosen to hit every parser failure edge, including the

@@ -122,6 +122,64 @@ TEST(ThreadedIngestTest, DisjointLinePartitionsMatchSerialReference) {
   });
 }
 
+TEST(ThreadedIngestTest, BatchedDisjointLinePartitionsMatchSerialReference) {
+  // The handleBatch mirror of the test above: the same per-line streams,
+  // but each ingest thread delivers its lines in whole batches through the
+  // staged pipeline (SIMD decode, branchless stage-1 sweep, prefetched
+  // lookups). Eight threads race on the shared write counters, stripe
+  // locks, and per-thread decode scratch; the result must still equal a
+  // serial per-sample reference, line for line.
+  constexpr uint64_t NumLines = 512;
+  constexpr unsigned SamplesPerLine = 48;
+  CacheGeometry Geometry(LineSize);
+  DetectorConfig Config;
+
+  ShadowMemory SerialShadow(Geometry, {{RegionBase, NumLines * LineSize}});
+  Detector SerialDetect(Geometry, SerialShadow, Config);
+  for (uint64_t Line = 0; Line < NumLines; ++Line)
+    for (const pmu::Sample &Sample : lineStream(Line, SamplesPerLine))
+      SerialDetect.handleSample(Sample, /*InParallelPhase=*/true);
+  SerialDetect.quiesce();
+
+  ShadowMemory Shadow(Geometry, {{RegionBase, NumLines * LineSize}});
+  Detector Detect(Geometry, Shadow, Config);
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < IngestThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (uint64_t Line = T; Line < NumLines; Line += IngestThreads) {
+        std::vector<pmu::Sample> Batch = lineStream(Line, SamplesPerLine);
+        Detect.handleBatch(Batch.data(), Batch.size(),
+                           /*InParallelPhase=*/true);
+      }
+    });
+  for (std::thread &Thread : Threads)
+    Thread.join();
+  Detect.quiesce();
+
+  DetectorStats Serial = SerialDetect.stats();
+  DetectorStats Parallel = Detect.stats();
+  EXPECT_EQ(Parallel.SamplesSeen, Serial.SamplesSeen);
+  EXPECT_EQ(Parallel.SamplesFiltered, Serial.SamplesFiltered);
+  EXPECT_EQ(Parallel.SamplesRecorded, Serial.SamplesRecorded);
+  EXPECT_EQ(Parallel.Invalidations, Serial.Invalidations);
+  EXPECT_EQ(Shadow.materializedLines(), SerialShadow.materializedLines());
+
+  std::map<uint64_t, const CacheLineInfo *> SerialLines;
+  SerialShadow.forEachDetail(
+      [&](uint64_t LineBase, const CacheLineInfo &Info) {
+        SerialLines[LineBase] = &Info;
+      });
+  Shadow.forEachDetail([&](uint64_t LineBase, const CacheLineInfo &Info) {
+    auto It = SerialLines.find(LineBase);
+    ASSERT_NE(It, SerialLines.end()) << "line only materialized in batch run";
+    EXPECT_EQ(Info.invalidations(), It->second->invalidations());
+    EXPECT_EQ(Info.accesses(), It->second->accesses());
+    EXPECT_EQ(Info.writes(), It->second->writes());
+    EXPECT_EQ(Info.cycles(), It->second->cycles());
+    EXPECT_EQ(Info.threadCount(), It->second->threadCount());
+  });
+}
+
 //===----------------------------------------------------------------------===//
 // Detector: fully contended lines must never lose an update.
 //===----------------------------------------------------------------------===//
