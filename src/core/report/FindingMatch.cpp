@@ -1,0 +1,49 @@
+//===- core/report/FindingMatch.cpp - Cross-run finding identity ----------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/report/FindingMatch.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+void cheetah::core::disambiguateKeys(std::vector<DiffFinding> &Findings) {
+  std::map<std::string, uint32_t> Seen;
+  for (DiffFinding &Finding : Findings)
+    Finding.Key += formatString("#%u", Seen[Finding.Key]++);
+}
+
+void cheetah::core::matchFindings(const std::vector<DiffFinding> &Old,
+                                  const std::vector<DiffFinding> &New,
+                                  std::vector<DiffFinding> &Added,
+                                  std::vector<DiffFinding> &Removed,
+                                  std::vector<MatchedFinding> &Matched) {
+  std::map<std::string, const DiffFinding *> OldByKey;
+  for (const DiffFinding &Finding : Old)
+    OldByKey.emplace(Finding.Key, &Finding);
+  for (const DiffFinding &Finding : New) {
+    auto It = OldByKey.find(Finding.Key);
+    if (It == OldByKey.end()) {
+      Added.push_back(Finding);
+      continue;
+    }
+    Matched.push_back({*It->second, Finding});
+    OldByKey.erase(It);
+  }
+  // Preserve old-report order for removed findings (map order is by key).
+  for (const DiffFinding &Finding : Old)
+    if (OldByKey.count(Finding.Key))
+      Removed.push_back(Finding);
+}
+
+std::string cheetah::core::improvementString(const DiffFinding &Finding) {
+  if (!Finding.HasImprovement)
+    return "n/a";
+  return formatString("%.4fx", Finding.Improvement);
+}

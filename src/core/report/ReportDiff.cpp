@@ -18,50 +18,9 @@ using namespace cheetah::core;
 
 namespace {
 
-//===----------------------------------------------------------------------===//
-// Kind-checked JSON field access
-//===----------------------------------------------------------------------===//
-// JsonValue's typed accessors assert on kind mismatches; a diff tool fed an
-// arbitrary file must instead turn every structural surprise into an error
-// string. Each helper below validates presence and kind before reading.
-
-bool fieldString(const JsonValue &Object, const char *Name, std::string &Out,
-                 std::string &Error) {
-  const JsonValue *Field = Object.find(Name);
-  if (!Field || Field->kind() != JsonValue::Kind::String) {
-    Error = formatString("field '%s' missing or not a string", Name);
-    return false;
-  }
-  Out = Field->asString();
-  return true;
-}
-
-bool fieldUint(const JsonValue &Object, const char *Name, uint64_t &Out,
-               std::string &Error) {
-  const JsonValue *Field = Object.find(Name);
-  if (!Field || Field->kind() != JsonValue::Kind::Number) {
-    Error = formatString("field '%s' missing or not a number", Name);
-    return false;
-  }
-  // asUint() asserts on negatives; a hostile document must error instead.
-  if (Field->asNumber() < 0) {
-    Error = formatString("field '%s' is negative", Name);
-    return false;
-  }
-  Out = Field->asUint();
-  return true;
-}
-
-bool fieldBool(const JsonValue &Object, const char *Name, bool &Out,
-               std::string &Error) {
-  const JsonValue *Field = Object.find(Name);
-  if (!Field || Field->kind() != JsonValue::Kind::Bool) {
-    Error = formatString("field '%s' missing or not a boolean", Name);
-    return false;
-  }
-  Out = Field->asBool();
-  return true;
-}
+// Kind-checked field access (jsonField*) lives in support/Json.h; the
+// identity/matching layer (disambiguateKeys, matchFindings,
+// improvementString) in FindingMatch.h — both shared with ReportHistory.
 
 /// Optional improvement factor: v3 findings carry `predictedImprovement`;
 /// v2 line findings fall back to `assessment.improvement_factor`; v2 page
@@ -79,14 +38,6 @@ void readImprovement(const JsonValue &Finding, DiffFinding &Out) {
   }
 }
 
-/// Appends "#N" ordinals so repeated site keys (many pages of one array)
-/// stay distinct and pair positionally across the two runs.
-void disambiguateKeys(std::vector<DiffFinding> &Findings) {
-  std::map<std::string, uint32_t> Seen;
-  for (DiffFinding &Finding : Findings)
-    Finding.Key += formatString("#%u", Seen[Finding.Key]++);
-}
-
 bool parseLineFinding(const JsonValue &Node, DiffFinding &Out,
                       std::string &Error) {
   if (!Node.isObject()) {
@@ -99,23 +50,23 @@ bool parseLineFinding(const JsonValue &Node, DiffFinding &Out,
     return false;
   }
   std::string Kind, Name;
-  if (!fieldString(*Object, "kind", Kind, Error) ||
-      !fieldString(*Object, "name", Name, Error))
+  if (!jsonFieldString(*Object, "kind", Kind, Error) ||
+      !jsonFieldString(*Object, "name", Name, Error))
     return false;
   if (Name.empty()) {
     // Anonymous ranges have no stable name; their start address is the
     // best identity available (they rarely survive a relayout anyway).
     uint64_t Start = 0;
-    if (!fieldUint(*Object, "start", Start, Error))
+    if (!jsonFieldUint(*Object, "start", Start, Error))
       return false;
     Name = formatString("@0x%llx", static_cast<unsigned long long>(Start));
   }
   Out.Key = "line:" + Kind + ":" + Name;
   Out.IsPage = false;
-  if (!fieldString(Node, "sharing", Out.Sharing, Error) ||
-      !fieldBool(Node, "significant", Out.Significant, Error) ||
-      !fieldUint(Node, "accesses", Out.Accesses, Error) ||
-      !fieldUint(Node, "invalidations", Out.Invalidations, Error))
+  if (!jsonFieldString(Node, "sharing", Out.Sharing, Error) ||
+      !jsonFieldBool(Node, "significant", Out.Significant, Error) ||
+      !jsonFieldUint(Node, "accesses", Out.Accesses, Error) ||
+      !jsonFieldUint(Node, "invalidations", Out.Invalidations, Error))
     return false;
   readImprovement(Node, Out);
   return true;
@@ -144,17 +95,17 @@ bool parsePageFinding(const JsonValue &Node, DiffFinding &Out,
   }
   if (Site.empty()) {
     uint64_t Page = 0;
-    if (!fieldUint(Node, "page", Page, Error))
+    if (!jsonFieldUint(Node, "page", Page, Error))
       return false;
     Site = formatString("@0x%llx", static_cast<unsigned long long>(Page));
   }
   Out.Key = "page:" + Site;
   Out.IsPage = true;
-  if (!fieldString(Node, "sharing", Out.Sharing, Error) ||
-      !fieldBool(Node, "significant", Out.Significant, Error) ||
-      !fieldUint(Node, "accesses", Out.Accesses, Error) ||
-      !fieldUint(Node, "invalidations", Out.Invalidations, Error) ||
-      !fieldUint(Node, "remote_accesses", Out.RemoteAccesses, Error))
+  if (!jsonFieldString(Node, "sharing", Out.Sharing, Error) ||
+      !jsonFieldBool(Node, "significant", Out.Significant, Error) ||
+      !jsonFieldUint(Node, "accesses", Out.Accesses, Error) ||
+      !jsonFieldUint(Node, "invalidations", Out.Invalidations, Error) ||
+      !jsonFieldUint(Node, "remote_accesses", Out.RemoteAccesses, Error))
     return false;
   // v4 only: the distance breakdown. Optional (v2/v3 findings predate it),
   // but when present it must be well-formed — a malformed bucket is a
@@ -172,9 +123,9 @@ bool parsePageFinding(const JsonValue &Node, DiffFinding &Out,
       }
       RemoteDistanceStats Bucket;
       uint64_t Distance = 0;
-      if (!fieldUint(Entry, "distance", Distance, Error) ||
-          !fieldUint(Entry, "accesses", Bucket.Accesses, Error) ||
-          !fieldUint(Entry, "cycles", Bucket.Cycles, Error)) {
+      if (!jsonFieldUint(Entry, "distance", Distance, Error) ||
+          !jsonFieldUint(Entry, "accesses", Bucket.Accesses, Error) ||
+          !jsonFieldUint(Entry, "cycles", Bucket.Cycles, Error)) {
         Error = formatString("remote_by_distance[%zu]: ", I) + Error;
         return false;
       }
@@ -191,37 +142,6 @@ bool parsePageFinding(const JsonValue &Node, DiffFinding &Out,
   }
   readImprovement(Node, Out);
   return true;
-}
-
-/// Splits matched/added/removed by key. Old findings are indexed first;
-/// new findings either claim their counterpart or land in Added.
-void matchFindings(const std::vector<DiffFinding> &Old,
-                   const std::vector<DiffFinding> &New,
-                   std::vector<DiffFinding> &Added,
-                   std::vector<DiffFinding> &Removed,
-                   std::vector<MatchedFinding> &Matched) {
-  std::map<std::string, const DiffFinding *> OldByKey;
-  for (const DiffFinding &Finding : Old)
-    OldByKey.emplace(Finding.Key, &Finding);
-  for (const DiffFinding &Finding : New) {
-    auto It = OldByKey.find(Finding.Key);
-    if (It == OldByKey.end()) {
-      Added.push_back(Finding);
-      continue;
-    }
-    Matched.push_back({*It->second, Finding});
-    OldByKey.erase(It);
-  }
-  // Preserve old-report order for removed findings (map order is by key).
-  for (const DiffFinding &Finding : Old)
-    if (OldByKey.count(Finding.Key))
-      Removed.push_back(Finding);
-}
-
-std::string improvementString(const DiffFinding &Finding) {
-  if (!Finding.HasImprovement)
-    return "n/a";
-  return formatString("%.4fx", Finding.Improvement);
 }
 
 void writeDiffFinding(JsonWriter &Writer, const DiffFinding &Finding) {
@@ -325,7 +245,7 @@ bool cheetah::core::parseReport(const std::string &Text, ParsedReport &Out,
     Error = "report is not a JSON object";
     return false;
   }
-  if (!fieldString(Document, "schema", Out.Schema, Error))
+  if (!jsonFieldString(Document, "schema", Out.Schema, Error))
     return false;
   if (Out.Schema != "cheetah-report-v2" &&
       Out.Schema != "cheetah-report-v3" &&
@@ -344,15 +264,15 @@ bool cheetah::core::parseReport(const std::string &Text, ParsedReport &Out,
     Error = "report without a 'run' object";
     return false;
   }
-  if (!fieldString(*Run, "workload", Out.Workload, Error) ||
-      !fieldUint(*Run, "threads", Out.Threads, Error) ||
-      !fieldBool(*Run, "fix_applied", Out.FixApplied, Error) ||
-      !fieldString(*Run, "granularity", Out.Granularity, Error))
+  if (!jsonFieldString(*Run, "workload", Out.Workload, Error) ||
+      !jsonFieldUint(*Run, "threads", Out.Threads, Error) ||
+      !jsonFieldBool(*Run, "fix_applied", Out.FixApplied, Error) ||
+      !jsonFieldString(*Run, "granularity", Out.Granularity, Error))
     return false;
 
   const JsonValue *Summary = Document.find("summary");
   if (!Summary || !Summary->isObject() ||
-      !fieldUint(*Summary, "app_runtime_cycles", Out.AppRuntimeCycles,
+      !jsonFieldUint(*Summary, "app_runtime_cycles", Out.AppRuntimeCycles,
                  Error)) {
     Error = "report without a usable 'summary' object: " + Error;
     return false;

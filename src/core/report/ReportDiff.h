@@ -14,21 +14,16 @@
 /// ("fail the build when a fixable finding at or above this factor
 /// appeared or got worse").
 ///
-/// Identity is deliberately *site-based*, not address-based: a line
-/// finding is keyed by its object kind and callsite/global name, a page
-/// finding by the set of object names overlapping the page. Fixed
-/// variants relocate objects (padding changes sizes and addresses), so
-/// address keys would make every broken-vs-fixed comparison degenerate
-/// to "everything added, everything removed". Multiple findings with the
-/// same site key (many pages of one array) are paired in report order,
-/// which both sinks emit deterministically (best-first).
+/// The identity scheme (site keys, "#N" ordinals, matching) lives in
+/// FindingMatch.h — it is shared with the N-run history layer behind
+/// `cheetah-trend` (ReportHistory.h).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CHEETAH_CORE_REPORT_REPORTDIFF_H
 #define CHEETAH_CORE_REPORT_REPORTDIFF_H
 
-#include "mem/NumaTopology.h"
+#include "core/report/FindingMatch.h"
 
 #include <cstdint>
 #include <string>
@@ -36,30 +31,6 @@
 
 namespace cheetah {
 namespace core {
-
-/// One finding extracted from a parsed report, at either granularity,
-/// reduced to what comparison needs.
-struct DiffFinding {
-  /// Stable matching identity (site key + ordinal; see file comment).
-  std::string Key;
-  /// Sharing kind string exactly as emitted ("false-sharing", ...).
-  std::string Sharing;
-  /// True for a page finding, false for a line (object) finding.
-  bool IsPage = false;
-  bool Significant = false;
-  /// Predicted whole-program improvement factor from fixing the finding.
-  /// v2 page findings predate page assessment and carry none
-  /// (HasImprovement false, Improvement 1.0).
-  double Improvement = 1.0;
-  bool HasImprovement = false;
-  uint64_t Accesses = 0;
-  uint64_t Invalidations = 0;
-  /// Page findings only.
-  uint64_t RemoteAccesses = 0;
-  /// Remote traffic by crossed node-pair distance; only v4 page findings
-  /// carry it (empty otherwise).
-  std::vector<RemoteDistanceStats> RemoteByDistance;
-};
 
 /// A parsed report document, reduced to run identity plus findings.
 struct ParsedReport {
@@ -82,16 +53,6 @@ struct ParsedReport {
 /// (the fuzz suite pins that).
 bool parseReport(const std::string &Text, ParsedReport &Out,
                  std::string &Error);
-
-/// One finding present in both runs.
-struct MatchedFinding {
-  DiffFinding Old;
-  DiffFinding New;
-
-  double improvementDelta() const {
-    return New.Improvement - Old.Improvement;
-  }
-};
 
 /// Outcome of comparing two runs.
 struct ReportDiffResult {

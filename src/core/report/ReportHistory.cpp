@@ -1,0 +1,738 @@
+//===- core/report/ReportHistory.cpp - N-run trend history ----------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/report/ReportHistory.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace cheetah;
+using namespace cheetah::core;
+
+//===----------------------------------------------------------------------===//
+// TrendSeries
+//===----------------------------------------------------------------------===//
+
+const TrendPoint *TrendSeries::pointAt(uint32_t RunIndex) const {
+  auto It = std::lower_bound(Points.begin(), Points.end(), RunIndex,
+                             [](const TrendPoint &P, uint32_t Index) {
+                               return P.RunIndex < Index;
+                             });
+  if (It != Points.end() && It->RunIndex == RunIndex)
+    return &*It;
+  return nullptr;
+}
+
+double TrendSeries::bestBefore(uint32_t RunIndex, bool &HasBest) const {
+  HasBest = false;
+  double Best = 1.0;
+  // Points are sorted by run index; walk them alongside the run counter so
+  // absent runs contribute their implicit 1.0.
+  size_t Next = 0;
+  for (uint32_t Run = 0; Run < RunIndex; ++Run) {
+    while (Next < Points.size() && Points[Next].RunIndex < Run)
+      ++Next;
+    const TrendPoint *Point =
+        Next < Points.size() && Points[Next].RunIndex == Run ? &Points[Next]
+                                                             : nullptr;
+    if (Point && !Point->HasImprovement)
+      continue; // v2-era observation: no factor to compare against.
+    double Value = Point ? Point->Improvement : 1.0;
+    if (!HasBest || Value < Best)
+      Best = Value;
+    HasBest = true;
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Append
+//===----------------------------------------------------------------------===//
+
+const TrendSeries *ReportHistory::seriesFor(const std::string &Key) const {
+  for (const TrendSeries &S : Series)
+    if (S.Key == Key)
+      return &S;
+  return nullptr;
+}
+
+TrendSeries &ReportHistory::seriesForAppend(const DiffFinding &Finding) {
+  for (TrendSeries &S : Series)
+    if (S.Key == Finding.Key)
+      return S;
+  TrendSeries S;
+  S.Key = Finding.Key;
+  S.IsPage = Finding.IsPage;
+  Series.push_back(std::move(S));
+  return Series.back();
+}
+
+namespace {
+
+TrendPoint pointFromFinding(const DiffFinding &Finding, uint32_t RunIndex) {
+  TrendPoint Point;
+  Point.RunIndex = RunIndex;
+  Point.Significant = Finding.Significant;
+  Point.HasImprovement = Finding.HasImprovement;
+  Point.Improvement = Finding.HasImprovement ? Finding.Improvement : 1.0;
+  Point.Accesses = Finding.Accesses;
+  Point.Invalidations = Finding.Invalidations;
+  Point.RemoteAccesses = Finding.RemoteAccesses;
+  Point.RemoteByDistance = Finding.RemoteByDistance;
+  return Point;
+}
+
+/// Reduced DiffFinding for the matcher: identity plus page-ness is all
+/// the added/resolved classification needs.
+DiffFinding findingFromSeries(const TrendSeries &S) {
+  DiffFinding Finding;
+  Finding.Key = S.Key;
+  Finding.IsPage = S.IsPage;
+  Finding.Sharing = S.Sharing;
+  return Finding;
+}
+
+} // namespace
+
+bool ReportHistory::appendRun(const ParsedReport &Report,
+                              const std::string &RunId, std::string &Error) {
+  if (RunId.empty()) {
+    Error = "run id must not be empty";
+    return false;
+  }
+  for (const HistoryRunInfo &Run : Runs)
+    if (Run.Id == RunId) {
+      Error = "duplicate run id '" + RunId + "'";
+      return false;
+    }
+
+  uint32_t Index = static_cast<uint32_t>(Runs.size());
+
+  // The new run's findings, both granularities (keys are prefix-disjoint).
+  std::vector<DiffFinding> New;
+  New.reserve(Report.Findings.size() + Report.PageFindings.size());
+  New.insert(New.end(), Report.Findings.begin(), Report.Findings.end());
+  New.insert(New.end(), Report.PageFindings.begin(),
+             Report.PageFindings.end());
+
+  // Classify against the previous run via the shared matcher: series that
+  // carried a point at Index-1 were "present" there.
+  std::vector<DiffFinding> Previous;
+  if (Index > 0)
+    for (const TrendSeries &S : Series)
+      if (S.pointAt(Index - 1))
+        Previous.push_back(findingFromSeries(S));
+  std::vector<DiffFinding> Added, Removed;
+  std::vector<MatchedFinding> Matched;
+  matchFindings(Previous, New, Added, Removed, Matched);
+
+  HistoryRunInfo Info;
+  Info.Id = RunId;
+  Info.Workload = Report.Workload;
+  Info.Threads = Report.Threads;
+  Info.FixApplied = Report.FixApplied;
+  Info.Granularity = Report.Granularity;
+  Info.SourceSchema = Report.Schema;
+  Info.AppRuntimeCycles = Report.AppRuntimeCycles;
+  Info.NewFindings = Added.size();
+  Info.ResolvedFindings = Removed.size();
+  Info.MatchedFindings = Matched.size();
+  Runs.push_back(std::move(Info));
+
+  for (const DiffFinding &Finding : New) {
+    TrendSeries &S = seriesForAppend(Finding);
+    // Diff-sourced matched entries carry no sharing string; keep the last
+    // real observation in that case.
+    if (!Finding.Sharing.empty())
+      S.Sharing = Finding.Sharing;
+    S.Points.push_back(pointFromFinding(Finding, Index));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Gate and bisect
+//===----------------------------------------------------------------------===//
+
+std::vector<HistoryGateViolation>
+ReportHistory::gate(double Factor, double Tolerance) const {
+  std::vector<HistoryGateViolation> Violations;
+  if (Runs.empty())
+    return Violations;
+  uint32_t Last = static_cast<uint32_t>(Runs.size()) - 1;
+  for (const TrendSeries &S : Series) {
+    const TrendPoint *Current = S.pointAt(Last);
+    if (!Current || !Current->Significant || !Current->HasImprovement ||
+        Current->Improvement < Factor)
+      continue;
+    bool HasBest = false;
+    double Best = S.bestBefore(Last, HasBest);
+    HistoryGateViolation Violation;
+    Violation.Key = S.Key;
+    Violation.IsPage = S.IsPage;
+    Violation.Improvement = Current->Improvement;
+    Violation.Best = Best;
+    if (!HasBest)
+      Violation.Why = HistoryGateViolation::Kind::NewSite;
+    else if (Best < Factor)
+      Violation.Why = HistoryGateViolation::Kind::Crossed;
+    else if (Current->Improvement > Best + Tolerance)
+      Violation.Why = HistoryGateViolation::Kind::Grew;
+    else
+      continue; // Bad since the first run and stable: not a regression.
+    Violations.push_back(std::move(Violation));
+  }
+  std::sort(Violations.begin(), Violations.end(),
+            [](const HistoryGateViolation &A, const HistoryGateViolation &B) {
+              if (A.Improvement != B.Improvement)
+                return A.Improvement > B.Improvement;
+              return A.Key < B.Key;
+            });
+  return Violations;
+}
+
+BisectResult ReportHistory::bisect(const std::string &Key,
+                                   double Factor) const {
+  BisectResult Result;
+  if (Runs.empty()) {
+    Result.Error = "history store is empty";
+    return Result;
+  }
+  const TrendSeries *S = seriesFor(Key);
+  if (!S) {
+    Result.Error = "unknown finding key '" + Key + "'";
+    return Result;
+  }
+  auto Bad = [&](uint32_t Index) {
+    ++Result.Probes;
+    const TrendPoint *Point = S->pointAt(Index);
+    return Point && Point->Significant && Point->HasImprovement &&
+           Point->Improvement >= Factor;
+  };
+  uint32_t Last = static_cast<uint32_t>(Runs.size()) - 1;
+  if (!Bad(Last)) {
+    Result.Error = formatString(
+        "'%s' is not regressing at factor %.4f in the last run", Key.c_str(),
+        Factor);
+    return Result;
+  }
+  if (Bad(0)) {
+    // The whole store is bad: the culprit predates run 0.
+    Result.Valid = true;
+    Result.BadFromStart = true;
+    Result.IntroducedIndex = 0;
+    Result.IntroducedRunId = Runs[0].Id;
+    return Result;
+  }
+  // Classic bisection between a known-good and known-bad run. On a
+  // flapping history this converges on *a* good-to-bad transition, which
+  // is the git-bisect contract.
+  uint32_t Good = 0, BadIndex = Last;
+  while (BadIndex - Good > 1) {
+    uint32_t Mid = Good + (BadIndex - Good) / 2;
+    if (Bad(Mid))
+      BadIndex = Mid;
+    else
+      Good = Mid;
+  }
+  Result.Valid = true;
+  Result.IntroducedIndex = BadIndex;
+  Result.IntroducedRunId = Runs[BadIndex].Id;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization
+//===----------------------------------------------------------------------===//
+
+std::string ReportHistory::serialize() const {
+  std::string Out;
+  JsonWriter Writer(Out);
+  Writer.beginObject();
+  Writer.member("schema", "cheetah-history-v1");
+  Writer.key("runs");
+  Writer.beginArray();
+  for (const HistoryRunInfo &Run : Runs) {
+    Writer.beginObject();
+    Writer.member("id", Run.Id);
+    Writer.member("workload", Run.Workload);
+    Writer.member("threads", Run.Threads);
+    Writer.member("fix_applied", Run.FixApplied);
+    Writer.member("granularity", Run.Granularity);
+    Writer.member("source_schema", Run.SourceSchema);
+    Writer.member("app_runtime_cycles", Run.AppRuntimeCycles);
+    Writer.member("new_findings", Run.NewFindings);
+    Writer.member("resolved_findings", Run.ResolvedFindings);
+    Writer.member("matched_findings", Run.MatchedFindings);
+    Writer.endObject();
+  }
+  Writer.endArray();
+  Writer.key("series");
+  Writer.beginArray();
+  for (const TrendSeries &S : Series) {
+    Writer.beginObject();
+    Writer.member("key", S.Key);
+    Writer.member("page", S.IsPage);
+    Writer.member("sharing", S.Sharing);
+    Writer.key("points");
+    Writer.beginArray();
+    for (const TrendPoint &Point : S.Points) {
+      Writer.beginObject();
+      Writer.member("run", static_cast<uint64_t>(Point.RunIndex));
+      Writer.member("significant", Point.Significant);
+      if (Point.HasImprovement)
+        Writer.member("predictedImprovement", Point.Improvement);
+      Writer.member("accesses", Point.Accesses);
+      Writer.member("invalidations", Point.Invalidations);
+      if (S.IsPage)
+        Writer.member("remote_accesses", Point.RemoteAccesses);
+      if (!Point.RemoteByDistance.empty()) {
+        Writer.key("remote_by_distance");
+        Writer.beginArray();
+        for (const RemoteDistanceStats &Bucket : Point.RemoteByDistance) {
+          Writer.beginObject();
+          Writer.member("distance", Bucket.Distance);
+          Writer.member("accesses", Bucket.Accesses);
+          Writer.member("cycles", Bucket.Cycles);
+          Writer.endObject();
+        }
+        Writer.endArray();
+      }
+      Writer.endObject();
+    }
+    Writer.endArray();
+    Writer.endObject();
+  }
+  Writer.endArray();
+  Writer.endObject();
+  Out += "\n";
+  return Out;
+}
+
+namespace {
+
+bool parsePoint(const JsonValue &Node, bool IsPage, size_t RunCount,
+                const TrendPoint *PreviousPoint, TrendPoint &Out,
+                std::string &Error) {
+  if (!Node.isObject()) {
+    Error = "point is not an object";
+    return false;
+  }
+  uint64_t Run = 0;
+  if (!jsonFieldUint(Node, "run", Run, Error) ||
+      !jsonFieldBool(Node, "significant", Out.Significant, Error) ||
+      !jsonFieldUint(Node, "accesses", Out.Accesses, Error) ||
+      !jsonFieldUint(Node, "invalidations", Out.Invalidations, Error))
+    return false;
+  if (Run >= RunCount) {
+    Error = formatString("field 'run' (%llu) references no stored run",
+                         static_cast<unsigned long long>(Run));
+    return false;
+  }
+  Out.RunIndex = static_cast<uint32_t>(Run);
+  if (PreviousPoint && Out.RunIndex <= PreviousPoint->RunIndex) {
+    Error = "point run indices are not strictly increasing";
+    return false;
+  }
+  if (const JsonValue *Factor = Node.find("predictedImprovement")) {
+    if (Factor->kind() != JsonValue::Kind::Number) {
+      Error = "field 'predictedImprovement' is not a number";
+      return false;
+    }
+    Out.Improvement = Factor->asNumber();
+    Out.HasImprovement = true;
+  }
+  if (IsPage) {
+    if (!jsonFieldUint(Node, "remote_accesses", Out.RemoteAccesses, Error))
+      return false;
+  } else if (Node.find("remote_accesses") || Node.find("remote_by_distance")) {
+    // Canonical stores never put page-only members on a line point;
+    // accepting them would break the parse -> re-emit stability contract.
+    Error = "line point carries page-only members";
+    return false;
+  }
+  if (const JsonValue *Buckets = Node.find("remote_by_distance")) {
+    if (!Buckets->isArray()) {
+      Error = "'remote_by_distance' is not an array";
+      return false;
+    }
+    for (size_t I = 0; I < Buckets->size(); ++I) {
+      const JsonValue &Entry = Buckets->elements()[I];
+      if (!Entry.isObject()) {
+        Error = formatString("remote_by_distance[%zu] is not an object", I);
+        return false;
+      }
+      RemoteDistanceStats Bucket;
+      uint64_t Distance = 0;
+      if (!jsonFieldUint(Entry, "distance", Distance, Error) ||
+          !jsonFieldUint(Entry, "accesses", Bucket.Accesses, Error) ||
+          !jsonFieldUint(Entry, "cycles", Bucket.Cycles, Error)) {
+        Error = formatString("remote_by_distance[%zu]: ", I) + Error;
+        return false;
+      }
+      if (Distance > std::numeric_limits<uint32_t>::max()) {
+        Error = formatString(
+            "remote_by_distance[%zu]: field 'distance' is out of range", I);
+        return false;
+      }
+      Bucket.Distance = static_cast<uint32_t>(Distance);
+      Out.RemoteByDistance.push_back(Bucket);
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+bool ReportHistory::parse(const std::string &Text, ReportHistory &Out,
+                          std::string &Error) {
+  Out = ReportHistory();
+  JsonValue Document;
+  if (!JsonValue::parse(Text, Document, Error)) {
+    Error = "invalid JSON: " + Error;
+    return false;
+  }
+  if (!Document.isObject()) {
+    Error = "history store is not a JSON object";
+    return false;
+  }
+  std::string Schema;
+  if (!jsonFieldString(Document, "schema", Schema, Error))
+    return false;
+  if (Schema != "cheetah-history-v1") {
+    Error = formatString(
+        "unsupported schema '%s' (cheetah-trend reads cheetah-history-v1)",
+        Schema.c_str());
+    return false;
+  }
+
+  const JsonValue *Runs = Document.find("runs");
+  if (!Runs || !Runs->isArray()) {
+    Error = "history store without a 'runs' array";
+    return false;
+  }
+  for (size_t I = 0; I < Runs->size(); ++I) {
+    const JsonValue &Node = Runs->elements()[I];
+    HistoryRunInfo Info;
+    bool Ok = Node.isObject() &&
+              jsonFieldString(Node, "id", Info.Id, Error) &&
+              jsonFieldString(Node, "workload", Info.Workload, Error) &&
+              jsonFieldUint(Node, "threads", Info.Threads, Error) &&
+              jsonFieldBool(Node, "fix_applied", Info.FixApplied, Error) &&
+              jsonFieldString(Node, "granularity", Info.Granularity, Error) &&
+              jsonFieldString(Node, "source_schema", Info.SourceSchema,
+                              Error) &&
+              jsonFieldUint(Node, "app_runtime_cycles",
+                            Info.AppRuntimeCycles, Error) &&
+              jsonFieldUint(Node, "new_findings", Info.NewFindings, Error) &&
+              jsonFieldUint(Node, "resolved_findings", Info.ResolvedFindings,
+                            Error) &&
+              jsonFieldUint(Node, "matched_findings", Info.MatchedFindings,
+                            Error);
+    if (!Ok) {
+      if (!Node.isObject())
+        Error = "run is not an object";
+      Error = formatString("runs[%zu]: ", I) + Error;
+      return false;
+    }
+    if (Info.Id.empty()) {
+      Error = formatString("runs[%zu]: run id must not be empty", I);
+      return false;
+    }
+    for (const HistoryRunInfo &Seen : Out.Runs)
+      if (Seen.Id == Info.Id) {
+        Error = formatString("runs[%zu]: duplicate run id '%s'", I,
+                             Info.Id.c_str());
+        return false;
+      }
+    Out.Runs.push_back(std::move(Info));
+  }
+
+  const JsonValue *Series = Document.find("series");
+  if (!Series || !Series->isArray()) {
+    Error = "history store without a 'series' array";
+    return false;
+  }
+  for (size_t I = 0; I < Series->size(); ++I) {
+    const JsonValue &Node = Series->elements()[I];
+    if (!Node.isObject()) {
+      Error = formatString("series[%zu] is not an object", I);
+      return false;
+    }
+    TrendSeries S;
+    if (!jsonFieldString(Node, "key", S.Key, Error) ||
+        !jsonFieldBool(Node, "page", S.IsPage, Error) ||
+        !jsonFieldString(Node, "sharing", S.Sharing, Error)) {
+      Error = formatString("series[%zu]: ", I) + Error;
+      return false;
+    }
+    if (S.Key.empty()) {
+      Error = formatString("series[%zu]: key must not be empty", I);
+      return false;
+    }
+    if (Out.seriesFor(S.Key)) {
+      Error = formatString("series[%zu]: duplicate key '%s'", I,
+                           S.Key.c_str());
+      return false;
+    }
+    const JsonValue *Points = Node.find("points");
+    if (!Points || !Points->isArray()) {
+      Error = formatString("series[%zu]: missing 'points' array", I);
+      return false;
+    }
+    for (size_t P = 0; P < Points->size(); ++P) {
+      TrendPoint Point;
+      const TrendPoint *Previous = S.Points.empty() ? nullptr
+                                                    : &S.Points.back();
+      if (!parsePoint(Points->elements()[P], S.IsPage, Out.Runs.size(),
+                      Previous, Point, Error)) {
+        Error = formatString("series[%zu].points[%zu]: ", I, P) + Error;
+        return false;
+      }
+      S.Points.push_back(std::move(Point));
+    }
+    Out.Series.push_back(std::move(S));
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Run-document ingestion (reports and diff outputs)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Rebuilds the NEW run's findings from one section ("findings" or
+/// "pageFindings") of a cheetah-diff-v1 document. Added entries carry
+/// full counters; matched entries only identity and improvement (the
+/// diff schema stores no more).
+bool readDiffSection(const JsonValue &Document, const char *Name,
+                     bool IsPage, std::vector<DiffFinding> &Out,
+                     std::string &Error) {
+  const JsonValue *Section = Document.find(Name);
+  if (!Section || !Section->isObject()) {
+    Error = formatString("diff without a '%s' section", Name);
+    return false;
+  }
+  const JsonValue *Added = Section->find("added");
+  const JsonValue *Matched = Section->find("matched");
+  if (!Added || !Added->isArray() || !Matched || !Matched->isArray()) {
+    Error = formatString("'%s' section without added/matched arrays", Name);
+    return false;
+  }
+  for (size_t I = 0; I < Added->size(); ++I) {
+    const JsonValue &Node = Added->elements()[I];
+    DiffFinding Finding;
+    Finding.IsPage = IsPage;
+    bool Ok =
+        Node.isObject() && jsonFieldString(Node, "key", Finding.Key, Error) &&
+        jsonFieldString(Node, "sharing", Finding.Sharing, Error) &&
+        jsonFieldBool(Node, "significant", Finding.Significant, Error) &&
+        jsonFieldUint(Node, "accesses", Finding.Accesses, Error) &&
+        jsonFieldUint(Node, "invalidations", Finding.Invalidations, Error);
+    if (Ok && IsPage)
+      Ok = jsonFieldUint(Node, "remote_accesses", Finding.RemoteAccesses,
+                         Error);
+    if (!Ok) {
+      if (!Node.isObject())
+        Error = "entry is not an object";
+      Error = formatString("%s.added[%zu]: ", Name, I) + Error;
+      return false;
+    }
+    if (const JsonValue *Factor = Node.find("predictedImprovement")) {
+      if (Factor->kind() != JsonValue::Kind::Number) {
+        Error = formatString(
+            "%s.added[%zu]: 'predictedImprovement' is not a number", Name, I);
+        return false;
+      }
+      Finding.Improvement = Factor->asNumber();
+      Finding.HasImprovement = true;
+    }
+    Out.push_back(std::move(Finding));
+  }
+  for (size_t I = 0; I < Matched->size(); ++I) {
+    const JsonValue &Node = Matched->elements()[I];
+    DiffFinding Finding;
+    Finding.IsPage = IsPage;
+    bool Ok = Node.isObject() &&
+              jsonFieldString(Node, "key", Finding.Key, Error) &&
+              jsonFieldBool(Node, "new_significant", Finding.Significant,
+                            Error);
+    if (!Ok) {
+      if (!Node.isObject())
+        Error = "entry is not an object";
+      Error = formatString("%s.matched[%zu]: ", Name, I) + Error;
+      return false;
+    }
+    if (const JsonValue *Factor = Node.find("new_improvement")) {
+      if (Factor->kind() != JsonValue::Kind::Number) {
+        Error = formatString(
+            "%s.matched[%zu]: 'new_improvement' is not a number", Name, I);
+        return false;
+      }
+      Finding.Improvement = Factor->asNumber();
+      Finding.HasImprovement = true;
+    }
+    Out.push_back(std::move(Finding));
+  }
+  return true;
+}
+
+bool parseDiffNewRun(const JsonValue &Document, ParsedReport &Out,
+                     std::string &Error) {
+  Out = ParsedReport();
+  Out.Schema = "cheetah-diff-v1";
+  const JsonValue *New = Document.find("new");
+  if (!New || !New->isObject()) {
+    Error = "diff without a 'new' run object";
+    return false;
+  }
+  if (!jsonFieldString(*New, "workload", Out.Workload, Error) ||
+      !jsonFieldUint(*New, "threads", Out.Threads, Error) ||
+      !jsonFieldBool(*New, "fix_applied", Out.FixApplied, Error) ||
+      !jsonFieldString(*New, "granularity", Out.Granularity, Error) ||
+      !jsonFieldUint(*New, "app_runtime_cycles", Out.AppRuntimeCycles,
+                     Error)) {
+    Error = "diff 'new' run: " + Error;
+    return false;
+  }
+  // Keys in a diff document already carry their "#N" ordinals; they must
+  // not be disambiguated a second time.
+  if (!readDiffSection(Document, "findings", /*IsPage=*/false, Out.Findings,
+                       Error) ||
+      !readDiffSection(Document, "pageFindings", /*IsPage=*/true,
+                       Out.PageFindings, Error))
+    return false;
+  return true;
+}
+
+} // namespace
+
+bool cheetah::core::parseRunDocument(const std::string &Text,
+                                     ParsedReport &Out, std::string &Error) {
+  JsonValue Document;
+  if (!JsonValue::parse(Text, Document, Error)) {
+    Error = "invalid JSON: " + Error;
+    return false;
+  }
+  if (Document.isObject()) {
+    const JsonValue *Schema = Document.find("schema");
+    if (Schema && Schema->kind() == JsonValue::Kind::String &&
+        Schema->asString() == "cheetah-diff-v1")
+      return parseDiffNewRun(Document, Out, Error);
+  }
+  // Everything else goes through the report parser, whose version gate
+  // produces the loud unsupported-schema error.
+  return parseReport(Text, Out, Error);
+}
+
+//===----------------------------------------------------------------------===//
+// Fleet-wide text view
+//===----------------------------------------------------------------------===//
+
+std::string cheetah::core::formatHistoryText(const ReportHistory &History,
+                                             size_t Limit) {
+  std::string Out;
+  Out += formatString("cheetah-trend: %zu run(s), %zu tracked finding(s)\n",
+                      History.runs().size(), History.series().size());
+  for (size_t I = 0; I < History.runs().size(); ++I) {
+    const HistoryRunInfo &Run = History.runs()[I];
+    Out += formatString(
+        "  [%zu] %s  %s  %llu threads  fix %s  runtime %llu cycles  "
+        "(%llu new, %llu resolved, %llu matched)\n",
+        I, Run.Id.c_str(), Run.Workload.c_str(),
+        static_cast<unsigned long long>(Run.Threads),
+        Run.FixApplied ? "on" : "off",
+        static_cast<unsigned long long>(Run.AppRuntimeCycles),
+        static_cast<unsigned long long>(Run.NewFindings),
+        static_cast<unsigned long long>(Run.ResolvedFindings),
+        static_cast<unsigned long long>(Run.MatchedFindings));
+  }
+  if (History.runs().empty())
+    return Out;
+
+  // Current = the last stored run; ranked worst-first.
+  uint32_t Last = static_cast<uint32_t>(History.runs().size()) - 1;
+  struct Row {
+    const TrendSeries *Series;
+    const TrendPoint *Point;
+    double Best;
+    bool HasBest;
+  };
+  std::vector<Row> Ranked;
+  size_t Unranked = 0;
+  for (const TrendSeries &S : History.series()) {
+    const TrendPoint *Point = S.pointAt(Last);
+    if (!Point)
+      continue;
+    if (!Point->Significant || !Point->HasImprovement) {
+      ++Unranked;
+      continue;
+    }
+    Row R;
+    R.Series = &S;
+    R.Point = Point;
+    R.Best = S.bestBefore(Last, R.HasBest);
+    Ranked.push_back(R);
+  }
+  std::sort(Ranked.begin(), Ranked.end(), [](const Row &A, const Row &B) {
+    if (A.Point->Improvement != B.Point->Improvement)
+      return A.Point->Improvement > B.Point->Improvement;
+    return A.Series->Key < B.Series->Key;
+  });
+
+  Out += formatString("== current findings (run %u, worst first) ==\n", Last);
+  if (Ranked.empty())
+    Out += "  none - the fleet is clean\n";
+  size_t Shown = 0;
+  for (const Row &R : Ranked) {
+    if (Limit && Shown++ >= Limit) {
+      Out += formatString("  ... %zu more\n", Ranked.size() - Limit);
+      break;
+    }
+    std::string Best =
+        R.HasBest ? formatString("best %.4fx, delta %+.4f", R.Best,
+                                 R.Point->Improvement - R.Best)
+                  : std::string("no history");
+    Out += formatString("  %.4fx  %s  %s  %s\n", R.Point->Improvement,
+                        R.Series->Key.c_str(), R.Series->Sharing.c_str(),
+                        Best.c_str());
+  }
+  if (Unranked)
+    Out += formatString(
+        "  (%zu current finding(s) insignificant or unassessed)\n", Unranked);
+
+  // The regression lens: who moved away from their best the furthest.
+  std::vector<Row> Regressed;
+  for (const Row &R : Ranked)
+    if (R.HasBest && R.Point->Improvement > R.Best)
+      Regressed.push_back(R);
+  std::sort(Regressed.begin(), Regressed.end(),
+            [](const Row &A, const Row &B) {
+              double DeltaA = A.Point->Improvement - A.Best;
+              double DeltaB = B.Point->Improvement - B.Best;
+              if (DeltaA != DeltaB)
+                return DeltaA > DeltaB;
+              return A.Series->Key < B.Series->Key;
+            });
+  Out += "== biggest regressions vs best ==\n";
+  if (Regressed.empty())
+    Out += "  none\n";
+  Shown = 0;
+  for (const Row &R : Regressed) {
+    if (Limit && Shown++ >= Limit) {
+      Out += formatString("  ... %zu more\n", Regressed.size() - Limit);
+      break;
+    }
+    Out += formatString("  %+.4f  %s  %.4fx (best %.4fx)\n",
+                        R.Point->Improvement - R.Best, R.Series->Key.c_str(),
+                        R.Point->Improvement, R.Best);
+  }
+  return Out;
+}

@@ -34,7 +34,11 @@ struct ExecutionPhase {
   /// Child threads of this phase (parallel phases only).
   std::vector<ThreadId> Members;
 
-  uint64_t span() const { return EndTime - StartTime; }
+  /// Guarded like ThreadProfile::runtime(): a phase still open at
+  /// assessment time (EndTime 0) spans zero cycles, it does not wrap.
+  uint64_t span() const {
+    return EndTime < StartTime ? 0 : EndTime - StartTime;
+  }
 };
 
 /// Online fork-join phase segmentation from thread lifecycle events.

@@ -39,8 +39,13 @@ struct ThreadProfile {
   uint64_t SampledAccesses = 0;
   uint64_t SampledCycles = 0;
 
-  /// RT_t: wall-clock of the thread body.
-  uint64_t runtime() const { return EndTime - StartTime; }
+  /// RT_t: wall-clock of the thread body. A thread that never detached
+  /// (EndTime still 0, or clock skew putting it before StartTime) has no
+  /// measurable runtime; without the guard the subtraction wraps to ~2^64
+  /// and poisons every EQ.2 prediction built on it.
+  uint64_t runtime() const {
+    return EndTime < StartTime ? 0 : EndTime - StartTime;
+  }
 };
 
 /// Registry of all threads seen during one profiled execution.

@@ -53,7 +53,12 @@ struct ThreadRecord {
   uint64_t MemoryCycles = 0;
   bool IsMain = false;
 
-  uint64_t runtime() const { return EndCycle - StartCycle; }
+  /// Guarded like runtime::ThreadProfile::runtime(): a record inspected
+  /// before the thread retired (EndCycle still 0) must read as zero, not
+  /// wrap to ~2^64.
+  uint64_t runtime() const {
+    return EndCycle < StartCycle ? 0 : EndCycle - StartCycle;
+  }
 };
 
 /// Exact record of one serial or parallel phase.
@@ -64,7 +69,9 @@ struct PhaseRecord {
   uint64_t EndCycle = 0;
   std::vector<ThreadId> Members;
 
-  uint64_t span() const { return EndCycle - StartCycle; }
+  uint64_t span() const {
+    return EndCycle < StartCycle ? 0 : EndCycle - StartCycle;
+  }
 };
 
 /// Everything a run produces.

@@ -9,6 +9,8 @@
 #include "support/Assert.h"
 #include "support/StringUtils.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 using namespace cheetah;
@@ -60,20 +62,39 @@ bool FlagSet::assign(Flag &F, const std::string &Text,
     F.StringValue = Text;
     break;
   case Kind::Int: {
+    // strtoll reports overflow by saturating to LLONG_MIN/LLONG_MAX and
+    // setting errno to ERANGE — without the check a 20-digit
+    // --sampling-period "parses" as LLONG_MAX and sails past downstream
+    // range validation.
     char *End = nullptr;
+    errno = 0;
     long long V = std::strtoll(Text.c_str(), &End, 0);
     if (End == Text.c_str() || *End != '\0') {
       ErrorMessage = "invalid integer for --" + Name + ": '" + Text + "'";
+      return false;
+    }
+    if (errno == ERANGE) {
+      ErrorMessage = "integer out of range for --" + Name + ": '" + Text +
+                     "'";
       return false;
     }
     F.IntValue = V;
     break;
   }
   case Kind::Double: {
+    // Same contract for doubles: ERANGE covers both overflow (+-HUGE_VAL)
+    // and underflow (denormal/zero); explicit "inf"/"nan" tokens parse
+    // without ERANGE, so non-finite results are rejected separately.
     char *End = nullptr;
+    errno = 0;
     double V = std::strtod(Text.c_str(), &End);
     if (End == Text.c_str() || *End != '\0') {
       ErrorMessage = "invalid number for --" + Name + ": '" + Text + "'";
+      return false;
+    }
+    if (errno == ERANGE || !std::isfinite(V)) {
+      ErrorMessage = "number out of range for --" + Name + ": '" + Text +
+                     "'";
       return false;
     }
     F.DoubleValue = V;

@@ -447,3 +447,56 @@ const JsonValue *JsonValue::find(const std::string &Name) const {
 size_t JsonValue::size() const {
   return NodeKind == Kind::Object ? Members.size() : Elements.size();
 }
+
+//===----------------------------------------------------------------------===//
+// Kind-checked field access
+//===----------------------------------------------------------------------===//
+
+bool cheetah::jsonFieldString(const JsonValue &Object, const char *Name,
+                              std::string &Out, std::string &Error) {
+  const JsonValue *Field = Object.find(Name);
+  if (!Field || Field->kind() != JsonValue::Kind::String) {
+    Error = formatString("field '%s' missing or not a string", Name);
+    return false;
+  }
+  Out = Field->asString();
+  return true;
+}
+
+bool cheetah::jsonFieldUint(const JsonValue &Object, const char *Name,
+                            uint64_t &Out, std::string &Error) {
+  const JsonValue *Field = Object.find(Name);
+  if (!Field || Field->kind() != JsonValue::Kind::Number) {
+    Error = formatString("field '%s' missing or not a number", Name);
+    return false;
+  }
+  // asUint() asserts on negatives; a hostile document must error instead.
+  if (Field->asNumber() < 0) {
+    Error = formatString("field '%s' is negative", Name);
+    return false;
+  }
+  Out = Field->asUint();
+  return true;
+}
+
+bool cheetah::jsonFieldBool(const JsonValue &Object, const char *Name,
+                            bool &Out, std::string &Error) {
+  const JsonValue *Field = Object.find(Name);
+  if (!Field || Field->kind() != JsonValue::Kind::Bool) {
+    Error = formatString("field '%s' missing or not a boolean", Name);
+    return false;
+  }
+  Out = Field->asBool();
+  return true;
+}
+
+bool cheetah::jsonFieldDouble(const JsonValue &Object, const char *Name,
+                              double &Out, std::string &Error) {
+  const JsonValue *Field = Object.find(Name);
+  if (!Field || Field->kind() != JsonValue::Kind::Number) {
+    Error = formatString("field '%s' missing or not a number", Name);
+    return false;
+  }
+  Out = Field->asNumber();
+  return true;
+}

@@ -113,6 +113,20 @@ private:
   std::vector<std::pair<std::string, JsonValue>> Members;
 };
 
+/// Kind-checked object-member accessors for code reading untrusted
+/// documents (the diff/history tooling): unlike JsonValue's typed
+/// accessors, which assert on kind mismatches, these turn every
+/// structural surprise — missing member, wrong kind, negative where a
+/// counter belongs — into a descriptive \p Error and a false return.
+bool jsonFieldString(const JsonValue &Object, const char *Name,
+                     std::string &Out, std::string &Error);
+bool jsonFieldUint(const JsonValue &Object, const char *Name, uint64_t &Out,
+                   std::string &Error);
+bool jsonFieldBool(const JsonValue &Object, const char *Name, bool &Out,
+                   std::string &Error);
+bool jsonFieldDouble(const JsonValue &Object, const char *Name, double &Out,
+                     std::string &Error);
+
 } // namespace cheetah
 
 #endif // CHEETAH_SUPPORT_JSON_H

@@ -86,6 +86,52 @@ TEST(AssessorTest, UniformObjectDominatedThreads) {
   EXPECT_TRUE(Result.ForkJoinModel);
 }
 
+TEST(AssessorTest, UnfinishedThreadDoesNotPoisonPredictions) {
+  // Worker 2 registered and sampled but never detached: its EndTime is
+  // still 0, so runtime() must read 0 — not wrap to ~2^64 and blow up
+  // the EQ.3 scaling and with it the whole-program improvement.
+  runtime::ThreadRegistry Registry;
+  runtime::PhaseTracker Phases;
+  Registry.threadStarted(0, true, 0);
+  for (ThreadId T = 1; T <= 2; ++T) {
+    Registry.threadStarted(T, false, 1000);
+    for (uint64_t S = 0; S < 100; ++S)
+      Registry.recordSample(T, 50);
+  }
+  Registry.threadFinished(1, 1000 + 100000);
+  // Thread 2 never reaches threadFinished (crashed / leaked detach).
+  Registry.threadFinished(0, 2000 + 100000);
+  populatePhases(Phases, 2, 100000);
+
+  AssessorConfig Config;
+  Config.DefaultSerialLatency = 5.0;
+  Config.MinSerialSamples = 1000; // force the default
+  Assessor Assess(Registry, Phases, Config);
+
+  ObjectAccessProfile Profile;
+  for (ThreadId T = 1; T <= 2; ++T)
+    Profile.PerThread.push_back({T, 80, 80 * 50});
+  Profile.SampledAccesses = 2 * 80;
+  Profile.SampledCycles = 2 * 80 * 50;
+
+  Assessment Result = Assess.assess(Profile, /*AppRuntime=*/102000);
+
+  const ThreadPrediction *Unfinished = nullptr;
+  for (const ThreadPrediction &P : Result.Threads)
+    if (P.Tid == 2)
+      Unfinished = &P;
+  ASSERT_NE(Unfinished, nullptr);
+  EXPECT_EQ(Unfinished->RealRuntime, 0u);
+  EXPECT_DOUBLE_EQ(Unfinished->PredictedRuntime, 0.0);
+
+  // The phase prediction is carried by the finished worker (EQ.4 takes
+  // the longest member): 28000 parallel + 2000 serial, same as the
+  // all-finished uniform case — finite and sane.
+  EXPECT_NEAR(Result.PredictedAppRuntime, 30000.0, 1.0);
+  EXPECT_GT(Result.ImprovementFactor, 1.0);
+  EXPECT_LT(Result.ImprovementFactor, 10.0);
+}
+
 TEST(AssessorTest, ObjectUntouchedByThreadLeavesItUnchanged) {
   runtime::ThreadRegistry Registry;
   runtime::PhaseTracker Phases;

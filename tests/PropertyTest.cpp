@@ -30,6 +30,9 @@
 ///    monotone in the remote fraction;
 ///  - ReportDiff::parseReport against truncated/mutated/version-mismatched
 ///    report documents: loud errors, never a crash;
+///  - ReportHistory::parse (the cheetah-history-v1 store behind
+///    cheetah-trend) under the same hostile treatment, plus
+///    duplicate-run-id injection;
 ///  - the batch sample decoder (both kernels) against the per-sample decode
 ///    formula: fuzzed geometries/addresses/access widths, plus an
 ///    exhaustive sweep of every address x access width over a small
@@ -43,6 +46,7 @@
 #include "core/detect/PageInfo.h"
 #include "core/detect/PageTable.h"
 #include "core/report/ReportDiff.h"
+#include "core/report/ReportHistory.h"
 #include "core/report/ReportSink.h"
 #include "driver/ProfileSession.h"
 #include "mem/NumaTopology.h"
@@ -1017,6 +1021,97 @@ TEST_P(ReportDiffFuzzTest, HostileReportInputNeverCrashes) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReportDiffFuzzTest,
                          ::testing::Range<uint64_t>(1, 7));
+
+//===----------------------------------------------------------------------===//
+// ReportHistory::parse under fuzz: loud errors, never a crash
+//===----------------------------------------------------------------------===//
+
+/// A small but real multi-run history store: 2-4 fuzz reports appended
+/// in sequence through the production append path.
+std::string renderFuzzHistory(SplitMix64 &Rng) {
+  core::ReportHistory History;
+  size_t Runs = 2 + Rng.nextBelow(3);
+  for (size_t I = 0; I < Runs; ++I) {
+    std::string Text = renderFuzzReport(Rng);
+    core::ParsedReport Report;
+    std::string Error;
+    EXPECT_TRUE(core::parseReport(Text, Report, Error)) << Error;
+    EXPECT_TRUE(
+        History.appendRun(Report, "run-" + std::to_string(I), Error))
+        << Error;
+  }
+  return History.serialize();
+}
+
+class HistoryStoreFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistoryStoreFuzzTest, HostileStoreInputNeverCrashes) {
+  SplitMix64 Rng(GetParam() ^ 0x4157);
+  for (int Doc = 0; Doc < 6; ++Doc) {
+    std::string Text = renderFuzzHistory(Rng);
+
+    // The pristine store parses and re-serializes byte-identically.
+    core::ReportHistory Store;
+    std::string Error;
+    ASSERT_TRUE(core::ReportHistory::parse(Text, Store, Error)) << Error;
+    EXPECT_EQ(Store.serialize(), Text);
+
+    // Truncations at every bounded prefix: error, never crash.
+    for (size_t Cut = 0; Cut < Text.size(); Cut += 7) {
+      core::ReportHistory Partial;
+      if (!core::ReportHistory::parse(Text.substr(0, Cut), Partial, Error))
+        EXPECT_FALSE(Error.empty());
+    }
+    // Random byte mutations (flip/insert/erase): error or parse, never a
+    // crash. (No byte-stability claim here — a mutation can insert
+    // benign whitespace that parses but is not canonical.)
+    for (int Mutation = 0; Mutation < 60; ++Mutation) {
+      std::string Mutated = Text;
+      switch (Rng.nextBelow(3)) {
+      case 0:
+        if (!Mutated.empty())
+          Mutated[Rng.nextBelow(Mutated.size())] =
+              static_cast<char>(Rng.nextBelow(256));
+        break;
+      case 1:
+        Mutated.insert(Rng.nextBelow(Mutated.size() + 1), 1,
+                       static_cast<char>(Rng.nextBelow(256)));
+        break;
+      default:
+        if (!Mutated.empty())
+          Mutated.erase(Rng.nextBelow(Mutated.size()), 1);
+        break;
+      }
+      core::ReportHistory Fuzzed;
+      if (!core::ReportHistory::parse(Mutated, Fuzzed, Error))
+        EXPECT_FALSE(Error.empty());
+    }
+
+    // Version mismatches fail loudly by name.
+    for (const char *Schema : {"cheetah-history-v0", "cheetah-report-v4"}) {
+      std::string Mismatched = Text;
+      size_t Pos = Mismatched.find("cheetah-history-v1");
+      ASSERT_NE(Pos, std::string::npos);
+      Mismatched.replace(Pos, 18, Schema);
+      core::ReportHistory Rejected;
+      EXPECT_FALSE(core::ReportHistory::parse(Mismatched, Rejected, Error));
+      EXPECT_NE(Error.find("unsupported schema"), std::string::npos);
+    }
+
+    // Duplicate run ids injected into an otherwise valid store.
+    size_t Id = Text.find("\"id\":\"run-1\"");
+    ASSERT_NE(Id, std::string::npos);
+    std::string Duplicated = Text;
+    Duplicated.replace(Id, std::string("\"id\":\"run-1\"").size(),
+                       "\"id\":\"run-0\"");
+    core::ReportHistory Rejected;
+    EXPECT_FALSE(core::ReportHistory::parse(Duplicated, Rejected, Error));
+    EXPECT_NE(Error.find("duplicate run id"), std::string::npos);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistoryStoreFuzzTest,
+                         ::testing::Range<uint64_t>(1, 5));
 
 //===----------------------------------------------------------------------===//
 // Batch sample decode vs the per-sample formula, fuzzed and exhaustive

@@ -228,6 +228,21 @@ TEST(ThreadRegistryTest, TracksLifecycleAndSamples) {
   EXPECT_TRUE(Registry.profile(0).IsMain);
 }
 
+TEST(ThreadRegistryTest, UnfinishedThreadHasZeroRuntimeNotWraparound) {
+  // A thread that never detached still has EndTime 0; EndTime - StartTime
+  // would wrap to ~2^64 and poison every EQ.2 prediction built on it.
+  ThreadRegistry Registry;
+  Registry.threadStarted(1, false, 5000);
+  Registry.recordSample(1, 50);
+  EXPECT_EQ(Registry.profile(1).runtime(), 0u);
+  EXPECT_FALSE(Registry.profile(1).Finished);
+  // Clock skew putting the end before the start is the same hazard.
+  ThreadProfile Skewed;
+  Skewed.StartTime = 1000;
+  Skewed.EndTime = 900;
+  EXPECT_EQ(Skewed.runtime(), 0u);
+}
+
 TEST(ThreadRegistryTest, KnownAndTotals) {
   ThreadRegistry Registry;
   EXPECT_FALSE(Registry.known(0));
@@ -307,6 +322,14 @@ TEST(PhaseTrackerTest, MainExitingWithLiveChildrenBreaksForkJoin) {
   Tracker.threadCreated(1, 0, 100);
   Tracker.programEnd(200);
   EXPECT_FALSE(Tracker.isForkJoin());
+}
+
+TEST(PhaseTrackerTest, OpenPhaseSpansZeroNotWraparound) {
+  // Same guard as ThreadProfile::runtime(): a phase still open at
+  // assessment time (EndTime 0) spans zero cycles, it does not wrap.
+  ExecutionPhase Phase;
+  Phase.StartTime = 4000;
+  EXPECT_EQ(Phase.span(), 0u);
 }
 
 TEST(PhaseTrackerTest, PhaseOfUnknownThreadIsMinusOne) {

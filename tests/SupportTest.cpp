@@ -340,6 +340,59 @@ TEST(CommandLineTest, RejectsBadInteger) {
   EXPECT_FALSE(Flags.parse(2, Argv, Error));
 }
 
+TEST(CommandLineTest, OutOfRangeNumbersAreRejectedNotSaturated) {
+  // strtoll/strtod saturate on overflow (LLONG_MAX / +-HUGE_VAL) and only
+  // report it via errno=ERANGE. Without the errno check a 20-digit period
+  // "parses" as LLONG_MAX and sails past downstream validation; these all
+  // must fail loudly instead.
+  struct Case {
+    bool IsInt;
+    const char *Text;
+  };
+  const Case Cases[] = {
+      {true, "99999999999999999999"},   // > LLONG_MAX: saturates
+      {true, "-99999999999999999999"},  // < LLONG_MIN: saturates
+      {true, "0x7fffffffffffffffff"},   // hex overflow (base-0 parse)
+      {false, "1e999"},                 // overflow: +HUGE_VAL
+      {false, "-1e999"},                // overflow: -HUGE_VAL
+      {false, "1e-999"},                // underflow: denormal/zero + ERANGE
+      {false, "inf"},                   // parses clean, non-finite
+      {false, "-inf"},
+      {false, "nan"},
+  };
+  for (const Case &C : Cases) {
+    FlagSet Flags;
+    if (C.IsInt)
+      Flags.addInt("v", 0, "");
+    else
+      Flags.addDouble("v", 0.0, "");
+    std::string Arg = std::string("--v=") + C.Text;
+    const char *Argv[] = {"prog", Arg.c_str()};
+    std::string Error;
+    EXPECT_FALSE(Flags.parse(2, Argv, Error)) << C.Text;
+    EXPECT_NE(Error.find("out of range"), std::string::npos) << C.Text;
+    EXPECT_NE(Error.find(C.Text), std::string::npos) << C.Text;
+  }
+}
+
+TEST(CommandLineTest, ExtremeButRepresentableValuesStillParse) {
+  // The ERANGE guard must not over-reject: exact type extremes are valid.
+  FlagSet Flags;
+  Flags.addInt("min", 0, "");
+  Flags.addInt("max", 0, "");
+  Flags.addDouble("big", 0.0, "");
+  Flags.addDouble("tiny", 0.0, "");
+  const char *Argv[] = {"prog", "--min=-9223372036854775808",
+                        "--max=9223372036854775807", "--big=1e300",
+                        "--tiny=1e-300"};
+  std::string Error;
+  ASSERT_TRUE(Flags.parse(5, Argv, Error)) << Error;
+  EXPECT_EQ(Flags.getInt("min"), INT64_MIN);
+  EXPECT_EQ(Flags.getInt("max"), INT64_MAX);
+  EXPECT_DOUBLE_EQ(Flags.getDouble("big"), 1e300);
+  EXPECT_DOUBLE_EQ(Flags.getDouble("tiny"), 1e-300);
+}
+
 TEST(CommandLineTest, BoolAcceptsExplicitValues) {
   FlagSet Flags;
   Flags.addBool("b", true, "");
