@@ -152,6 +152,38 @@ void BM_DetectorHandleBatch(benchmark::State &State) {
 }
 BENCHMARK(BM_DetectorHandleBatch);
 
+/// One continuous-profiling epoch boundary under a byte budget: quiesce,
+/// rank every materialized grain coldest-first, evict down to the budget,
+/// reclaim, then re-materialize a fresh working set for the next
+/// iteration. This is the daemon's per-epoch maintenance cost — the price
+/// of bounded memory, paid outside the ingest hot path.
+void BM_EvictionEpochBoundary(benchmark::State &State) {
+  CacheGeometry Geometry(64);
+  core::ShadowMemory Shadow(Geometry, {{0x40000000, 1 << 20}});
+  core::DetectorConfig Config;
+  Config.WriteThreshold = 0;
+  core::Detector Detect(Geometry, Shadow, Config);
+  Shadow.setByteBudget(1); // below the slab floor: every epoch evicts all
+  SplitMix64 Rng(11);
+  constexpr size_t GrainsPerEpoch = 1024;
+  for (auto _ : State) {
+    State.PauseTiming();
+    for (size_t I = 0; I < GrainsPerEpoch; ++I) {
+      pmu::Sample Sample;
+      Sample.Address = 0x40000000 + Rng.nextBelow(GrainsPerEpoch) * 64;
+      Sample.Tid = static_cast<ThreadId>(Rng.nextBelow(8));
+      Sample.IsWrite = true;
+      Sample.LatencyCycles = 40;
+      Detect.handleSample(Sample, true);
+    }
+    State.ResumeTiming();
+    Detect.quiesce();
+    benchmark::DoNotOptimize(Shadow.enforceBudget());
+  }
+  State.SetItemsProcessed(State.iterations() * GrainsPerEpoch);
+}
+BENCHMARK(BM_EvictionEpochBoundary);
+
 void BM_HeapAllocateFree(benchmark::State &State) {
   CacheGeometry Geometry(64);
   runtime::HeapAllocator Heap(0x40000000, 256 << 20, Geometry);

@@ -44,6 +44,9 @@ Profiler::Profiler(const ProfilerConfig &Config)
             {Config.GlobalSegmentBase, Config.GlobalSegmentSize}});
     Detect.attachPageTable(*Pages, this->Config.Topology);
   }
+  Shadow.setByteBudget(Config.Detect.LineShadowBudgetBytes);
+  if (Pages)
+    Pages->setByteBudget(Config.Detect.PageShadowBudgetBytes);
   Pmu.setHandler([this](const pmu::Sample &Sample) { handleSample(Sample); });
 }
 
@@ -214,6 +217,14 @@ ReportRunStats Profiler::runStats(uint64_t AppRuntime) const {
     Stats.MaterializedPages = Pages->materializedPages();
     Stats.PageShadowBytes = Pages->pageBytes();
   }
+  Stats.LineEviction.BudgetBytes = Shadow.byteBudget();
+  Stats.LineEviction.FootprintBytes = Shadow.footprintBytes();
+  Stats.LineEviction.Evicted = Shadow.evictedResidue();
+  if (Pages) {
+    Stats.PageEviction.BudgetBytes = Pages->byteBudget();
+    Stats.PageEviction.FootprintBytes = Pages->footprintBytes();
+    Stats.PageEviction.Evicted = Pages->evictedResidue();
+  }
   return Stats;
 }
 
@@ -224,9 +235,27 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
   // conservation); in the other builds it is a cheap no-op. The simulator
   // has joined every thread by now, so no ingestion races the merge.
   Detect.quiesce();
+  return buildReport(Run.TotalCycles, Sink);
+}
 
+ProfileResult Profiler::snapshotEpoch(uint64_t AppRuntime, ReportSink *Sink) {
+  // Same fence as finish(): the caller guarantees no ingestion threads are
+  // in flight, so the shard merge (sharded build) and the eviction sweep
+  // below never race sample delivery.
+  Detect.quiesce();
+  // Report first over the full epoch state, then trim: the snapshot the
+  // caller streams out sees every grain that was live this epoch; only the
+  // *next* epoch pays the eviction.
+  ProfileResult Result = buildReport(AppRuntime, Sink);
+  Shadow.enforceBudget();
+  if (Pages)
+    Pages->enforceBudget();
+  return Result;
+}
+
+ProfileResult Profiler::buildReport(uint64_t AppRuntime, ReportSink *Sink) {
   ProfileResult Result;
-  Result.AppRuntime = Run.TotalCycles;
+  Result.AppRuntime = AppRuntime;
   Result.Detection = Detect.stats();
   Result.SamplesDelivered = Pmu.samplesDelivered();
   Result.SerialSamples = SerialSampleCount;
@@ -244,7 +273,7 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
     Builder.addLine(Info.snapshot(LineBase));
   });
 
-  ReportBuilder::Output Built = Builder.finalize(Assess, Run.TotalCycles, Sink);
+  ReportBuilder::Output Built = Builder.finalize(Assess, AppRuntime, Sink);
   Result.Reports = std::move(Built.Reports);
   Result.AllInstances = std::move(Built.AllInstances);
 
@@ -264,7 +293,7 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
     Assess.setLocalLatencyTotals(PageBuilder.localAccesses(),
                                  PageBuilder.localCycles());
     PageReportBuilder::Output PageBuilt =
-        PageBuilder.finalize(Assess, Run.TotalCycles, Sink);
+        PageBuilder.finalize(Assess, AppRuntime, Sink);
     Result.PageReports = std::move(PageBuilt.Reports);
     Result.AllPageInstances = std::move(PageBuilt.AllInstances);
   }
@@ -284,7 +313,7 @@ ProfileResult Profiler::finish(const sim::SimulationResult &Run,
   }
 
   if (Sink) {
-    ReportRunStats Stats = runStats(Run.TotalCycles);
+    ReportRunStats Stats = runStats(AppRuntime);
     Stats.Findings = Result.AllInstances.size();
     Stats.SignificantFindings = Result.Reports.size();
     Stats.PageFindings = Result.AllPageInstances.size();

@@ -136,6 +136,17 @@ public:
   ProfileResult finish(const sim::SimulationResult &Run,
                        ReportSink *Sink = nullptr);
 
+  /// Continuous-session epoch boundary: quiesce, build and (optionally)
+  /// stream a complete report over everything currently live — identical
+  /// in shape to a finish() report — then enforce the shadow byte budgets,
+  /// evicting cold grains and folding their counters into the per-stage
+  /// residue so the next epoch starts under budget. The caller must
+  /// guarantee no ingestion is in flight (same fence finish() relies on:
+  /// every sampled thread joined or detached). Unlike finish(), the
+  /// profiler stays live: call it once per epoch, then finish() at
+  /// teardown.
+  ProfileResult snapshotEpoch(uint64_t AppRuntime, ReportSink *Sink = nullptr);
+
   /// Run-level stats in sink form (valid after ingestion quiesces).
   ReportRunStats runStats(uint64_t AppRuntime) const;
 
@@ -170,6 +181,10 @@ public:
   void onInstructions(ThreadId Tid, uint64_t Count) override;
 
 private:
+  /// Shared body of finish()/snapshotEpoch(): assess, build, and stream
+  /// the report over the quiesced tables. Caller quiesces first.
+  ProfileResult buildReport(uint64_t AppRuntime, ReportSink *Sink);
+
   ProfilerConfig Config;
   runtime::HeapAllocator Heap;
   runtime::GlobalRegistry Globals;

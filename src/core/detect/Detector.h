@@ -59,6 +59,11 @@ struct DetectorConfig {
   /// Pages with at most this many sampled writes never get detailed page
   /// tracking (the stage-1 susceptibility filter, one level up).
   uint32_t PageWriteThreshold = 2;
+  /// Byte budget for the line shadow table (0 = unbounded). When set, cold
+  /// grains are evicted at epoch boundaries until footprintBytes() fits.
+  size_t LineShadowBudgetBytes = 0;
+  /// Byte budget for the page shadow table (0 = unbounded).
+  size_t PageShadowBudgetBytes = 0;
 };
 
 /// Counters describing what the detector has seen.

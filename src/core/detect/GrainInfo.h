@@ -216,6 +216,7 @@ struct PageAccessContext {
 struct LineShardExtras {
   void record(uint32_t, AccessKind, uint64_t, const LineAccessContext &) {}
   uint64_t remoteAccesses() const { return 0; }
+  size_t heapBytes() const { return 0; }
 };
 
 /// Line-grain per-grain extras: empty (overlaid via [[no_unique_address]]
@@ -224,6 +225,7 @@ struct LineShardExtras {
 struct LineGrainExtras {
   void record(uint32_t, AccessKind, uint64_t, const LineAccessContext &) {}
   void merge(const LineShardExtras &) {}
+  uint64_t remoteAccesses() const { return 0; }
 };
 
 /// Page-grain shard extras: single-writer mirrors of the remote-traffic
@@ -241,6 +243,9 @@ struct PageShardExtras {
   void record(NodeId Node, AccessKind Kind, uint64_t LatencyCycles,
               const PageAccessContext &Ctx);
   uint64_t remoteAccesses() const { return RemoteAccesses; }
+  size_t heapBytes() const {
+    return Remote.capacity() * sizeof(RemoteDistanceStats);
+  }
 };
 
 /// Page-grain per-grain extras: everything the NUMA story needs beyond the
@@ -484,6 +489,11 @@ public:
     return sizeof(GrainInfo) + BucketCount * sizeof(AtomicBucketStats) +
            ThreadStats.overflowBytes();
   }
+
+  /// Remote-actor accesses recorded by the extras (0 for grains whose
+  /// extras track none) — folded into the eviction residue so the
+  /// conservation proof covers HasRemote stages too.
+  uint64_t remoteAccesses() const { return ExtraStats.remoteAccesses(); }
 
 protected:
   const typename Traits::Extras &extras() const { return ExtraStats; }

@@ -92,6 +92,19 @@ struct GrainMergeStats {
   }
 };
 
+/// Counters folded out of evicted grains — the per-stage residue a
+/// budgeted table keeps so conservation still proves out: residue plus the
+/// live grain counters equals everything ever recorded, no matter how many
+/// eviction epochs have passed.
+struct GrainEvictionStats {
+  uint64_t Grains = 0; ///< eviction events (a re-materialized grain counts again)
+  uint64_t Accesses = 0;
+  uint64_t Writes = 0;
+  uint64_t Cycles = 0;
+  uint64_t Invalidations = 0;
+  uint64_t RemoteAccesses = 0;
+};
+
 namespace detail {
 /// Globally unique id per GrainTable instance, never reused — what makes
 /// the per-thread shard cache safe against table destruction (a stale
@@ -148,9 +161,13 @@ public:
   }
 
   ~GrainTable() {
+    reclaimRetired();
     for (Slab &Region : Slabs)
-      for (size_t I = 0; I < Region.Grains; ++I)
-        delete Region.Details[I].load(std::memory_order_relaxed);
+      for (size_t I = 0; I < Region.Grains; ++I) {
+        InfoT *Info = Region.Details[I].load(std::memory_order_relaxed);
+        if (Info != evictedMark())
+          delete Info;
+      }
   }
 
   GrainTable(const GrainTable &) = delete;
@@ -247,40 +264,52 @@ public:
   }
 
   /// \returns the detailed info for \p Address's grain, or nullptr if it
-  /// was never materialized. \p Address must be covered.
+  /// was never materialized (or was evicted — an evicted grain reads as
+  /// unmaterialized and must re-earn tracking through the stage-1 filter).
+  /// \p Address must be covered.
   InfoT *detail(uint64_t Address) {
     Slab *Region = slabFor(Address);
     CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
-    return Region->Details[grainIndexIn(*Region, Address)].load(
+    InfoT *Info = Region->Details[grainIndexIn(*Region, Address)].load(
         std::memory_order_acquire);
+    return Info == evictedMark() ? nullptr : Info;
   }
   const InfoT *detail(uint64_t Address) const {
     const Slab *Region = slabFor(Address);
     CHEETAH_ASSERT(Region != nullptr, "detail outside monitored regions");
-    return Region->Details[grainIndexIn(*Region, Address)].load(
+    const InfoT *Info = Region->Details[grainIndexIn(*Region, Address)].load(
         std::memory_order_acquire);
+    return Info == evictedMark() ? nullptr : Info;
   }
 
   /// Materializes (if needed) and returns the detailed info for the grain.
-  /// Safe to race: exactly one allocation wins publication.
+  /// Safe to race: exactly one allocation wins publication. A slot in the
+  /// Evicted state re-materializes the same way a never-tracked one does —
+  /// the grain starts a fresh record (decay), its history living on in the
+  /// eviction residue.
   InfoT &materializeDetail(uint64_t Address) {
     Slab *Region = slabFor(Address);
     CHEETAH_ASSERT(Region != nullptr, "materialize outside monitored regions");
     std::atomic<InfoT *> &Slot =
         Region->Details[grainIndexIn(*Region, Address)];
     InfoT *Existing = Slot.load(std::memory_order_acquire);
-    if (Existing)
+    if (Existing && Existing != evictedMark())
       return *Existing;
     auto *Fresh = new InfoT(BucketsPerGrain);
-    if (Slot.compare_exchange_strong(Existing, Fresh,
+    while (true) {
+      if (Slot.compare_exchange_weak(Existing, Fresh,
                                      std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
-      MaterializedCount.fetch_add(1, std::memory_order_relaxed);
-      return *Fresh;
+        MaterializedCount.fetch_add(1, std::memory_order_relaxed);
+        return *Fresh;
+      }
+      if (Existing && Existing != evictedMark()) {
+        // Another ingesting thread won the race; use its published info.
+        delete Fresh;
+        return *Existing;
+      }
+      // Lost to a null<->Evicted transition; retry with the fresh copy.
     }
-    // Another ingesting thread won the race; use its published info.
-    delete Fresh;
-    return *Existing;
   }
 
 #if CHEETAH_LOCKED_TABLE
@@ -376,16 +405,18 @@ public:
   }
 
   /// Invokes \p Fn(grainBaseAddress, homeNode, info) for every
-  /// materialized grain; home is NoNode when homes are untracked.
+  /// materialized grain; home is NoNode when homes are untracked. Evicted
+  /// grains are skipped (their counters live in the residue).
   template <typename Function> void forEachGrain(Function Fn) const {
     for (const Slab &Region : Slabs)
-      for (size_t I = 0; I < Region.Grains; ++I)
-        if (const InfoT *Info =
-                Region.Details[I].load(std::memory_order_acquire))
+      for (size_t I = 0; I < Region.Grains; ++I) {
+        const InfoT *Info = Region.Details[I].load(std::memory_order_acquire);
+        if (Info && Info != evictedMark())
           Fn(Region.Base + (static_cast<uint64_t>(I) << GrainShift),
              Region.Homes ? Region.Homes[I].load(std::memory_order_relaxed)
                           : NoNode,
              *Info);
+      }
   }
 
   /// Number of grains with materialized detail (O(1): maintained as a
@@ -405,12 +436,183 @@ public:
       if (Region.Homes)
         Bytes += Region.Grains * sizeof(std::atomic<NodeId>);
       Bytes += Region.Grains * sizeof(std::atomic<InfoT *>);
-      for (size_t I = 0; I < Region.Grains; ++I)
-        if (const InfoT *Info =
-                Region.Details[I].load(std::memory_order_acquire))
+      for (size_t I = 0; I < Region.Grains; ++I) {
+        const InfoT *Info = Region.Details[I].load(std::memory_order_acquire);
+        if (Info && Info != evictedMark())
           Bytes += Info->footprintBytes();
+      }
     }
     return Bytes;
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Bounded-memory continuous operation: byte budget, cold-grain eviction,
+  // epoch-quiesce-fenced reclamation.
+  //===--------------------------------------------------------------------===//
+
+  /// Installs the byte budget enforceBudget() trims to (0 = unbounded,
+  /// the default — budget-less tables behave exactly as before). Also
+  /// allocates the per-grain epoch-write baselines the coldness ranking
+  /// reads, so only budgeted tables pay for them. Call before ingestion
+  /// starts or under the same fence as enforceBudget().
+  void setByteBudget(size_t Bytes) {
+    ByteBudget = Bytes;
+    if (Bytes == 0)
+      return;
+    for (Slab &Region : Slabs)
+      if (!Region.EpochWrites)
+        Region.EpochWrites = std::make_unique<uint32_t[]>(Region.Grains);
+  }
+
+  /// The installed byte budget (0 = unbounded).
+  size_t byteBudget() const { return ByteBudget; }
+
+  /// Counters folded out of evicted grains so far. Stable between epoch
+  /// boundaries; read it after quiesce()/enforceBudget() for a consistent
+  /// conservation check (residue + live counters == totals ever recorded).
+  const GrainEvictionStats &evictedResidue() const { return Residue; }
+
+  /// Total heap bytes behind this table — the denominator the eviction
+  /// budget is enforced against. Unlike metadataBytes() (the
+  /// report-visible shadow-bytes number, which intentionally keeps its
+  /// historical meaning), this also counts the sharded-mode shard records,
+  /// the budgeted-mode epoch baselines, and any not-yet-reclaimed retired
+  /// infos. Must not race sharded ingestion (same fence as quiesce()).
+  size_t footprintBytes() const {
+    size_t Bytes = metadataBytes() + shardBytes();
+    for (const Slab &Region : Slabs)
+      if (Region.EpochWrites)
+        Bytes += Region.Grains * sizeof(uint32_t);
+    for (const InfoT *Info : Retired)
+      Bytes += Info->footprintBytes();
+    return Bytes;
+  }
+
+  /// Heap bytes behind the per-thread shard registry, by allocation-size
+  /// arithmetic: each shard's map (hash-bucket array plus one node —
+  /// key/value pair and chain pointer — per record) and each record's
+  /// vector capacities. Same fence contract as quiesce().
+  size_t shardBytes() const {
+    std::lock_guard<std::mutex> Lock(ShardMutex);
+    size_t Bytes = 0;
+    for (const auto &ShardPtr : Shards) {
+      Bytes += sizeof(Shard);
+      Bytes += ShardPtr->Records.bucket_count() * sizeof(void *);
+      for (const auto &Entry : ShardPtr->Records)
+        Bytes += shardRecordBytes(Entry.second);
+    }
+    return Bytes;
+  }
+
+  /// Allocation-size arithmetic for one shard record: the map node (pair
+  /// plus the chain pointer every node-based unordered_map carries) and
+  /// the capacities of its lazily sized vectors.
+  static size_t shardRecordBytes(const ShardRecord &Record) {
+    return sizeof(std::pair<const uint64_t, ShardRecord>) + sizeof(void *) +
+           Record.Buckets.capacity() * sizeof(Record.Buckets[0]) +
+           Record.Threads.capacity() * sizeof(Record.Threads[0]) +
+           Record.Extras.heapBytes();
+  }
+
+  /// Best-effort trim to the byte budget; a no-op when unbudgeted or
+  /// already under budget. Must run under the same fence as quiesce() —
+  /// no ingestion in flight — typically right after it at an epoch
+  /// boundary.
+  ///
+  /// Grains are ranked coldest-first by writes since the previous epoch
+  /// boundary (ties: fewer lifetime accesses, then lower address, so the
+  /// sweep is fully deterministic). Each victim's Details slot is
+  /// CAS-claimed from its info pointer into the Evicted state, its
+  /// counters fold into the residue, its stage-1 write counter resets to
+  /// zero (decay: the grain must re-earn materialization), and the info
+  /// retires onto the free list — reclaimed before returning, still
+  /// inside the fenced window, so no ingesting thread can hold a stale
+  /// pointer. The flat slab arrays are a fixed floor the budget cannot
+  /// trim below; eviction stops when the evictable portion is exhausted.
+  /// \returns the number of grains evicted.
+  size_t enforceBudget() {
+    if (ByteBudget == 0)
+      return 0;
+    size_t Footprint = footprintBytes();
+    size_t Evicted = 0;
+    if (Footprint > ByteBudget) {
+      struct Candidate {
+        uint64_t EpochWrites; // writes since the last epoch boundary
+        uint64_t Accesses;    // lifetime accesses (tiebreak)
+        uint64_t Base;        // grain base address (final tiebreak)
+        Slab *Region;
+        size_t Index;
+      };
+      std::vector<Candidate> Candidates;
+      for (Slab &Region : Slabs)
+        for (size_t I = 0; I < Region.Grains; ++I) {
+          InfoT *Info = Region.Details[I].load(std::memory_order_acquire);
+          if (!Info || Info == evictedMark())
+            continue;
+          uint32_t Writes =
+              Region.WriteCounts[I].load(std::memory_order_relaxed);
+          uint32_t Baseline =
+              Region.EpochWrites ? Region.EpochWrites[I] : 0;
+          Candidates.push_back(
+              {Writes >= Baseline ? Writes - Baseline : 0, Info->accesses(),
+               Region.Base + (static_cast<uint64_t>(I) << GrainShift),
+               &Region, I});
+        }
+      std::sort(Candidates.begin(), Candidates.end(),
+                [](const Candidate &A, const Candidate &B) {
+                  if (A.EpochWrites != B.EpochWrites)
+                    return A.EpochWrites < B.EpochWrites;
+                  if (A.Accesses != B.Accesses)
+                    return A.Accesses < B.Accesses;
+                  return A.Base < B.Base;
+                });
+      for (const Candidate &Victim : Candidates) {
+        if (Footprint <= ByteBudget)
+          break;
+        std::atomic<InfoT *> &Slot = Victim.Region->Details[Victim.Index];
+        InfoT *Info = Slot.load(std::memory_order_acquire);
+        if (!Info || Info == evictedMark())
+          continue;
+        // CAS-claim the packed word into the Evicted state. Under the
+        // fence this cannot fail; the CAS keeps the transition an atomic
+        // publication for any later re-materialization to synchronize on.
+        if (!Slot.compare_exchange_strong(Info, evictedMark(),
+                                          std::memory_order_acq_rel))
+          continue;
+        Residue.Grains += 1;
+        Residue.Accesses += Info->accesses();
+        Residue.Writes += Info->writes();
+        Residue.Cycles += Info->cycles();
+        Residue.Invalidations += Info->invalidations();
+        Residue.RemoteAccesses += Info->remoteAccesses();
+        Victim.Region->WriteCounts[Victim.Index].store(
+            0, std::memory_order_relaxed);
+        MaterializedCount.fetch_sub(1, std::memory_order_relaxed);
+        Footprint -= Info->footprintBytes();
+        Retired.push_back(Info);
+        ++Evicted;
+      }
+    }
+    // Roll the coldness window: next epoch's ranking measures write
+    // traffic from this boundary on (evicted grains restart at zero).
+    for (Slab &Region : Slabs)
+      if (Region.EpochWrites)
+        for (size_t I = 0; I < Region.Grains; ++I)
+          Region.EpochWrites[I] =
+              Region.WriteCounts[I].load(std::memory_order_relaxed);
+    reclaimRetired();
+    return Evicted;
+  }
+
+  /// Deletes every retired info. Only call inside the quiesce-fenced
+  /// window (enforceBudget does; the destructor too). \returns how many
+  /// records were reclaimed.
+  size_t reclaimRetired() {
+    size_t Count = Retired.size();
+    for (InfoT *Info : Retired)
+      delete Info;
+    Retired.clear();
+    return Count;
   }
 
 private:
@@ -421,7 +623,19 @@ private:
     std::unique_ptr<std::atomic<uint32_t>[]> WriteCounts; // one per grain
     std::unique_ptr<std::atomic<NodeId>[]> Homes; // first-touch (TrackHomes)
     std::unique_ptr<std::atomic<InfoT *>[]> Details; // one per grain
+    /// Per-grain write-count baseline at the previous epoch boundary — the
+    /// coldness ranking's reference point. Allocated only when a byte
+    /// budget is installed; written solely under the enforceBudget fence.
+    std::unique_ptr<uint32_t[]> EpochWrites;
   };
+
+  /// The Evicted state of a Details slot: a sentinel distinct from null
+  /// and from any allocation, never dereferenced. detail() maps it to
+  /// nullptr so evicted grains read as unmaterialized; materializeDetail
+  /// CASes it back out when a grain re-earns tracking.
+  static InfoT *evictedMark() {
+    return reinterpret_cast<InfoT *>(static_cast<uintptr_t>(1));
+  }
 
   /// One OS thread's accumulation epoch: only its owner writes Records
   /// during ingestion; quiesce() reads after the owner synchronized.
@@ -473,6 +687,16 @@ private:
   /// ingestion path (the thread-local cache short-circuits it).
   mutable std::mutex ShardMutex;
   std::vector<std::unique_ptr<Shard>> Shards;
+  /// Byte budget for enforceBudget (0 = unbounded). Plain: installed
+  /// before ingestion, read only at fenced epoch boundaries.
+  size_t ByteBudget = 0;
+  /// Counters folded out of evicted grains; mutated only under the
+  /// enforceBudget fence.
+  GrainEvictionStats Residue;
+  /// Evicted infos awaiting reclamation — the epoch-quiesce-fenced free
+  /// list. Normally drained before enforceBudget returns; never touched
+  /// while ingestion threads are in flight.
+  std::vector<InfoT *> Retired;
 };
 
 } // namespace core

@@ -271,6 +271,30 @@ void JsonReportSink::endRun(const ReportRunStats &Stats) {
                 static_cast<uint64_t>(Stats.MaterializedPages));
   Writer.member("page_shadow_bytes",
                 static_cast<uint64_t>(Stats.PageShadowBytes));
+  // Emitted only when a bounded-memory run actually evicted grains, so
+  // budget-never-hit runs stay byte-identical to unbounded ones (the
+  // golden suite depends on this).
+  if (Stats.LineEviction.Evicted.Grains || Stats.PageEviction.Evicted.Grains) {
+    auto WriteStage = [&](const char *Key, const ReportEvictionStats &Stage) {
+      Writer.key(Key);
+      Writer.beginObject();
+      Writer.member("budget_bytes", static_cast<uint64_t>(Stage.BudgetBytes));
+      Writer.member("footprint_bytes",
+                    static_cast<uint64_t>(Stage.FootprintBytes));
+      Writer.member("evicted_grains", Stage.Evicted.Grains);
+      Writer.member("accesses", Stage.Evicted.Accesses);
+      Writer.member("writes", Stage.Evicted.Writes);
+      Writer.member("cycles", Stage.Evicted.Cycles);
+      Writer.member("invalidations", Stage.Evicted.Invalidations);
+      Writer.member("remote_accesses", Stage.Evicted.RemoteAccesses);
+      Writer.endObject();
+    };
+    Writer.key("eviction");
+    Writer.beginObject();
+    WriteStage("line", Stats.LineEviction);
+    WriteStage("page", Stats.PageEviction);
+    Writer.endObject();
+  }
   Writer.key("detector");
   Writer.beginObject();
   Writer.member("seen", Stats.Detection.SamplesSeen);

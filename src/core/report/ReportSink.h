@@ -51,6 +51,15 @@ struct ReportRunInfo {
   std::string Granularity = "line";
 };
 
+/// One stage's bounded-memory eviction outcome: the configured budget, the
+/// post-snapshot footprint, and the residue folded out of evicted grains
+/// (so residue + live state still conserves the detector counters).
+struct ReportEvictionStats {
+  size_t BudgetBytes = 0;
+  size_t FootprintBytes = 0;
+  GrainEvictionStats Evicted;
+};
+
 /// Run-level outcome emitted after the last finding.
 struct ReportRunStats {
   uint64_t AppRuntime = 0;
@@ -69,6 +78,12 @@ struct ReportRunStats {
   size_t PageShadowBytes = 0;
   uint64_t PageFindings = 0;
   uint64_t SignificantPageFindings = 0;
+  /// Per-stage eviction outcome (budget-bounded continuous runs only). The
+  /// JSON sink emits the "eviction" summary object only when at least one
+  /// grain was actually evicted, so bounded runs that never hit the budget
+  /// stay byte-identical to unbounded ones.
+  ReportEvictionStats LineEviction;
+  ReportEvictionStats PageEviction;
 };
 
 /// Consumer of a stream of per-object findings. Calls arrive in order:
@@ -172,6 +187,12 @@ private:
 ///                "samples", "serial_samples", "serial_avg_latency",
 ///                "fork_join", "materialized_lines", "shadow_bytes",
 ///                "materialized_pages", "page_shadow_bytes",
+///                "eviction": { "line": { "budget_bytes", "footprint_bytes",
+///                                        "evicted_grains", "accesses",
+///                                        "writes", "cycles",
+///                                        "invalidations",
+///                                        "remote_accesses" },
+///                              "page": { same } },
 ///                "detector": { "seen", "filtered", "recorded",
 ///                              "invalidations", "page_recorded",
 ///                              "page_invalidations", "remote_samples" } }
@@ -188,6 +209,9 @@ private:
 /// pinning the schema id fail loudly instead of silently reading findings
 /// whose remote costs — and therefore ordering — now depend on the
 /// topology's distance matrix. `cheetah-diff` accepts v2, v3, and v4.
+/// Within v4 the summary `eviction` object was added under the
+/// fields-only-ever-added rule: it appears only when a bounded-memory run
+/// actually evicted grains, so its absence means every grain is still live.
 class JsonReportSink : public ReportSink {
 public:
   struct Options {

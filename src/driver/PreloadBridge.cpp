@@ -10,25 +10,56 @@
 #include "support/Assert.h"
 
 #include <algorithm>
+#include <shared_mutex>
 
 using namespace cheetah;
 using namespace cheetah::driver;
 
+namespace cheetah {
+namespace driver {
+/// The finish()-vs-straggler fence. The interpose runtime copies the sink
+/// under its own lock but *calls* it unlocked, so a still-running
+/// interposed thread can be mid-delivery when finish() begins — or deliver
+/// after setSampleSink({}) using the copy it already took. Every delivery
+/// holds the gate shared and checks Accepting; closing the gate takes it
+/// exclusive, which both waits out in-flight deliveries and makes every
+/// later one drop its batch instead of mutating tables being snapshotted.
+struct IngestGate {
+  std::shared_mutex Mutex;
+  bool Accepting = true;
+};
+} // namespace driver
+} // namespace cheetah
+
 PreloadProfilerBridge::PreloadProfilerBridge(core::Profiler &Profiler)
     : Profiler(Profiler),
-      StartTimestamp(interpose::readTimestampCounter()) {
+      StartTimestamp(interpose::readTimestampCounter()),
+      Gate(std::make_shared<IngestGate>()) {
   // Per-thread buffers drain straight into the profiler's batched ingest,
-  // which is safe from any number of application threads.
+  // which is safe from any number of application threads. The sink shares
+  // ownership of the gate so a straggler delivery racing bridge
+  // destruction still has a live gate to bounce off.
+  std::shared_ptr<IngestGate> SinkGate = Gate;
   interpose::setSampleSink(
-      [&Profiler](const pmu::Sample *Samples, size_t Count) {
+      [&Profiler, SinkGate](const pmu::Sample *Samples, size_t Count) {
+        std::shared_lock<std::shared_mutex> Lock(SinkGate->Mutex);
+        if (!SinkGate->Accepting)
+          return; // late delivery after finish() began: drop
         Profiler.ingestBatch(Samples, Count);
       });
   Profiler.onThreadStart(/*Tid=*/0, /*IsMain=*/true, /*Now=*/0);
 }
 
 PreloadProfilerBridge::~PreloadProfilerBridge() {
-  if (!Finished)
+  if (!Finished) {
+    closeGate();
     interpose::setSampleSink({});
+  }
+}
+
+void PreloadProfilerBridge::closeGate() {
+  std::unique_lock<std::shared_mutex> Lock(Gate->Mutex);
+  Gate->Accepting = false;
 }
 
 uint64_t PreloadProfilerBridge::elapsedCycles() const {
@@ -79,8 +110,12 @@ core::ProfileResult PreloadProfilerBridge::finish(core::ReportSink *Sink) {
   }
   for (ThreadId Tid : Remaining)
     detachThread(Tid);
-  // Catch samples recorded after the last detach.
+  // Catch samples recorded after the last detach, then close the gate:
+  // everything staged so far reaches the detector, in-flight deliveries
+  // drain, and anything a straggler thread records from here on is
+  // dropped instead of racing the snapshot below.
   interpose::flushAllSamples();
+  closeGate();
   interpose::setSampleSink({});
 
   uint64_t Now = elapsedCycles();

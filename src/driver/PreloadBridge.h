@@ -21,11 +21,14 @@
 
 #include "core/Profiler.h"
 
+#include <memory>
 #include <mutex>
 #include <vector>
 
 namespace cheetah {
 namespace driver {
+
+struct IngestGate;
 
 /// Scoped wiring between the interpose runtime and a live profiler. At
 /// most one bridge may be live at a time (the interpose sink is global).
@@ -54,15 +57,25 @@ public:
   /// Flushes every per-thread sample buffer into the profiler, retires any
   /// still-attached threads and the main thread, and finalizes reports.
   /// The bridge is inert afterwards. \p Sink streams findings as in
-  /// Profiler::finish.
+  /// Profiler::finish. Samples delivered by a still-running interposed
+  /// thread after the final flush are dropped behind the ingest gate (and
+  /// the gate close waits out deliveries already in flight), so nothing
+  /// mutates the tables while they are being snapshotted.
   core::ProfileResult finish(core::ReportSink *Sink = nullptr);
 
   /// Cycles elapsed since the bridge was created (TSC delta).
   uint64_t elapsedCycles() const;
 
 private:
+  /// Closes the ingest gate: waits for in-flight sink deliveries to drain,
+  /// then marks the gate non-accepting so later deliveries are dropped.
+  void closeGate();
+
   core::Profiler &Profiler;
   uint64_t StartTimestamp;
+  /// Shared with the installed sink closure: a straggler thread still
+  /// executing the old sink after finish()/destruction holds it alive.
+  std::shared_ptr<IngestGate> Gate;
   std::mutex Mutex;
   std::vector<ThreadId> Attached; // live child threads
   bool Finished = false;

@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 using namespace cheetah;
@@ -146,6 +147,49 @@ TEST_F(InterposeTest, BridgeDetachStopsParallelPhase) {
   Bridge.detachThread(1);
   EXPECT_FALSE(Profiler.phases().inParallelPhase());
   Bridge.finish();
+}
+
+TEST_F(InterposeTest, BridgeFinishRacesRecordingThreadSafely) {
+  // Regression test for the finish()-vs-straggler race: the interpose
+  // runtime copies the sample sink under its lock but *calls* it unlocked,
+  // so a thread still hammering recordSample/flushThreadSamples could
+  // deliver a batch into the profiler while finish() was quiescing and
+  // building the report. The bridge's ingest gate must drain in-flight
+  // deliveries and drop every later one. Run under TSan this test fails
+  // without the gate; in any build it must not crash or assert.
+  constexpr int Rounds = 6;
+  for (int Round = 0; Round < Rounds; ++Round) {
+    resetForTesting();
+    core::ProfilerConfig Config;
+    Config.Detect.WriteThreshold = 0;
+    core::Profiler Profiler(Config);
+    {
+      driver::PreloadProfilerBridge Bridge(Profiler);
+      Bridge.attachThread(1);
+      std::atomic<bool> Hammering{false};
+      std::atomic<bool> Stop{false};
+      std::thread Hammer([&] {
+        threadAttach();
+        while (!Stop.load(std::memory_order_acquire)) {
+          pmu::Sample Sample;
+          Sample.Address = Config.HeapArenaBase + 64 * (Round % 8);
+          Sample.Tid = 1;
+          Sample.IsWrite = true;
+          Sample.LatencyCycles = 40;
+          recordSample(Sample);
+          flushThreadSamples();
+          Hammering.store(true, std::memory_order_release);
+        }
+      });
+      while (!Hammering.load(std::memory_order_acquire))
+        std::this_thread::yield();
+      // Finish mid-hammer: deliveries already inside the sink drain,
+      // everything after bounces off the closed gate.
+      Bridge.finish();
+      Stop.store(true, std::memory_order_release);
+      Hammer.join();
+    }
+  }
 }
 
 TEST_F(InterposeTest, CountersThreadSafeUnderContention) {

@@ -1,0 +1,279 @@
+//===- tools/cheetah-daemon.cpp - Continuous-profiling daemon -------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The always-on half of the fleet-service story: one long-lived profiler
+/// instance observing a workload's sample stream epoch after epoch under a
+/// fixed shadow-memory byte budget, emitting a complete `cheetah-report-v4`
+/// snapshot at every epoch boundary and appending each one into a
+/// `cheetah-history-v1` store — so `cheetah-trend show`/`--gate` works live
+/// against a running daemon, and week-long attaches cannot grow without
+/// bound (cold grains are evicted into the conservation residue and decay
+/// back through the stage-1 filter if their traffic returns).
+///
+/// The sample source is the simulated deployment: the workload runs once
+/// under the simulated PMU, and the captured per-thread sample stream is
+/// replayed through the real interpose runtime (per-thread buffers, batch
+/// sink, `PreloadProfilerBridge`) once per epoch on real OS threads — the
+/// same ingest path an LD_PRELOADed production process exercises, driven as
+/// a steady-state traffic generator.
+///
+/// Examples:
+///   cheetah-daemon --workload=numa_first_touch --granularity=both \
+///       --epochs=10 --line-budget=262144 --store=history.json
+///   cheetah-trend show --store=history.json --gate=1.5
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/report/ReportHistory.h"
+#include "driver/PreloadBridge.h"
+#include "driver/ProfileSession.h"
+#include "driver/SessionOptions.h"
+#include "interpose/Preload.h"
+#include "support/CommandLine.h"
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace cheetah;
+
+namespace {
+
+/// Writes \p Text to \p Path. \returns false on I/O failure.
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 Path.c_str());
+    return false;
+  }
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), File);
+  bool Closed = std::fclose(File) == 0;
+  bool Ok = Written == Text.size() && Closed;
+  if (!Ok)
+    std::fprintf(stderr, "error: short write to '%s'\n", Path.c_str());
+  return Ok;
+}
+
+/// Reads the whole of \p Path into \p Out. \returns false on I/O failure.
+bool readFile(const std::string &Path, std::string &Out) {
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  if (!File)
+    return false;
+  char Buffer[1 << 16];
+  size_t Read;
+  while ((Read = std::fread(Buffer, 1, sizeof(Buffer), File)) > 0)
+    Out.append(Buffer, Read);
+  bool Ok = !std::ferror(File);
+  std::fclose(File);
+  return Ok;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags;
+  driver::addSessionFlags(Flags);
+  Flags.addInt("epochs", 4, "number of snapshot epochs to run");
+  Flags.addString("store", "",
+                  "cheetah-history-v1 store to append each epoch snapshot "
+                  "to (required; created if missing)");
+  Flags.addString("run-id-prefix", "epoch",
+                  "run ids in the store are <prefix>-<store index>");
+  Flags.addString("snapshot-dir", "",
+                  "also write each epoch's report JSON into this directory "
+                  "as <run-id>.json");
+  Flags.addInt("line-budget", 0,
+               "line shadow-table byte budget enforced at each epoch "
+               "boundary (0 = unbounded)");
+  Flags.addInt("page-budget", 0,
+               "page shadow-table byte budget (0 = unbounded)");
+
+  std::string Error;
+  if (!Flags.parse(Argc, Argv, Error)) {
+    std::fprintf(stderr, "error: %s\n%s", Error.c_str(),
+                 Flags.usage("cheetah-daemon").c_str());
+    return 1;
+  }
+  int64_t Epochs = Flags.getInt("epochs");
+  if (Epochs < 1) {
+    std::fprintf(stderr, "error: --epochs must be >= 1 (got %lld)\n",
+                 static_cast<long long>(Epochs));
+    return 1;
+  }
+  const std::string &StorePath = Flags.getString("store");
+  if (StorePath.empty()) {
+    std::fprintf(stderr, "error: --store is required\n");
+    return 1;
+  }
+  int64_t LineBudget = Flags.getInt("line-budget");
+  int64_t PageBudget = Flags.getInt("page-budget");
+  if (LineBudget < 0 || PageBudget < 0) {
+    std::fprintf(stderr, "error: budgets must be >= 0\n");
+    return 1;
+  }
+
+  std::string Name = Flags.getString("workload");
+  auto Workload = workloads::createWorkload(Name);
+  if (!Workload) {
+    std::fprintf(stderr, "error: unknown workload '%s'\n", Name.c_str());
+    return 1;
+  }
+
+  driver::SessionOptions Options;
+  if (!driver::buildSessionOptions(Flags, Options, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  for (const std::string &Warning : Options.Warnings)
+    std::fprintf(stderr, "warning: %s\n", Warning.c_str());
+
+  driver::SessionConfig &Config = Options.Config;
+  Config.Profiler.Detect.LineShadowBudgetBytes =
+      static_cast<size_t>(LineBudget);
+  Config.Profiler.Detect.PageShadowBudgetBytes =
+      static_cast<size_t>(PageBudget);
+
+  // The persistent profiler: one instance for the daemon's whole lifetime.
+  // The workload's program is built against its heap/globals so every
+  // epoch's findings resolve to named allocation sites.
+  core::Profiler Profiler(Config.Profiler);
+  sim::ForkJoinProgram Program =
+      driver::buildProgram(*Workload, Profiler, Config);
+
+  // Capture pass: run the workload once under the simulated PMU alone and
+  // record the sample stream. The profiler is *not* attached as an
+  // observer — all its traffic arrives through the interpose replay below,
+  // the same path a real LD_PRELOAD deployment feeds.
+  std::map<ThreadId, std::vector<pmu::Sample>> Trace;
+  pmu::SimPmu Pmu(Config.Profiler.Pmu);
+  Pmu.setHandler(
+      [&Trace](const pmu::Sample &Sample) { Trace[Sample.Tid].push_back(Sample); });
+  sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
+  if (Config.Profiler.Topology.multiNode())
+    Sim.setTopology(&Config.Profiler.Topology);
+  Sim.addObserver(&Pmu);
+  sim::SimulationResult Capture = Sim.run(Program);
+
+  std::vector<ThreadId> ChildTids;
+  size_t CapturedSamples = 0;
+  ThreadId MaxTid = 0;
+  for (const auto &Entry : Trace) {
+    CapturedSamples += Entry.second.size();
+    if (Entry.first != 0)
+      ChildTids.push_back(Entry.first);
+    if (Entry.first > MaxTid)
+      MaxTid = Entry.first;
+  }
+  std::fprintf(stderr,
+               "cheetah-daemon: captured %zu samples over %zu threads "
+               "(%llu cycles); replaying %lld epochs\n",
+               CapturedSamples, Trace.size(),
+               static_cast<unsigned long long>(Capture.TotalCycles),
+               static_cast<long long>(Epochs));
+
+  // Resume an existing store so restarted daemons keep appending.
+  core::ReportHistory History;
+  {
+    std::string Text;
+    if (readFile(StorePath, Text) &&
+        !core::ReportHistory::parse(Text, History, Error)) {
+      std::fprintf(stderr, "error: %s: %s\n", StorePath.c_str(),
+                   Error.c_str());
+      return 1;
+    }
+  }
+
+  driver::PreloadProfilerBridge Bridge(Profiler);
+  const std::string &Prefix = Flags.getString("run-id-prefix");
+  const std::string &SnapshotDir = Flags.getString("snapshot-dir");
+
+  for (int64_t Epoch = 0; Epoch < Epochs; ++Epoch) {
+    // Serial phase: the main thread replays its own captured samples
+    // before any child attaches (re-establishing the no-false-sharing
+    // latency baseline each epoch, like the real serial prologue would).
+    auto MainIt = Trace.find(0);
+    if (MainIt != Trace.end()) {
+      for (const pmu::Sample &Sample : MainIt->second)
+        interpose::recordSample(Sample);
+      interpose::flushThreadSamples();
+    }
+
+    // Parallel phase: thread registries assert on id reuse, so every epoch
+    // attaches its children under fresh ids (the real daemon sees fresh
+    // OS tids on every attach too). Sample Tids are rewritten to match.
+    ThreadId Stride = MaxTid + 1;
+    std::vector<std::thread> Replayers;
+    for (ThreadId Tid : ChildTids)
+      Bridge.attachThread(static_cast<ThreadId>(Epoch) * Stride + Tid);
+    for (ThreadId Tid : ChildTids) {
+      ThreadId EpochTid = static_cast<ThreadId>(Epoch) * Stride + Tid;
+      const std::vector<pmu::Sample> &Samples = Trace[Tid];
+      Replayers.emplace_back([EpochTid, &Samples] {
+        interpose::threadAttach();
+        for (pmu::Sample Sample : Samples) {
+          Sample.Tid = EpochTid;
+          interpose::recordSample(Sample);
+        }
+        interpose::flushThreadSamples();
+      });
+    }
+    for (std::thread &Replayer : Replayers)
+      Replayer.join();
+    for (ThreadId Tid : ChildTids)
+      Bridge.detachThread(static_cast<ThreadId>(Epoch) * Stride + Tid);
+
+    // Epoch boundary: quiesce, stream the full snapshot, then trim the
+    // shadow tables back under budget for the next epoch. Every replay
+    // thread is joined, so the snapshot races nothing.
+    std::string ReportText;
+    core::JsonReportSink Sink(ReportText);
+    core::ReportRunInfo Info = driver::makeRunInfo(*Workload, Config);
+    Info.Tool = "cheetah-daemon";
+    Sink.beginRun(Info);
+    Profiler.snapshotEpoch(Bridge.elapsedCycles(), &Sink);
+
+    core::ParsedReport Report;
+    if (!core::parseRunDocument(ReportText, Report, Error)) {
+      std::fprintf(stderr, "error: epoch %lld snapshot: %s\n",
+                   static_cast<long long>(Epoch), Error.c_str());
+      return 1;
+    }
+    std::string RunId = Prefix + "-" + std::to_string(History.runs().size());
+    if (!History.appendRun(Report, RunId, Error)) {
+      std::fprintf(stderr, "error: appending epoch %lld: %s\n",
+                   static_cast<long long>(Epoch), Error.c_str());
+      return 1;
+    }
+    // The store is rewritten after every epoch so trend tooling reads a
+    // complete, valid ledger at any point in the daemon's life.
+    if (!writeFile(StorePath, History.serialize()))
+      return 1;
+    if (!SnapshotDir.empty() &&
+        !writeFile(SnapshotDir + "/" + RunId + ".json", ReportText))
+      return 1;
+
+    std::fprintf(
+        stderr,
+        "cheetah-daemon: epoch %lld -> %s (line footprint %zu/%zu bytes, "
+        "%llu grains evicted)\n",
+        static_cast<long long>(Epoch), RunId.c_str(),
+        Profiler.shadow().footprintBytes(),
+        Profiler.shadow().byteBudget(),
+        static_cast<unsigned long long>(
+            Profiler.shadow().evictedResidue().Grains));
+  }
+
+  // Retire the main thread and tear down the ingest wiring; the final
+  // report is discarded — every epoch already streamed its own snapshot.
+  Bridge.finish();
+  std::fprintf(stderr, "cheetah-daemon: %lld epochs appended to %s\n",
+               static_cast<long long>(Epochs), StorePath.c_str());
+  return 0;
+}

@@ -197,11 +197,29 @@ int runShow(const FlagSet &Flags) {
     return 1;
   }
 
+  if (History.runs().empty()) {
+    // An empty store is a fine state for a daemon that has not completed
+    // its first epoch yet — report it explicitly and exit clean instead
+    // of gating or bisecting nothing.
+    std::printf("no runs in store '%s'\n",
+                Flags.getString("store").c_str());
+    return 0;
+  }
+
   std::fputs(core::formatHistoryText(History, static_cast<size_t>(Limit))
                  .c_str(),
              stdout);
 
   if (!BisectKey.empty()) {
+    if (History.runs().size() < 2) {
+      // A single run has no earlier state to transition from; nothing to
+      // bisect is not an error.
+      std::printf("bisect: %s: no transition to bisect (store has %zu "
+                  "run%s)\n",
+                  BisectKey.c_str(), History.runs().size(),
+                  History.runs().size() == 1 ? "" : "s");
+      return 0;
+    }
     core::BisectResult Bisect = History.bisect(BisectKey, Gate);
     if (!Bisect.Valid) {
       std::fprintf(stderr, "error: bisect: %s\n", Bisect.Error.c_str());
