@@ -25,11 +25,12 @@
 ///
 /// `micro_hotpath --emit-ingest-json=PATH` skips google-benchmark and runs
 /// the dedicated ingest sweep instead: shared vs locked vs sharded vs
-/// batched (the staged handleBatch pipeline) at 1..8 threads, plus the
-/// decode dimension — the scalar and SIMD sample-decode kernels at batch
-/// sizes 1/16/64/256 — written as the machine-readable `BENCH_ingest.json`
-/// (samples/sec/core) that tracks the ingestion-throughput trajectory
-/// across PRs.
+/// batched (the staged handleBatch pipeline) at 1..8 threads, the
+/// single-threaded trace-replay delivery row (BM_TraceReplay's sweep
+/// counterpart), plus the decode dimension — the scalar and SIMD
+/// sample-decode kernels at batch sizes 1/16/64/256 — written as the
+/// machine-readable `BENCH_ingest.json` (samples/sec/core) that tracks
+/// the ingestion-throughput trajectory across PRs.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +42,7 @@
 #include "core/detect/PageTable.h"
 #include "core/detect/ShadowMemory.h"
 #include "mem/NumaTopology.h"
+#include "pmu/TraceSource.h"
 #include "runtime/HeapAllocator.h"
 #include "sim/CoherenceModel.h"
 #include "support/Random.h"
@@ -483,9 +485,9 @@ void BM_ProfilerBatchedIngest(benchmark::State &State) {
   static core::Profiler *Prof = nullptr;
   if (State.thread_index() == 0) {
     Prof = new core::Profiler(core::ProfilerConfig{});
-    Prof->onThreadStart(0, /*IsMain=*/true, 0);
+    Prof->threadStarted(0, /*IsMain=*/true, 0);
     for (int T = 1; T <= State.threads(); ++T)
-      Prof->onThreadStart(static_cast<ThreadId>(T), /*IsMain=*/false, 10);
+      Prof->threadStarted(static_cast<ThreadId>(T), /*IsMain=*/false, 10);
   }
 
   SplitMix64 Rng(200 + State.thread_index());
@@ -512,6 +514,69 @@ void BM_ProfilerBatchedIngest(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ProfilerBatchedIngest)->ThreadRange(1, 8)->UseRealTime();
+
+//===----------------------------------------------------------------------===//
+// Trace replay delivery
+//===----------------------------------------------------------------------===//
+
+/// Minimal inner backend so a record-mode TraceSource can be built without
+/// a simulator behind it.
+struct NullSource : pmu::SampleSource {
+  const char *name() const override { return "null"; }
+  pmu::SourceStatus start() override { return {true, ""}; }
+  pmu::SourceStatus stop() override { return {true, ""}; }
+  uint64_t samplesDelivered() const override { return 0; }
+};
+
+/// Buffers a deterministic recorded stream into \p Tee's in-memory trace:
+/// a main-thread lifecycle bracketing \p SampleCount samples over the
+/// ingest harness's address slice (same generator as the ingest sweeps).
+void recordSyntheticTrace(pmu::TraceSource &Tee, uint64_t SampleCount) {
+  Tee.threadStarted(0, /*IsMain=*/true, 0);
+  SplitMix64 Rng(1500);
+  pmu::Sample Sample;
+  for (uint64_t I = 0; I < SampleCount; ++I) {
+    Sample.Address = 0x4000'0000 + Rng.nextBelow(LinesPerIngestThread) * 64 +
+                     Rng.nextBelow(16) * 4;
+    Sample.Tid = 0;
+    Sample.IsWrite = Rng.nextBool(0.7);
+    Sample.LatencyCycles = 40;
+    Sample.Timestamp = I;
+    Tee.ingestBatch(&Sample, 1);
+  }
+  Tee.threadFinished(0, /*IsMain=*/true, SampleCount);
+}
+
+/// Detector-backed sink: replayed samples land on the real detection hot
+/// path, so replay throughput compares row-for-row with the live ingest
+/// modes.
+struct DetectorSink : pmu::SampleSink {
+  core::Detector &Detect;
+  explicit DetectorSink(core::Detector &Detect) : Detect(Detect) {}
+  void threadStarted(ThreadId, bool, uint64_t) override {}
+  void threadFinished(ThreadId, bool, uint64_t) override {}
+  void ingestBatch(const pmu::Sample *Samples, size_t Count) override {
+    for (size_t I = 0; I < Count; ++I)
+      benchmark::DoNotOptimize(Detect.handleSample(Samples[I], true));
+  }
+};
+
+/// Replay delivery cost: one pass of an in-memory `cheetah-trace-v1`
+/// event stream through the SampleSink shape into the detector —
+/// batches of one in recorded order, exactly what `--backend=trace:FILE`
+/// pays per sample on top of the detection work itself.
+void BM_TraceReplay(benchmark::State &State) {
+  constexpr uint64_t SampleCount = 4096;
+  pmu::TraceSource Tee(std::make_unique<NullSource>(), /*Path=*/"",
+                       /*SamplingPeriod=*/64);
+  recordSyntheticTrace(Tee, SampleCount);
+  IngestHarness Harness(LinesPerIngestThread);
+  DetectorSink Sink(Harness.Detect);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Tee.replayInto(Sink));
+  State.SetItemsProcessed(State.iterations() * SampleCount);
+}
+BENCHMARK(BM_TraceReplay);
 
 //===----------------------------------------------------------------------===//
 // BENCH_ingest.json: the checked-in ingestion-throughput trajectory
@@ -657,9 +722,35 @@ DecodeSweepRow runDecodeSweep(const std::string &Kernel, size_t Batch,
   return Row;
 }
 
-/// Writes the shared/locked/sharded/batched x 1..8-thread sweep plus the
-/// decode-kernel dimension to \p Path as the `cheetah-bench-ingest-v2`
-/// document. \returns false on I/O failure.
+/// Times replay of an in-memory recorded trace through the detector sink:
+/// the `--backend=trace:FILE` delivery path as an ingestion mode.
+/// Single-threaded by construction — replay is an ordered stream.
+IngestSweepRow runReplaySweep(uint64_t TotalSamples) {
+  constexpr uint64_t TraceSamples = 1 << 16;
+  pmu::TraceSource Tee(std::make_unique<NullSource>(), /*Path=*/"",
+                       /*SamplingPeriod=*/64);
+  recordSyntheticTrace(Tee, TraceSamples);
+  IngestHarness Harness(LinesPerIngestThread);
+  DetectorSink Sink(Harness.Detect);
+
+  auto Start = std::chrono::steady_clock::now();
+  uint64_t Done = 0;
+  while (Done < TotalSamples)
+    Done += Tee.replayInto(Sink);
+  auto End = std::chrono::steady_clock::now();
+
+  IngestSweepRow Row;
+  Row.Mode = "replay";
+  Row.Threads = 1;
+  Row.Samples = Done;
+  Row.Seconds = std::chrono::duration<double>(End - Start).count();
+  return Row;
+}
+
+/// Writes the shared/locked/sharded/batched x 1..8-thread sweep, the
+/// single-threaded trace-replay row, plus the decode-kernel dimension to
+/// \p Path as the `cheetah-bench-ingest-v3` document. \returns false on
+/// I/O failure.
 bool emitIngestJson(const std::string &Path) {
   constexpr uint64_t SamplesPerThread = 1'000'000;
   std::vector<IngestSweepRow> Rows;
@@ -671,6 +762,10 @@ bool emitIngestJson(const std::string &Path) {
                    static_cast<double>(Rows.back().Samples) /
                        Rows.back().Seconds / Threads / 1e6);
     }
+  Rows.push_back(runReplaySweep(SamplesPerThread));
+  std::fprintf(stderr, "replay  1 threads: %.1fM samples/sec/core\n",
+               static_cast<double>(Rows.back().Samples) /
+                   Rows.back().Seconds / 1e6);
 
   constexpr uint64_t DecodeSamples = 64'000'000;
   std::vector<DecodeSweepRow> DecodeRows;
@@ -686,7 +781,7 @@ bool emitIngestJson(const std::string &Path) {
   std::string Text;
   JsonWriter Writer(Text);
   Writer.beginObject();
-  Writer.member("schema", "cheetah-bench-ingest-v2");
+  Writer.member("schema", "cheetah-bench-ingest-v3");
 #if CHEETAH_SHARDED_TABLE
   Writer.member("build_mode", "sharded-table");
 #elif CHEETAH_LOCKED_TABLE

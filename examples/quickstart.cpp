@@ -18,6 +18,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/Profiler.h"
+#include "pmu/SimPmu.h"
 #include "sim/Simulator.h"
 #include "support/Generator.h"
 
@@ -48,7 +49,8 @@ int main() {
   constexpr uint32_t Threads = 8;
   constexpr uint64_t Iterations = 30000;
 
-  // 1. A profiler instance owns the heap, the shadow memory, and the PMU.
+  // 1. A profiler instance owns the heap and the shadow memory; the
+  // sampling backend attaches separately below.
   core::ProfilerConfig Config;
   Config.Pmu = Config.Pmu.withScaledPeriod(512); // dense sampling: short run
   core::Profiler Profiler(Config);
@@ -66,9 +68,12 @@ int main() {
     Phase.ParallelBodies.push_back(
         [=]() { return incrementLoop(Array + T * 4, Iterations); });
 
-  // 3. Run and report.
+  // 3. Run and report. The profiler consumes samples through the
+  // pmu::SampleSource seam; the simulated PMU is the backend here.
+  pmu::SimPmu Pmu(Config.Pmu);
+  Pmu.setSink(&Profiler);
   sim::Simulator Sim(Config.Geometry, sim::LatencyModel());
-  Sim.addObserver(&Profiler);
+  Sim.addObserver(Pmu.simObserver());
   sim::SimulationResult Run = Sim.run(Program);
   core::ProfileResult Result = Profiler.finish(Run);
 

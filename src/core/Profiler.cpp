@@ -35,7 +35,7 @@ Profiler::Profiler(const ProfilerConfig &Config)
              {{Config.HeapArenaBase, Config.HeapArenaSize},
               {Config.GlobalSegmentBase, Config.GlobalSegmentSize}}),
       Detect(Config.Geometry, Shadow, Config.Detect),
-      Classifier(Config.Classify), Pmu(Config.Pmu) {
+      Classifier(Config.Classify) {
   if (Config.Detect.TrackPages) {
     Pages = std::make_unique<PageTable>(
         Config.Topology, Config.Geometry,
@@ -47,7 +47,6 @@ Profiler::Profiler(const ProfilerConfig &Config)
   Shadow.setByteBudget(Config.Detect.LineShadowBudgetBytes);
   if (Pages)
     Pages->setByteBudget(Config.Detect.PageShadowBudgetBytes);
-  Pmu.setHandler([this](const pmu::Sample &Sample) { handleSample(Sample); });
 }
 
 runtime::CallsiteId Profiler::internCallsite(const std::string &File,
@@ -59,43 +58,29 @@ runtime::CallsiteId Profiler::internCallsite(runtime::Callsite Site) {
   return Callsites.intern(std::move(Site));
 }
 
-uint64_t Profiler::onThreadStart(ThreadId Tid, bool IsMain, uint64_t Now) {
-  {
-    // Thread lifecycle events may arrive while other threads are mid-batch
-    // in ingestBatch; registry growth and phase transitions share its lock.
-    std::lock_guard<std::mutex> Lock(IngestMutex);
-    Threads.threadStarted(Tid, IsMain, Now);
-    if (IsMain) {
-      CHEETAH_ASSERT(!MainSeen, "second main thread");
-      MainSeen = true;
-      Phases.programBegin(Tid, Now);
-    } else {
-      // In the simulator every child is created by the main thread;
-      // real-mode interposition would pass the true creator.
-      Phases.threadCreated(Tid, /*Creator=*/0, Now);
-    }
-  }
-  // Per-thread PMU programming cost (six pfmon APIs + six syscalls).
-  return Pmu.onThreadStart(Tid, IsMain, Now);
-}
-
-void Profiler::onThreadEnd(const sim::ThreadRecord &Record) {
+void Profiler::threadStarted(ThreadId Tid, bool IsMain, uint64_t Now) {
+  // Thread lifecycle events may arrive while other threads are mid-batch
+  // in ingestBatch; registry growth and phase transitions share its lock.
   std::lock_guard<std::mutex> Lock(IngestMutex);
-  Threads.threadFinished(Record.Tid, Record.EndCycle);
-  if (Record.IsMain)
-    Phases.programEnd(Record.EndCycle);
+  Threads.threadStarted(Tid, IsMain, Now);
+  if (IsMain) {
+    CHEETAH_ASSERT(!MainSeen, "second main thread");
+    MainSeen = true;
+    Phases.programBegin(Tid, Now);
+  } else {
+    // In the simulator every child is created by the main thread;
+    // real-mode interposition would pass the true creator.
+    Phases.threadCreated(Tid, /*Creator=*/0, Now);
+  }
+}
+
+void Profiler::threadFinished(ThreadId Tid, bool IsMain, uint64_t EndCycle) {
+  std::lock_guard<std::mutex> Lock(IngestMutex);
+  Threads.threadFinished(Tid, EndCycle);
+  if (IsMain)
+    Phases.programEnd(EndCycle);
   else
-    Phases.threadFinished(Record.Tid, Record.EndCycle);
-}
-
-uint64_t Profiler::onMemoryAccess(ThreadId Tid, const MemoryAccess &Access,
-                                  const sim::CoherenceResult &Result,
-                                  uint64_t Now) {
-  return Pmu.onMemoryAccess(Tid, Access, Result, Now);
-}
-
-void Profiler::onInstructions(ThreadId Tid, uint64_t Count) {
-  Pmu.onInstructions(Tid, Count);
+    Phases.threadFinished(Tid, EndCycle);
 }
 
 void Profiler::handleSample(const pmu::Sample &Sample) {
@@ -105,6 +90,7 @@ void Profiler::handleSample(const pmu::Sample &Sample) {
 void Profiler::ingestBatch(const pmu::Sample *Samples, size_t Count) {
   if (Count == 0)
     return;
+  SamplesIngested.fetch_add(Count, std::memory_order_relaxed);
 
   if (Count == 1) {
     // Single-sample fast path (the simulator's per-sample handler): one
@@ -206,7 +192,7 @@ void Profiler::ingestBatch(const pmu::Sample *Samples, size_t Count) {
 ReportRunStats Profiler::runStats(uint64_t AppRuntime) const {
   ReportRunStats Stats;
   Stats.AppRuntime = AppRuntime;
-  Stats.SamplesDelivered = Pmu.samplesDelivered();
+  Stats.SamplesDelivered = SamplesIngested.load(std::memory_order_relaxed);
   Stats.SerialSamples = SerialSampleCount;
   Stats.SerialAverageLatency = SerialLatency.mean();
   Stats.ForkJoinVerified = Phases.isForkJoin();
@@ -257,7 +243,7 @@ ProfileResult Profiler::buildReport(uint64_t AppRuntime, ReportSink *Sink) {
   ProfileResult Result;
   Result.AppRuntime = AppRuntime;
   Result.Detection = Detect.stats();
-  Result.SamplesDelivered = Pmu.samplesDelivered();
+  Result.SamplesDelivered = SamplesIngested.load(std::memory_order_relaxed);
   Result.SerialSamples = SerialSampleCount;
   Result.SerialAverageLatency = SerialLatency.mean();
   Result.ForkJoinVerified = Phases.isForkJoin();

@@ -5,21 +5,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The Cheetah runtime assembled (Figure 2): data collection via a PMU
-/// backend, the FS detection module over shadow memory, the FS assessment
-/// module over the fork-join phase model, and report generation. Exposed as
-/// a SimObserver so attaching it to the multicore simulator is the moral
-/// equivalent of LD_PRELOADing the Cheetah runtime library under a real
-/// application.
+/// The Cheetah runtime assembled (Figure 2): the FS detection module over
+/// shadow memory, the FS assessment module over the fork-join phase model,
+/// and report generation. Data collection is *not* owned here: the
+/// profiler is the consumer end of the pmu::SampleSource seam
+/// (a pmu::SampleSink), so any backend — the simulated PMU, a recorded
+/// trace, real perf_event — delivers thread lifecycle events and sample
+/// batches through one interface and the analysis side cannot tell them
+/// apart. Backend construction and wiring live in driver/ProfileSession.
 ///
 /// Typical use:
 /// \code
 ///   core::ProfilerConfig Config;
 ///   core::Profiler Profiler(Config);
 ///   // ... allocate workload objects from Profiler.heap()/globals() ...
-///   sim::Simulator Sim(Config.Geometry, Latency);
-///   Sim.addObserver(&Profiler);
-///   sim::SimulationResult Run = Sim.run(Program);
+///   Source->setSink(&Profiler);    // any pmu::SampleSource backend
+///   Source->start();
+///   // ... backend delivers lifecycle events and sample batches ...
+///   Source->stop();
 ///   core::ProfileResult Result = Profiler.finish(Run);
 /// \endcode
 ///
@@ -38,13 +41,15 @@
 #include "core/report/ReportSink.h"
 #include "mem/NumaTopology.h"
 #include "pmu/PmuConfig.h"
-#include "pmu/SimPmu.h"
+#include "pmu/Sample.h"
+#include "pmu/SampleSource.h"
 #include "runtime/GlobalRegistry.h"
 #include "runtime/HeapAllocator.h"
 #include "runtime/PhaseTracker.h"
 #include "runtime/ThreadRegistry.h"
 #include "sim/Simulator.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -111,8 +116,9 @@ struct ProfileResult {
   const FalseSharingReport *findReport(const std::string &Needle) const;
 };
 
-/// The assembled Cheetah profiler.
-class Profiler : public sim::SimObserver {
+/// The assembled Cheetah profiler: the sink every sampling backend drains
+/// into.
+class Profiler : public pmu::SampleSink {
 public:
   explicit Profiler(const ProfilerConfig &Config);
 
@@ -150,18 +156,28 @@ public:
   /// Run-level stats in sink form (valid after ingestion quiesces).
   ReportRunStats runStats(uint64_t AppRuntime) const;
 
-  /// Feeds one sample directly (used by the real perf_event path and by
-  /// tests; the simulator path goes through the observer hooks).
+  /// Feeds one sample directly (used by tests and ablations).
   /// Equivalent to ingestBatch(&Sample, 1).
   void handleSample(const pmu::Sample &Sample);
+
+  // pmu::SampleSink implementation — the only way samples and thread
+  // lifecycle reach the profiler, whichever backend produces them.
+
+  /// Thread \p Tid began at \p Now; the main thread (IsMain) opens the
+  /// program, children open/extend the parallel phase.
+  void threadStarted(ThreadId Tid, bool IsMain, uint64_t Now) override;
+
+  /// Thread \p Tid finished at \p EndCycle.
+  void threadFinished(ThreadId Tid, bool IsMain, uint64_t EndCycle) override;
 
   /// Batched sample ingestion, safe to call from many application threads
   /// concurrently: per-thread registry and serial-latency bookkeeping is
   /// accumulated per batch and applied under one short lock, while the
   /// detection hot path (atomic write counters + striped line locks) runs
   /// without any profiler-wide serialization. This is what the per-thread
-  /// sample buffers of the interpose runtime drain into.
-  void ingestBatch(const pmu::Sample *Samples, size_t Count);
+  /// sample buffers of the interpose runtime drain into; synchronous
+  /// backends deliver batches of one.
+  void ingestBatch(const pmu::Sample *Samples, size_t Count) override;
 
   /// Current phase state (exposed for tests).
   const runtime::PhaseTracker &phases() const { return Phases; }
@@ -170,15 +186,6 @@ public:
   const Detector &detector() const { return Detect; }
   /// The page table (nullptr when Detect.TrackPages is off).
   const PageTable *pages() const { return Pages.get(); }
-  const pmu::SimPmu &pmu() const { return Pmu; }
-
-  // SimObserver implementation.
-  uint64_t onThreadStart(ThreadId Tid, bool IsMain, uint64_t Now) override;
-  void onThreadEnd(const sim::ThreadRecord &Record) override;
-  uint64_t onMemoryAccess(ThreadId Tid, const MemoryAccess &Access,
-                          const sim::CoherenceResult &Result,
-                          uint64_t Now) override;
-  void onInstructions(ThreadId Tid, uint64_t Count) override;
 
 private:
   /// Shared body of finish()/snapshotEpoch(): assess, build, and stream
@@ -196,13 +203,15 @@ private:
   std::unique_ptr<PageTable> Pages;
   Detector Detect;
   SharingClassifier Classifier;
-  pmu::SimPmu Pmu;
   /// Guards Threads/Phases/SerialLatency bookkeeping during concurrent
   /// ingestion (the detection path is internally thread-safe and does not
   /// take it).
   std::mutex IngestMutex;
   OnlineStats SerialLatency;
   uint64_t SerialSampleCount = 0;
+  /// Samples accepted through ingestBatch — the profiler's own count, so
+  /// run stats never depend on which backend produced the stream.
+  std::atomic<uint64_t> SamplesIngested{0};
   bool MainSeen = false;
 };
 

@@ -47,7 +47,7 @@ PreloadProfilerBridge::PreloadProfilerBridge(core::Profiler &Profiler)
           return; // late delivery after finish() began: drop
         Profiler.ingestBatch(Samples, Count);
       });
-  Profiler.onThreadStart(/*Tid=*/0, /*IsMain=*/true, /*Now=*/0);
+  Profiler.threadStarted(/*Tid=*/0, /*IsMain=*/true, /*Now=*/0);
 }
 
 PreloadProfilerBridge::~PreloadProfilerBridge() {
@@ -79,7 +79,7 @@ void PreloadProfilerBridge::attachThread(ThreadId Tid) {
   // Tid thread's own buffer registers lazily on its first recordSample()
   // (or its own threadAttach() call).
   interpose::noteThreadCreate();
-  Profiler.onThreadStart(Tid, /*IsMain=*/false, Now);
+  Profiler.threadStarted(Tid, /*IsMain=*/false, Now);
 }
 
 void PreloadProfilerBridge::detachThread(ThreadId Tid) {
@@ -94,11 +94,7 @@ void PreloadProfilerBridge::detachThread(ThreadId Tid) {
     Attached.erase(It);
   }
   interpose::noteThreadJoin();
-  sim::ThreadRecord Record;
-  Record.Tid = Tid;
-  Record.EndCycle = Now;
-  Record.IsMain = false;
-  Profiler.onThreadEnd(Record);
+  Profiler.threadFinished(Tid, /*IsMain=*/false, Now);
 }
 
 core::ProfileResult PreloadProfilerBridge::finish(core::ReportSink *Sink) {
@@ -119,11 +115,7 @@ core::ProfileResult PreloadProfilerBridge::finish(core::ReportSink *Sink) {
   interpose::setSampleSink({});
 
   uint64_t Now = elapsedCycles();
-  sim::ThreadRecord Main;
-  Main.Tid = 0;
-  Main.EndCycle = Now;
-  Main.IsMain = true;
-  Profiler.onThreadEnd(Main);
+  Profiler.threadFinished(/*Tid=*/0, /*IsMain=*/true, Now);
 
   {
     std::lock_guard<std::mutex> Lock(Mutex);

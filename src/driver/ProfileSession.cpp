@@ -6,6 +6,8 @@
 
 #include "driver/ProfileSession.h"
 
+#include "pmu/SimPmu.h"
+#include "pmu/TraceSource.h"
 #include "support/Assert.h"
 #include "support/StringUtils.h"
 
@@ -74,6 +76,104 @@ cheetah::driver::formatStageSummary(const core::GrainStageSummary &Stage) {
   return Line;
 }
 
+std::unique_ptr<pmu::TraceSource>
+cheetah::driver::makeCaptureSource(const SessionConfig &Config) {
+  if (Config.Backend == SampleBackend::TraceReplay)
+    return std::make_unique<pmu::TraceSource>(Config.ReplayTracePath);
+  return std::make_unique<pmu::TraceSource>(
+      std::make_unique<pmu::SimPmu>(Config.Profiler.Pmu),
+      Config.RecordTracePath, Config.Profiler.Pmu.SamplingPeriod);
+}
+
+bool cheetah::driver::runSession(const workloads::Workload &Workload,
+                                 const SessionConfig &Config,
+                                 core::ReportSink *Sink,
+                                 SessionResult &Result, std::string &Error) {
+  Result = SessionResult();
+  Result.ProfilerEnabled = Config.EnableProfiler;
+
+  core::Profiler Profiler(Config.Profiler);
+  // The program is built against the profiler's heap/globals in *every*
+  // backend mode: replay needs the identical arena layout the recorded
+  // addresses resolve against, or every finding would lose its name.
+  sim::ForkJoinProgram Program = buildProgram(Workload, Profiler, Config);
+
+  if (Config.Backend == SampleBackend::TraceReplay) {
+    if (!Config.EnableProfiler) {
+      Error = "--backend=trace:FILE requires the profiler (a native "
+              "baseline has nothing to replay into)";
+      return false;
+    }
+    if (!Config.RecordTracePath.empty()) {
+      Error = "--record-trace cannot be combined with --backend=trace:FILE "
+              "(the recording would duplicate the input)";
+      return false;
+    }
+    pmu::TraceSource Replay(Config.ReplayTracePath);
+    Replay.setSink(&Profiler);
+    pmu::SourceStatus Status = Replay.start();
+    if (!Status.Available) {
+      Error = Status.Reason;
+      return false;
+    }
+    Replay.drain();
+    // The recorded run is authoritative for everything the simulator
+    // would have produced: total cycles for the report's runtime, and the
+    // recording backend's sampling period for the run header.
+    Result.Run.TotalCycles = Replay.runCycles();
+    SessionConfig RunInfoConfig = Config;
+    RunInfoConfig.Profiler.Pmu.SamplingPeriod = Replay.samplingPeriod();
+    if (Sink)
+      Sink->beginRun(makeRunInfo(Workload, RunInfoConfig));
+    Result.Profile = Profiler.finish(Result.Run, Sink);
+    return true;
+  }
+
+  // Simulator backend: the simulated PMU observes the run, optionally
+  // wrapped in a trace recorder teeing the stream to a file.
+  std::unique_ptr<pmu::SampleSource> Source;
+  pmu::TraceSource *Recorder = nullptr;
+  if (Config.EnableProfiler) {
+    Source = std::make_unique<pmu::SimPmu>(Config.Profiler.Pmu);
+    if (!Config.RecordTracePath.empty()) {
+      auto Tee = std::make_unique<pmu::TraceSource>(
+          std::move(Source), Config.RecordTracePath,
+          Config.Profiler.Pmu.SamplingPeriod);
+      Recorder = Tee.get();
+      Source = std::move(Tee);
+    }
+    Source->setSink(&Profiler);
+    pmu::SourceStatus Status = Source->start();
+    CHEETAH_ASSERT(Status.Available, "simulated backend cannot fail");
+    (void)Status;
+  }
+
+  sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
+  // NUMA latency is a machine property, so native (unprofiled) runs model
+  // it too; the single-node default leaves the simulator untouched.
+  if (Config.Profiler.Topology.multiNode())
+    Sim.setTopology(&Config.Profiler.Topology);
+  if (Source)
+    Sim.addObserver(Source->simObserver());
+  Result.Run = Sim.run(Program);
+  if (Source) {
+    if (Recorder)
+      Recorder->setRunCycles(Result.Run.TotalCycles);
+    pmu::SourceStatus Stopped = Source->stop();
+    if (!Stopped.Available) {
+      // The only failure a simulated session can hit: the trace file did
+      // not make it to disk. Loud, not silent — a missing recording would
+      // otherwise surface as a confusing replay error much later.
+      Error = Stopped.Reason;
+      return false;
+    }
+    if (Sink)
+      Sink->beginRun(makeRunInfo(Workload, Config));
+    Result.Profile = Profiler.finish(Result.Run, Sink);
+  }
+  return true;
+}
+
 SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,
                                            const SessionConfig &Config) {
   return runWorkload(Workload, Config, /*Sink=*/nullptr);
@@ -82,25 +182,14 @@ SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,
 SessionResult cheetah::driver::runWorkload(const workloads::Workload &Workload,
                                            const SessionConfig &Config,
                                            core::ReportSink *Sink) {
+  CHEETAH_ASSERT(Config.Backend == SampleBackend::Simulator &&
+                     Config.RecordTracePath.empty(),
+                 "file-backed sessions must use the fallible runSession");
   SessionResult Result;
-  Result.ProfilerEnabled = Config.EnableProfiler;
-
-  core::Profiler Profiler(Config.Profiler);
-  sim::ForkJoinProgram Program = buildProgram(Workload, Profiler, Config);
-
-  sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
-  // NUMA latency is a machine property, so native (unprofiled) runs model
-  // it too; the single-node default leaves the simulator untouched.
-  if (Config.Profiler.Topology.multiNode())
-    Sim.setTopology(&Config.Profiler.Topology);
-  if (Config.EnableProfiler)
-    Sim.addObserver(&Profiler);
-  Result.Run = Sim.run(Program);
-  if (Config.EnableProfiler) {
-    if (Sink)
-      Sink->beginRun(makeRunInfo(Workload, Config));
-    Result.Profile = Profiler.finish(Result.Run, Sink);
-  }
+  std::string Error;
+  bool Ok = runSession(Workload, Config, Sink, Result, Error);
+  CHEETAH_ASSERT(Ok, "simulator session cannot fail");
+  (void)Ok;
   return Result;
 }
 

@@ -17,6 +17,7 @@
 
 #include "baseline/FullTracker.h"
 #include "core/Profiler.h"
+#include "pmu/TraceSource.h"
 #include "sim/LatencyModel.h"
 #include "sim/Simulator.h"
 #include "workloads/Workload.h"
@@ -27,6 +28,16 @@
 namespace cheetah {
 namespace driver {
 
+/// Which sampling backend feeds the profiler.
+enum class SampleBackend {
+  /// Run the workload on the multicore simulator under the simulated PMU.
+  Simulator,
+  /// Skip the simulator entirely: replay a recorded `cheetah-trace-v1`
+  /// file through the profiler (same workload flags required, so the heap
+  /// layout the trace's addresses resolve against is identical).
+  TraceReplay,
+};
+
 /// Everything one run needs.
 struct SessionConfig {
   core::ProfilerConfig Profiler;
@@ -35,6 +46,13 @@ struct SessionConfig {
   /// Attach the Cheetah profiler (false = native baseline run: same heap
   /// layout, no observer, no overhead).
   bool EnableProfiler = true;
+  /// Sampling backend (see `--backend=sim|trace:FILE`).
+  SampleBackend Backend = SampleBackend::Simulator;
+  /// Backend == TraceReplay: the trace file to replay.
+  std::string ReplayTracePath;
+  /// Non-empty: tee the live backend's stream into this `cheetah-trace-v1`
+  /// file (`--record-trace=FILE`). Simulator backend only.
+  std::string RecordTracePath;
 };
 
 /// Result of a profiled (or native) run.
@@ -61,15 +79,38 @@ core::ReportRunInfo makeRunInfo(const workloads::Workload &Workload,
 /// grain shows up in every banner with no tool edits.
 std::string formatStageSummary(const core::GrainStageSummary &Stage);
 
+/// Builds the capture-side trace source for \p Config without the caller
+/// naming a concrete backend: a replay TraceSource for
+/// Backend == TraceReplay, or a recording TraceSource wrapping the
+/// simulated PMU otherwise (teeing to Config.RecordTracePath when
+/// non-empty, buffering in memory when empty). The caller drives
+/// start()/stop() and, for the simulator backend, runs the simulation
+/// with the source's simObserver() attached. Used by tools (the daemon's
+/// capture phase) that need the recorded stream itself rather than a
+/// one-shot profiled run.
+std::unique_ptr<pmu::TraceSource>
+makeCaptureSource(const SessionConfig &Config);
+
+/// Runs \p Workload under the configured sampling backend, streaming the
+/// report through \p Sink (may be null): the sink sees beginRun (run
+/// identification), one finding() per tracked object in descending
+/// predicted improvement, and endRun (run stats). \p Result still carries
+/// the full vectors for programmatic use.
+///
+/// This is the fallible entry point — trace replay (unreadable or
+/// malformed file) and trace recording (write failure) report through
+/// \p Error with a false return; the pure simulator path cannot fail.
+bool runSession(const workloads::Workload &Workload,
+                const SessionConfig &Config, core::ReportSink *Sink,
+                SessionResult &Result, std::string &Error);
+
 /// Runs \p Workload under the Cheetah profiler (or natively when
-/// EnableProfiler is false).
+/// EnableProfiler is false). Simulator backend only: infallible
+/// convenience wrapper over runSession for tests and benches.
 SessionResult runWorkload(const workloads::Workload &Workload,
                           const SessionConfig &Config);
 
-/// Same, routing the report through the streaming sink API: the sink sees
-/// beginRun (run identification), one finding() per tracked object in
-/// descending predicted improvement, and endRun (run stats). The returned
-/// SessionResult still carries the full vectors for programmatic use.
+/// Same, with the streaming sink.
 SessionResult runWorkload(const workloads::Workload &Workload,
                           const SessionConfig &Config,
                           core::ReportSink *Sink);

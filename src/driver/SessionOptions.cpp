@@ -7,6 +7,7 @@
 #include "driver/SessionOptions.h"
 
 #include "mem/TopologyFile.h"
+#include "pmu/PmuConfig.h"
 #include "support/StringUtils.h"
 
 using namespace cheetah;
@@ -30,6 +31,13 @@ void cheetah::driver::addSessionFlags(FlagSet &Flags) {
                   "pinning); overrides --numa-nodes/--page-size");
   Flags.addBool("fix", false, "apply the padding fix to known FS sites");
   Flags.addInt("seed", 0x43484545, "workload RNG seed");
+  Flags.addString("backend", "sim",
+                  "sampling backend: 'sim' (multicore simulator) or "
+                  "'trace:FILE' (replay a recorded cheetah-trace-v1 file; "
+                  "pass the same workload flags as the recording run)");
+  Flags.addString("record-trace", "",
+                  "tee the backend's sample stream into this "
+                  "cheetah-trace-v1 file for later --backend=trace replay");
 }
 
 bool cheetah::driver::buildSessionOptions(const FlagSet &Flags,
@@ -52,6 +60,31 @@ bool cheetah::driver::buildSessionOptions(const FlagSet &Flags,
         "--sampling-period must be in [1, %lld] (got %lld)",
         static_cast<long long>(MaxSamplingPeriod),
         static_cast<long long>(SamplingPeriod));
+    return false;
+  }
+
+  const std::string &Backend = Flags.getString("backend");
+  std::string ReplayTracePath;
+  bool Replay = false;
+  if (Backend.rfind("trace:", 0) == 0) {
+    Replay = true;
+    ReplayTracePath = Backend.substr(6);
+    if (ReplayTracePath.empty()) {
+      Error = "--backend=trace: requires a file ('trace:FILE')";
+      return false;
+    }
+  } else if (Backend != "sim") {
+    Error = formatString(
+        "--backend must be 'sim' or 'trace:FILE' (got '%s')",
+        Backend.c_str());
+    return false;
+  }
+
+  const std::string &RecordTracePath = Flags.getString("record-trace");
+  if (Replay && !RecordTracePath.empty()) {
+    Error = "--record-trace cannot be combined with --backend=trace:FILE "
+            "(replaying a trace while recording it would duplicate the "
+            "input)";
     return false;
   }
 
@@ -169,8 +202,20 @@ bool cheetah::driver::buildSessionOptions(const FlagSet &Flags,
   SessionConfig &Config = Out.Config;
   Config.Profiler.Geometry =
       CacheGeometry(static_cast<uint64_t>(LineSize));
-  Config.Profiler.Pmu = Config.Profiler.Pmu.withScaledPeriod(
-      static_cast<uint64_t>(SamplingPeriod));
+  // PR-5 convention: the PMU configuration goes through its fallible
+  // factory even after the range checks above, so the backend constructors
+  // downstream (which assert) can never see a flag-sourced violation.
+  std::string PmuError;
+  if (!pmu::PmuConfig::fromSpec(Config.Profiler.Pmu.withScaledPeriod(
+                                    static_cast<uint64_t>(SamplingPeriod)),
+                                Config.Profiler.Pmu, PmuError)) {
+    Error = "--sampling-period: " + PmuError;
+    return false;
+  }
+  Config.Backend =
+      Replay ? SampleBackend::TraceReplay : SampleBackend::Simulator;
+  Config.ReplayTracePath = ReplayTracePath;
+  Config.RecordTracePath = RecordTracePath;
   Config.Profiler.Topology = Topology;
   Config.Profiler.Detect.TrackLines = Granularity != "page";
   Config.Profiler.Detect.TrackPages = TrackPages;

@@ -32,7 +32,8 @@ namespace cheetah {
 namespace driver {
 
 /// Registers the profiling-configuration flags `cheetah-profile` exposes
-/// (workload selection and shaping, detection granularity, topology).
+/// (workload selection and shaping, detection granularity, topology,
+/// sampling backend: `--backend=sim|trace:FILE`, `--record-trace=FILE`).
 /// Output/formatting flags stay in the tool itself.
 void addSessionFlags(FlagSet &Flags);
 

@@ -117,9 +117,9 @@ PerfEventStatus PerfEventPmu::start() {
   return {true, ""};
 }
 
-void PerfEventPmu::stop() {
+SourceStatus PerfEventPmu::stop() {
   if (Fd < 0)
-    return;
+    return {true, ""};
   ioctl(Fd, PERF_EVENT_IOC_DISABLE, 0);
   Running = false;
   if (RingBuffer) {
@@ -128,6 +128,7 @@ void PerfEventPmu::stop() {
   }
   close(Fd);
   Fd = -1;
+  return {true, ""};
 }
 
 size_t PerfEventPmu::drain(std::vector<Sample> &Out) {
@@ -189,14 +190,29 @@ size_t PerfEventPmu::drain(std::vector<Sample> &Out) {
 #else // !__linux__
 
 PerfEventPmu::PerfEventPmu(const PmuConfig &Config) : Config(Config) {}
-PerfEventPmu::~PerfEventPmu() = default;
+PerfEventPmu::~PerfEventPmu() { stop(); }
 
 PerfEventStatus PerfEventPmu::probe() {
   return {false, "perf_event is only available on Linux"};
 }
 
 PerfEventStatus PerfEventPmu::start() { return probe(); }
-void PerfEventPmu::stop() {}
-size_t PerfEventPmu::drain(std::vector<Sample> &Out) { return 0; }
+SourceStatus PerfEventPmu::stop() { return {true, ""}; }
+size_t PerfEventPmu::drain(std::vector<Sample> &Out) {
+  (void)Out;
+  return 0;
+}
 
 #endif
+
+size_t PerfEventPmu::drain() {
+  // Sink-directed drain, shared across platforms: pull whatever the ring
+  // holds, then hand it over as one batch (the interpose runtime's batch
+  // shape, not per-sample delivery).
+  DrainBuffer.clear();
+  size_t Appended = drain(DrainBuffer);
+  if (Appended && sink())
+    sink()->ingestBatch(DrainBuffer.data(), DrainBuffer.size());
+  SamplesDelivered += Appended;
+  return Appended;
+}

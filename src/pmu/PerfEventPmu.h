@@ -24,6 +24,7 @@
 
 #include "pmu/PmuConfig.h"
 #include "pmu/Sample.h"
+#include "pmu/SampleSource.h"
 
 #include <cstdint>
 #include <string>
@@ -32,19 +33,18 @@
 namespace cheetah {
 namespace pmu {
 
-/// Status of an attempted perf_event PMU session.
-struct PerfEventStatus {
-  bool Available = false;
-  /// Empty when available; otherwise a human-readable reason (e.g. EACCES
-  /// from perf_event_paranoid, ENOENT for missing precise events).
-  std::string Reason;
-};
+/// Status of an attempted perf_event PMU session (the seam-wide status
+/// shape; the alias predates the SampleSource interface).
+using PerfEventStatus = SourceStatus;
 
-/// Self-monitoring perf_event sampler for the current thread.
-class PerfEventPmu {
+/// Self-monitoring perf_event sampler for the current thread, conforming
+/// to the SampleSource seam: start() opens the event (reporting the
+/// probe()-style gate on failure), drain() moves ring-buffer samples into
+/// the installed sink as one batch.
+class PerfEventPmu : public SampleSource {
 public:
   explicit PerfEventPmu(const PmuConfig &Config);
-  ~PerfEventPmu();
+  ~PerfEventPmu() override;
 
   PerfEventPmu(const PerfEventPmu &) = delete;
   PerfEventPmu &operator=(const PerfEventPmu &) = delete;
@@ -53,14 +53,23 @@ public:
   /// without leaving an event open.
   static PerfEventStatus probe();
 
+  // SampleSource implementation.
+  const char *name() const override { return "perf_event"; }
+
   /// Opens and starts sampling on the calling thread.
   /// \returns the session status; on failure the object stays inert.
-  PerfEventStatus start();
+  SourceStatus start() override;
+
+  /// Drains buffered samples into the sink (one ingestBatch call per
+  /// drain). \returns number of samples delivered.
+  size_t drain() override;
 
   /// Stops sampling (idempotent).
-  void stop();
+  SourceStatus stop() override;
 
-  /// Drains buffered samples into \p Out.
+  uint64_t samplesDelivered() const override { return SamplesDelivered; }
+
+  /// Drains buffered samples into \p Out instead of the sink.
   /// \returns number of samples appended.
   size_t drain(std::vector<Sample> &Out);
 
@@ -73,6 +82,9 @@ private:
   void *RingBuffer = nullptr;
   size_t RingBytes = 0;
   bool Running = false;
+  uint64_t SamplesDelivered = 0;
+  /// Scratch for sink-directed drains (reused across calls).
+  std::vector<Sample> DrainBuffer;
 };
 
 } // namespace pmu

@@ -17,6 +17,7 @@
 #define CHEETAH_PMU_PMUCONFIG_H
 
 #include <cstdint>
+#include <string>
 
 namespace cheetah {
 namespace pmu {
@@ -51,6 +52,33 @@ struct PmuConfig {
     if (Scaled.SampleHandlerCycles == 0)
       Scaled.SampleHandlerCycles = 1;
     return Scaled;
+  }
+
+  /// Checks \p Config against the constraints every backend's sampling
+  /// policy asserts on (PR-5 convention: flag- and file-reachable values
+  /// go through a fallible validator, never straight into an asserting
+  /// constructor). \returns false with a descriptive \p Error on the
+  /// first violation.
+  static bool validateSpec(const PmuConfig &Config, std::string &Error) {
+    if (Config.SamplingPeriod < 1) {
+      Error = "sampling period must be at least 1";
+      return false;
+    }
+    if (!(Config.JitterFraction >= 0.0) || Config.JitterFraction >= 1.0) {
+      // The negated >= also rejects NaN, which a plain < would let through.
+      Error = "jitter fraction must be in [0, 1)";
+      return false;
+    }
+    return true;
+  }
+
+  /// Validates \p Spec and copies it into \p Out on success.
+  static bool fromSpec(const PmuConfig &Spec, PmuConfig &Out,
+                       std::string &Error) {
+    if (!validateSpec(Spec, Error))
+      return false;
+    Out = Spec;
+    return true;
   }
 };
 

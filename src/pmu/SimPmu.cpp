@@ -29,6 +29,11 @@ SamplingPolicy &SimPmu::policyFor(ThreadId Tid) {
 }
 
 uint64_t SimPmu::onThreadStart(ThreadId Tid, bool IsMain, uint64_t Now) {
+  // Lifecycle reaches the sink whether or not sampling is enabled: the
+  // profiler's thread registry and phase model track the program, not the
+  // PMU's on/off state.
+  if (sink())
+    sink()->threadStarted(Tid, IsMain, Now);
   if (!Enabled)
     return 0;
   // Programming the PMU registers happens for every thread, main included
@@ -36,6 +41,11 @@ uint64_t SimPmu::onThreadStart(ThreadId Tid, bool IsMain, uint64_t Now) {
   policyFor(Tid);
   ++ThreadsConfigured;
   return Config.ThreadSetupCycles;
+}
+
+void SimPmu::onThreadEnd(const sim::ThreadRecord &Record) {
+  if (sink())
+    sink()->threadFinished(Record.Tid, Record.IsMain, Record.EndCycle);
 }
 
 void SimPmu::onInstructions(ThreadId Tid, uint64_t Count) {
@@ -58,14 +68,19 @@ uint64_t SimPmu::onMemoryAccess(ThreadId Tid, const MemoryAccess &Access,
     return 0;
 
   ++SamplesDelivered;
-  if (Handler) {
+  if (Handler || sink()) {
     Sample S;
     S.Address = Access.Address;
     S.Tid = Tid;
     S.IsWrite = Access.isWrite();
     S.LatencyCycles = static_cast<uint32_t>(Result.LatencyCycles);
     S.Timestamp = Now;
-    Handler(S);
+    if (Handler)
+      Handler(S);
+    // Synchronous delivery at the sampled access: a batch of one, exactly
+    // what the real per-thread signal handler hands the runtime.
+    if (sink())
+      sink()->ingestBatch(&S, 1);
   }
   // One trap per crossing; multiple crossings within one instruction are
   // impossible for memory ops (they advance the countdown by exactly 1).

@@ -5,14 +5,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The simulated PMU: a SimObserver that performs instruction-based address
-/// sampling over the instruction stream the multicore simulator retires.
-/// Plays the role AMD IBS / Intel PEBS plays in the paper — it sees every
-/// retired instruction, fires every `SamplingPeriod` instructions on
-/// average, and delivers (address, tid, r/w, latency) samples to a handler.
-/// Sample delivery and per-thread setup charge virtual cycles to the
-/// profiled thread, which is how Cheetah's runtime overhead becomes
+/// The simulated PMU: a SampleSource driven by the multicore simulator's
+/// observer hooks, performing instruction-based address sampling over the
+/// instruction stream the simulator retires. Plays the role AMD IBS /
+/// Intel PEBS plays in the paper — it sees every retired instruction,
+/// fires every `SamplingPeriod` instructions on average, and delivers
+/// (address, tid, r/w, latency) samples to its sink synchronously at the
+/// sampled access (batches of one, like the real per-thread signal
+/// handler). Sample delivery and per-thread setup charge virtual cycles to
+/// the profiled thread, which is how Cheetah's runtime overhead becomes
 /// measurable inside the simulation (Figure 4).
+///
+/// Thread lifecycle events forward to the sink even when sampling is
+/// disabled: an attached-but-disabled PMU stops the samples and the cycle
+/// charges, not the profiler's view of the thread set.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +27,7 @@
 
 #include "pmu/PmuConfig.h"
 #include "pmu/Sample.h"
+#include "pmu/SampleSource.h"
 #include "pmu/SamplingPolicy.h"
 #include "sim/Simulator.h"
 
@@ -30,21 +37,18 @@
 namespace cheetah {
 namespace pmu {
 
-/// Instruction-based sampling observer for the simulator.
-class SimPmu : public sim::SimObserver {
+/// Instruction-based sampling backend over the simulator.
+class SimPmu : public SampleSource, public sim::SimObserver {
 public:
   explicit SimPmu(const PmuConfig &Config) : Config(Config) {}
 
-  /// Installs the sample consumer. Must be set before the simulation runs if
-  /// samples are to be observed.
+  /// Installs a raw per-sample consumer alongside the sink (tests and
+  /// ablations that want the stream without a full SampleSink).
   void setHandler(SampleHandler NewHandler) { Handler = std::move(NewHandler); }
 
   /// Enables or disables sampling (an attached-but-disabled PMU charges no
   /// cycles and delivers nothing; used for native-baseline runs).
   void setEnabled(bool NewEnabled) { Enabled = NewEnabled; }
-
-  /// Total samples delivered so far.
-  uint64_t samplesDelivered() const { return SamplesDelivered; }
 
   /// Total threads that paid PMU setup.
   uint64_t threadsConfigured() const { return ThreadsConfigured; }
@@ -52,8 +56,23 @@ public:
   /// Clears per-run state (per-thread countdowns and counters).
   void reset();
 
+  // SampleSource implementation. The simulator pushes through the observer
+  // hooks, so start/stop only toggle delivery and drain() has nothing to do.
+  const char *name() const override { return "sim"; }
+  SourceStatus start() override {
+    setEnabled(true);
+    return {true, ""};
+  }
+  SourceStatus stop() override {
+    setEnabled(false);
+    return {true, ""};
+  }
+  uint64_t samplesDelivered() const override { return SamplesDelivered; }
+  sim::SimObserver *simObserver() override { return this; }
+
   // SimObserver implementation.
   uint64_t onThreadStart(ThreadId Tid, bool IsMain, uint64_t Now) override;
+  void onThreadEnd(const sim::ThreadRecord &Record) override;
   uint64_t onMemoryAccess(ThreadId Tid, const MemoryAccess &Access,
                           const sim::CoherenceResult &Result,
                           uint64_t Now) override;

@@ -460,9 +460,9 @@ TEST(BatchDecodeTest, BatchWithThirtyTwoTidsConservesPerThreadTotals) {
   constexpr unsigned SamplesPerTid = 8;
   ProfilerConfig Config;
   Profiler Prof(Config);
-  Prof.onThreadStart(0, /*IsMain=*/true, 0);
+  Prof.threadStarted(0, /*IsMain=*/true, 0);
   for (unsigned T = 1; T <= NumTids; ++T)
-    Prof.onThreadStart(static_cast<ThreadId>(T), /*IsMain=*/false, 10);
+    Prof.threadStarted(static_cast<ThreadId>(T), /*IsMain=*/false, 10);
 
   // Interleave round-robin so every MaxBatchTids-sized window carries the
   // maximum tid churn.

@@ -227,7 +227,7 @@ std::string snapshotWithBudget(size_t Budget) {
   Config.Detect.OnlyParallelPhases = false;
   Config.Detect.LineShadowBudgetBytes = Budget;
   Profiler Profiler(Config);
-  Profiler.onThreadStart(/*Tid=*/0, /*IsMain=*/true, /*Now=*/0);
+  Profiler.threadStarted(/*Tid=*/0, /*IsMain=*/true, /*Now=*/0);
 
   std::vector<pmu::Sample> Batch;
   for (int I = 0; I < 512; ++I)
@@ -260,7 +260,7 @@ TEST(EvictionSnapshotTest, EvictingSnapshotCarriesResidueSummary) {
   Config.Detect.OnlyParallelPhases = false;
   Config.Detect.LineShadowBudgetBytes = 1;
   Profiler Profiler(Config);
-  Profiler.onThreadStart(0, true, 0);
+  Profiler.threadStarted(0, true, 0);
   std::vector<pmu::Sample> Batch;
   for (int I = 0; I < 512; ++I)
     Batch.push_back(makeSample(Config.HeapArenaBase + (I % 64) * 64,

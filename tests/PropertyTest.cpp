@@ -50,6 +50,8 @@
 #include "core/report/ReportSink.h"
 #include "driver/ProfileSession.h"
 #include "mem/NumaTopology.h"
+#include "pmu/SimPmu.h"
+#include "pmu/TraceSource.h"
 #include "sim/Simulator.h"
 #include "support/Json.h"
 #include "support/Random.h"
@@ -192,9 +194,11 @@ TEST_P(FuzzPipelineTest, InvariantsHoldOnRandomPrograms) {
       buildFuzzProgram(Profiler, Spec, TotalChildren);
 
   AccountingObserver Accounting;
+  pmu::SimPmu Pmu(Config.Pmu);
+  Pmu.setSink(&Profiler);
   sim::Simulator Sim(Config.Geometry, sim::LatencyModel());
   Sim.addObserver(&Accounting);
-  Sim.addObserver(&Profiler);
+  Sim.addObserver(Pmu.simObserver());
   sim::SimulationResult Run = Sim.run(Program);
   core::ProfileResult Result = Profiler.finish(Run);
 
@@ -276,8 +280,10 @@ TEST_P(FuzzPipelineTest, InvariantsHoldOnRandomPrograms) {
   uint32_t TotalChildren2 = 0;
   sim::ForkJoinProgram Program2 =
       buildFuzzProgram(Profiler2, Spec, TotalChildren2);
+  pmu::SimPmu Pmu2(Config.Pmu);
+  Pmu2.setSink(&Profiler2);
   sim::Simulator Sim2(Config.Geometry, sim::LatencyModel());
-  Sim2.addObserver(&Profiler2);
+  Sim2.addObserver(Pmu2.simObserver());
   sim::SimulationResult Run2 = Sim2.run(Program2);
   core::ProfileResult Result2 = Profiler2.finish(Run2);
   EXPECT_EQ(Run.TotalCycles, Run2.TotalCycles);
@@ -405,8 +411,10 @@ TEST_P(GeometrySweepTest, PaddingToTheConfiguredLineSizeSilencesReports) {
           co_yield ThreadEvent::write(Slot, 4);
       });
     }
+    pmu::SimPmu Pmu(Config.Pmu);
+    Pmu.setSink(&Profiler);
     sim::Simulator Sim(Config.Geometry, sim::LatencyModel());
-    Sim.addObserver(&Profiler);
+    Sim.addObserver(Pmu.simObserver());
     core::ProfileResult Result = Profiler.finish(Sim.run(Program));
     if (Padded)
       EXPECT_TRUE(Result.Reports.empty()) << "line size " << LineSize;
@@ -1111,6 +1119,109 @@ TEST_P(HistoryStoreFuzzTest, HostileStoreInputNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HistoryStoreFuzzTest,
+                         ::testing::Range<uint64_t>(1, 5));
+
+//===----------------------------------------------------------------------===//
+// TraceData::parse under fuzz: loud errors, never a crash
+//===----------------------------------------------------------------------===//
+
+/// A small but real trace: a main-thread lifecycle bracketing a random
+/// mix of child lifecycles and sample points, rendered through the
+/// production serializer.
+std::string renderFuzzTrace(SplitMix64 &Rng) {
+  pmu::TraceData Data;
+  Data.SamplingPeriod = 1 + Rng.nextBelow(1 << 16);
+  Data.RunCycles = Rng.nextBelow(1 << 30);
+  pmu::TraceEvent Main;
+  Main.K = pmu::TraceEvent::Kind::ThreadStart;
+  Main.IsMain = true;
+  Data.Events.push_back(Main);
+  size_t Events = 1 + Rng.nextBelow(40);
+  for (size_t I = 0; I < Events; ++I) {
+    pmu::TraceEvent Event;
+    Event.Tid = static_cast<ThreadId>(Rng.nextBelow(16));
+    Event.Time = Rng.nextBelow(1 << 30);
+    switch (Rng.nextBelow(4)) {
+    case 0:
+      Event.K = pmu::TraceEvent::Kind::ThreadStart;
+      break;
+    case 1:
+      Event.K = pmu::TraceEvent::Kind::ThreadEnd;
+      break;
+    default:
+      Event.K = pmu::TraceEvent::Kind::SamplePoint;
+      Event.Address = 0x100000 + Rng.nextBelow(1 << 20);
+      Event.IsWrite = Rng.nextBool(0.5);
+      Event.LatencyCycles = static_cast<uint32_t>(Rng.nextBelow(500));
+      break;
+    }
+    Data.Events.push_back(Event);
+  }
+  pmu::TraceEvent End;
+  End.K = pmu::TraceEvent::Kind::ThreadEnd;
+  End.IsMain = true;
+  End.Time = Data.RunCycles;
+  Data.Events.push_back(End);
+  return Data.serialize();
+}
+
+class TraceFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TraceFuzzTest, HostileTraceInputNeverCrashes) {
+  SplitMix64 Rng(GetParam() ^ 0x7ACE);
+  for (int Doc = 0; Doc < 8; ++Doc) {
+    std::string Text = renderFuzzTrace(Rng);
+
+    // The pristine trace parses and re-serializes byte-identically.
+    pmu::TraceData Trace;
+    std::string Error;
+    ASSERT_TRUE(pmu::TraceData::parse(Text, Trace, Error)) << Error;
+    EXPECT_EQ(Trace.serialize(), Text);
+
+    // Truncations at every bounded prefix: error, never crash.
+    for (size_t Cut = 0; Cut < Text.size(); Cut += 7) {
+      pmu::TraceData Partial;
+      if (!pmu::TraceData::parse(Text.substr(0, Cut), Partial, Error))
+        EXPECT_FALSE(Error.empty());
+    }
+    // Random byte mutations (flip/insert/erase): error or parse, never a
+    // crash.
+    for (int Mutation = 0; Mutation < 60; ++Mutation) {
+      std::string Mutated = Text;
+      switch (Rng.nextBelow(3)) {
+      case 0:
+        if (!Mutated.empty())
+          Mutated[Rng.nextBelow(Mutated.size())] =
+              static_cast<char>(Rng.nextBelow(256));
+        break;
+      case 1:
+        Mutated.insert(Rng.nextBelow(Mutated.size() + 1), 1,
+                       static_cast<char>(Rng.nextBelow(256)));
+        break;
+      default:
+        if (!Mutated.empty())
+          Mutated.erase(Rng.nextBelow(Mutated.size()), 1);
+        break;
+      }
+      pmu::TraceData Fuzzed;
+      if (!pmu::TraceData::parse(Mutated, Fuzzed, Error))
+        EXPECT_FALSE(Error.empty());
+    }
+
+    // Version mismatches fail loudly by name.
+    for (const char *Schema : {"cheetah-trace-v0", "cheetah-report-v4"}) {
+      std::string Mismatched = Text;
+      size_t Pos = Mismatched.find("cheetah-trace-v1");
+      ASSERT_NE(Pos, std::string::npos);
+      Mismatched.replace(Pos, 16, Schema);
+      pmu::TraceData Rejected;
+      EXPECT_FALSE(pmu::TraceData::parse(Mismatched, Rejected, Error));
+      EXPECT_NE(Error.find("unsupported schema"), std::string::npos);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceFuzzTest,
                          ::testing::Range<uint64_t>(1, 5));
 
 //===----------------------------------------------------------------------===//

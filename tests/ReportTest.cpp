@@ -481,9 +481,9 @@ TEST(ReportBuilderTest, StreamsFindingsInImprovementOrderWithFlags) {
   Config.Report.MinImprovementFactor = 0.0;
   Profiler Prof(Config);
   Prof.internCallsite("report_test.c", 1);
-  Prof.onThreadStart(0, /*IsMain=*/true, 0);
-  Prof.onThreadStart(1, /*IsMain=*/false, 10);
-  Prof.onThreadStart(2, /*IsMain=*/false, 10);
+  Prof.threadStarted(0, /*IsMain=*/true, 0);
+  Prof.threadStarted(1, /*IsMain=*/false, 10);
+  Prof.threadStarted(2, /*IsMain=*/false, 10);
 
   // Two disjoint lines, each ping-pong written by both child threads on
   // private words: classic false sharing on both.

@@ -690,9 +690,9 @@ TEST(ThreadedIngestTest, ProfilerBatchedIngestKeepsPerThreadTotals) {
 
   // Enter a parallel phase: main plus one simulated child per ingest
   // thread, so detailed tracking is live while the threads race.
-  Prof.onThreadStart(0, /*IsMain=*/true, 0);
+  Prof.threadStarted(0, /*IsMain=*/true, 0);
   for (unsigned T = 1; T <= IngestThreads; ++T)
-    Prof.onThreadStart(static_cast<ThreadId>(T), /*IsMain=*/false, 10);
+    Prof.threadStarted(static_cast<ThreadId>(T), /*IsMain=*/false, 10);
 
   std::vector<std::thread> Threads;
   for (unsigned T = 1; T <= IngestThreads; ++T)

@@ -1,0 +1,351 @@
+//===- tests/TraceTest.cpp - trace record/replay backend tests -------------===//
+//
+// Part of the Cheetah reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `cheetah-trace-v1` backend end to end: TraceData's deterministic
+/// serialize/parse round trip, the loud-error parser contract on hostile
+/// input, the in-memory record tee, and the payoff gate — a recorded
+/// workload run replayed through `runSession` must reproduce the live
+/// run's `cheetah-report-v4` byte for byte.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/report/ReportSink.h"
+#include "driver/ProfileSession.h"
+#include "pmu/TraceSource.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+using namespace cheetah;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// TraceData round trip
+//===----------------------------------------------------------------------===//
+
+pmu::TraceData sampleTrace() {
+  pmu::TraceData Data;
+  Data.SamplingPeriod = 512;
+  Data.RunCycles = 987654;
+  pmu::TraceEvent Start;
+  Start.K = pmu::TraceEvent::Kind::ThreadStart;
+  Start.Tid = 0;
+  Start.IsMain = true;
+  Start.Time = 0;
+  Data.Events.push_back(Start);
+  pmu::TraceEvent Point;
+  Point.K = pmu::TraceEvent::Kind::SamplePoint;
+  Point.Tid = 3;
+  Point.Time = 4096;
+  Point.Address = 0x7f00000010ull;
+  Point.IsWrite = true;
+  Point.LatencyCycles = 120;
+  Data.Events.push_back(Point);
+  pmu::TraceEvent End;
+  End.K = pmu::TraceEvent::Kind::ThreadEnd;
+  End.Tid = 3;
+  End.IsMain = false;
+  End.Time = 8192;
+  Data.Events.push_back(End);
+  return Data;
+}
+
+TEST(TraceDataTest, SerializeParseRoundTripsEveryEventKind) {
+  pmu::TraceData Data = sampleTrace();
+  std::string Text = Data.serialize();
+
+  pmu::TraceData Parsed;
+  std::string Error;
+  ASSERT_TRUE(pmu::TraceData::parse(Text, Parsed, Error)) << Error;
+  EXPECT_EQ(Parsed.SamplingPeriod, 512u);
+  EXPECT_EQ(Parsed.RunCycles, 987654u);
+  ASSERT_EQ(Parsed.Events.size(), 3u);
+  EXPECT_EQ(Parsed.Events[0].K, pmu::TraceEvent::Kind::ThreadStart);
+  EXPECT_TRUE(Parsed.Events[0].IsMain);
+  EXPECT_EQ(Parsed.Events[1].K, pmu::TraceEvent::Kind::SamplePoint);
+  EXPECT_EQ(Parsed.Events[1].Address, 0x7f00000010ull);
+  EXPECT_EQ(Parsed.Events[1].Tid, 3u);
+  EXPECT_TRUE(Parsed.Events[1].IsWrite);
+  EXPECT_EQ(Parsed.Events[1].LatencyCycles, 120u);
+  EXPECT_EQ(Parsed.Events[1].Time, 4096u);
+  EXPECT_EQ(Parsed.Events[2].K, pmu::TraceEvent::Kind::ThreadEnd);
+  EXPECT_FALSE(Parsed.Events[2].IsMain);
+
+  // Deterministic: parse-then-serialize reproduces the document exactly.
+  EXPECT_EQ(Parsed.serialize(), Text);
+}
+
+TEST(TraceDataTest, SchemaIsCheckedBeforeStructure) {
+  pmu::TraceData Data = sampleTrace();
+  std::string Text = Data.serialize();
+  size_t At = Text.find("cheetah-trace-v1");
+  ASSERT_NE(At, std::string::npos);
+  Text.replace(At, 16, "cheetah-trace-v9");
+
+  pmu::TraceData Parsed;
+  std::string Error;
+  EXPECT_FALSE(pmu::TraceData::parse(Text, Parsed, Error));
+  EXPECT_NE(Error.find("unsupported schema"), std::string::npos) << Error;
+}
+
+TEST(TraceDataTest, ParseErrorsAreLoudAndNamed) {
+  pmu::TraceData Parsed;
+  std::string Error;
+
+  EXPECT_FALSE(pmu::TraceData::parse("not json", Parsed, Error));
+  EXPECT_FALSE(Error.empty());
+
+  EXPECT_FALSE(pmu::TraceData::parse("[1,2,3]", Parsed, Error));
+  EXPECT_NE(Error.find("not a JSON object"), std::string::npos) << Error;
+
+  // A zero sampling period can never have produced samples.
+  EXPECT_FALSE(pmu::TraceData::parse(
+      R"({"schema":"cheetah-trace-v1","sampling_period":0,)"
+      R"("run_cycles":1,"events":[]})",
+      Parsed, Error));
+  EXPECT_NE(Error.find("sampling_period"), std::string::npos) << Error;
+
+  // Unknown event kinds name the offending index.
+  EXPECT_FALSE(pmu::TraceData::parse(
+      R"({"schema":"cheetah-trace-v1","sampling_period":64,)"
+      R"("run_cycles":1,"events":[{"k":"zz"}]})",
+      Parsed, Error));
+  EXPECT_NE(Error.find("event 0"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("unknown event kind"), std::string::npos) << Error;
+
+  // Field values outside their 32-bit homes are rejected, not truncated.
+  EXPECT_FALSE(pmu::TraceData::parse(
+      R"({"schema":"cheetah-trace-v1","sampling_period":64,)"
+      R"("run_cycles":1,"events":[)"
+      R"({"k":"s","a":1,"tid":4294967296,"w":true,"l":1,"t":1}]})",
+      Parsed, Error));
+  EXPECT_NE(Error.find("tid exceeds 32 bits"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceSource replay-mode errors
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSourceTest, MissingFileFailsStartWithReason) {
+  pmu::TraceSource Replay(::testing::TempDir() + "does_not_exist.trace");
+  pmu::SourceStatus Status = Replay.start();
+  EXPECT_FALSE(Status.Available);
+  EXPECT_NE(Status.Reason.find("cannot open"), std::string::npos)
+      << Status.Reason;
+}
+
+TEST(TraceSourceTest, MalformedFileFailsStartNamingThePath) {
+  std::string Path = ::testing::TempDir() + "malformed.trace";
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(File, nullptr);
+  std::fputs("{\"schema\":\"cheetah-trace-v1\"", File);
+  std::fclose(File);
+
+  pmu::TraceSource Replay(Path);
+  pmu::SourceStatus Status = Replay.start();
+  EXPECT_FALSE(Status.Available);
+  EXPECT_NE(Status.Reason.find(Path), std::string::npos) << Status.Reason;
+}
+
+//===----------------------------------------------------------------------===//
+// In-memory record tee
+//===----------------------------------------------------------------------===//
+
+/// Collects the sink-side stream for order assertions.
+struct EventLog : pmu::SampleSink {
+  std::vector<std::string> Entries;
+  size_t Samples = 0;
+
+  void threadStarted(ThreadId Tid, bool IsMain, uint64_t) override {
+    Entries.push_back("start " + std::to_string(Tid) + (IsMain ? "*" : ""));
+  }
+  void threadFinished(ThreadId Tid, bool, uint64_t) override {
+    Entries.push_back("end " + std::to_string(Tid));
+  }
+  void ingestBatch(const pmu::Sample *, size_t Count) override {
+    Entries.push_back("batch " + std::to_string(Count));
+    Samples += Count;
+  }
+};
+
+/// Minimal pushable backend for driving the tee directly.
+struct ManualSource : pmu::SampleSource {
+  const char *name() const override { return "manual"; }
+  pmu::SourceStatus start() override { return {true, ""}; }
+  pmu::SourceStatus stop() override { return {true, ""}; }
+  uint64_t samplesDelivered() const override { return 0; }
+};
+
+TEST(TraceSourceTest, RecordTeeBuffersAndForwardsInOrder) {
+  auto Owned = std::make_unique<ManualSource>();
+  ManualSource *Backend = Owned.get();
+  pmu::TraceSource Tee(std::move(Owned), /*Path=*/"", /*SamplingPeriod=*/64);
+  EventLog Log;
+  Tee.setSink(&Log);
+  ASSERT_TRUE(Tee.start().Available);
+  // start() must have interposed the tee between backend and outer sink.
+  ASSERT_EQ(Backend->sink(), &Tee);
+
+  Backend->sink()->threadStarted(0, true, 0);
+  pmu::Sample S;
+  S.Address = 0x40;
+  S.Tid = 0;
+  S.IsWrite = true;
+  S.LatencyCycles = 9;
+  S.Timestamp = 77;
+  Backend->sink()->ingestBatch(&S, 1);
+  Backend->sink()->threadFinished(0, true, 100);
+
+  // Forwarded unchanged...
+  ASSERT_EQ(Log.Entries.size(), 3u);
+  EXPECT_EQ(Log.Entries[0], "start 0*");
+  EXPECT_EQ(Log.Entries[1], "batch 1");
+  EXPECT_EQ(Log.Entries[2], "end 0");
+  // ...and buffered for replay, repeatably (the daemon replays per epoch).
+  Tee.setRunCycles(100);
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    EventLog Replayed;
+    EXPECT_EQ(Tee.replayInto(Replayed), 1u);
+    EXPECT_EQ(Replayed.Entries, Log.Entries);
+  }
+  // Empty path: stop() is a no-op flush, never an error.
+  EXPECT_TRUE(Tee.stop().Available);
+}
+
+//===----------------------------------------------------------------------===//
+// The payoff gate: record -> replay is byte-identical
+//===----------------------------------------------------------------------===//
+
+driver::SessionConfig traceConfig() {
+  driver::SessionConfig Config;
+  Config.Workload.Threads = 8;
+  Config.Profiler.Pmu = Config.Profiler.Pmu.withScaledPeriod(256);
+  Config.Profiler.Detect.TrackPages = true;
+  Config.Workload.NumaNodes = 2;
+  NumaTopologySpec Spec;
+  Spec.Nodes = 2;
+  std::string Error;
+  EXPECT_TRUE(NumaTopology::fromSpec(Spec, Config.Profiler.Topology, Error));
+  return Config;
+}
+
+TEST(TraceReplayTest, ReplayedReportIsByteIdenticalToLiveRun) {
+  auto Workload = workloads::createWorkload("numa_first_touch");
+  ASSERT_NE(Workload, nullptr);
+  std::string TracePath = ::testing::TempDir() + "first_touch.trace";
+
+  driver::SessionConfig Record = traceConfig();
+  Record.RecordTracePath = TracePath;
+  std::string LiveText;
+  core::JsonReportSink LiveSink(LiveText);
+  driver::SessionResult Live;
+  std::string Error;
+  ASSERT_TRUE(
+      driver::runSession(*Workload, Record, &LiveSink, Live, Error))
+      << Error;
+  ASSERT_FALSE(LiveText.empty());
+
+  driver::SessionConfig Replay = traceConfig();
+  Replay.Backend = driver::SampleBackend::TraceReplay;
+  Replay.ReplayTracePath = TracePath;
+  std::string ReplayText;
+  core::JsonReportSink ReplaySink(ReplayText);
+  driver::SessionResult Replayed;
+  ASSERT_TRUE(
+      driver::runSession(*Workload, Replay, &ReplaySink, Replayed, Error))
+      << Error;
+
+  // Byte for byte: detection is delivery-order-sensitive, so this holds
+  // only because replay reproduces the recorded order with batches of one.
+  EXPECT_EQ(ReplayText, LiveText);
+  EXPECT_EQ(Replayed.Run.TotalCycles, Live.Run.TotalCycles);
+  EXPECT_EQ(Replayed.Profile.SamplesDelivered,
+            Live.Profile.SamplesDelivered);
+}
+
+TEST(TraceReplayTest, RecordingDoesNotPerturbTheLiveReport) {
+  auto Workload = workloads::createWorkload("numa_first_touch");
+  ASSERT_NE(Workload, nullptr);
+
+  driver::SessionConfig Plain = traceConfig();
+  std::string PlainText;
+  core::JsonReportSink PlainSink(PlainText);
+  driver::SessionResult PlainRun;
+  std::string Error;
+  ASSERT_TRUE(
+      driver::runSession(*Workload, Plain, &PlainSink, PlainRun, Error))
+      << Error;
+
+  driver::SessionConfig Record = traceConfig();
+  Record.RecordTracePath = ::testing::TempDir() + "perturb.trace";
+  std::string RecordText;
+  core::JsonReportSink RecordSink(RecordText);
+  driver::SessionResult RecordRun;
+  ASSERT_TRUE(
+      driver::runSession(*Workload, Record, &RecordSink, RecordRun, Error))
+      << Error;
+
+  // The tee observes; it must not change what the profiler sees or when
+  // the simulator charges cycles.
+  EXPECT_EQ(RecordText, PlainText);
+  EXPECT_EQ(RecordRun.Run.TotalCycles, PlainRun.Run.TotalCycles);
+}
+
+TEST(TraceReplayTest, SessionRejectsContradictoryBackendConfigs) {
+  auto Workload = workloads::createWorkload("numa_first_touch");
+  ASSERT_NE(Workload, nullptr);
+  driver::SessionResult Result;
+  std::string Error;
+
+  driver::SessionConfig Both = traceConfig();
+  Both.Backend = driver::SampleBackend::TraceReplay;
+  Both.ReplayTracePath = "whatever.trace";
+  Both.RecordTracePath = "other.trace";
+  EXPECT_FALSE(driver::runSession(*Workload, Both, nullptr, Result, Error));
+  EXPECT_NE(Error.find("--record-trace"), std::string::npos) << Error;
+
+  driver::SessionConfig Native = traceConfig();
+  Native.Backend = driver::SampleBackend::TraceReplay;
+  Native.ReplayTracePath = "whatever.trace";
+  Native.EnableProfiler = false;
+  EXPECT_FALSE(
+      driver::runSession(*Workload, Native, nullptr, Result, Error));
+  EXPECT_NE(Error.find("profiler"), std::string::npos) << Error;
+}
+
+TEST(TraceReplayTest, ReplayHeaderOverridesRunInfoSamplingPeriod) {
+  auto Workload = workloads::createWorkload("numa_first_touch");
+  ASSERT_NE(Workload, nullptr);
+  std::string TracePath = ::testing::TempDir() + "period.trace";
+
+  driver::SessionConfig Record = traceConfig();
+  Record.RecordTracePath = TracePath;
+  driver::SessionResult Live;
+  std::string Error;
+  ASSERT_TRUE(driver::runSession(*Workload, Record, nullptr, Live, Error))
+      << Error;
+
+  // Replay under a *different* configured period: the report must carry
+  // the recorded run's period, because that is what produced the samples.
+  driver::SessionConfig Replay = traceConfig();
+  Replay.Profiler.Pmu = Replay.Profiler.Pmu.withScaledPeriod(8192);
+  Replay.Backend = driver::SampleBackend::TraceReplay;
+  Replay.ReplayTracePath = TracePath;
+  std::string ReplayText;
+  core::JsonReportSink ReplaySink(ReplayText);
+  driver::SessionResult Replayed;
+  ASSERT_TRUE(
+      driver::runSession(*Workload, Replay, &ReplaySink, Replayed, Error))
+      << Error;
+  EXPECT_NE(ReplayText.find("\"sampling_period\":256"), std::string::npos);
+}
+
+} // namespace

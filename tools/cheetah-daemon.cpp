@@ -14,16 +14,22 @@
 /// bound (cold grains are evicted into the conservation residue and decay
 /// back through the stage-1 filter if their traffic returns).
 ///
-/// The sample source is the simulated deployment: the workload runs once
-/// under the simulated PMU, and the captured per-thread sample stream is
-/// replayed through the real interpose runtime (per-thread buffers, batch
-/// sink, `PreloadProfilerBridge`) once per epoch on real OS threads — the
-/// same ingest path an LD_PRELOADed production process exercises, driven as
-/// a steady-state traffic generator.
+/// The sample stream comes through the pmu::SampleSource seam: either the
+/// workload runs once under the simulated PMU with a TraceSource recorder
+/// teeing the stream (optionally persisting it via `--record-trace=FILE`),
+/// or `--backend=trace:FILE` replays a previously recorded
+/// `cheetah-trace-v1` file with no simulation at all. Either way the
+/// captured per-thread sample stream is replayed through the real
+/// interpose runtime (per-thread buffers, batch sink,
+/// `PreloadProfilerBridge`) once per epoch on real OS threads — the same
+/// ingest path an LD_PRELOADed production process exercises, driven as a
+/// steady-state traffic generator.
 ///
 /// Examples:
 ///   cheetah-daemon --workload=numa_first_touch --granularity=both \
 ///       --epochs=10 --line-budget=262144 --store=history.json
+///   cheetah-daemon --workload=numa_first_touch \
+///       --backend=trace:first_touch.trace --epochs=10 --store=history.json
 ///   cheetah-trend show --store=history.json --gate=1.5
 ///
 //===----------------------------------------------------------------------===//
@@ -33,10 +39,12 @@
 #include "driver/ProfileSession.h"
 #include "driver/SessionOptions.h"
 #include "interpose/Preload.h"
+#include "pmu/TraceSource.h"
 #include "support/CommandLine.h"
 
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -74,6 +82,21 @@ bool readFile(const std::string &Path, std::string &Out) {
   std::fclose(File);
   return Ok;
 }
+
+/// Buckets a trace's sample stream per issuing thread — the shape the
+/// epoch replay loop feeds to per-thread interpose buffers. Lifecycle
+/// events are dropped: every epoch re-attaches its threads under fresh
+/// ids through the bridge.
+struct PartitionSink : pmu::SampleSink {
+  std::map<ThreadId, std::vector<pmu::Sample>> PerThread;
+
+  void threadStarted(ThreadId, bool, uint64_t) override {}
+  void threadFinished(ThreadId, bool, uint64_t) override {}
+  void ingestBatch(const pmu::Sample *Samples, size_t Count) override {
+    for (size_t I = 0; I < Count; ++I)
+      PerThread[Samples[I].Tid].push_back(Samples[I]);
+  }
+};
 
 } // namespace
 
@@ -147,24 +170,42 @@ int main(int Argc, char **Argv) {
   sim::ForkJoinProgram Program =
       driver::buildProgram(*Workload, Profiler, Config);
 
-  // Capture pass: run the workload once under the simulated PMU alone and
-  // record the sample stream. The profiler is *not* attached as an
-  // observer — all its traffic arrives through the interpose replay below,
-  // the same path a real LD_PRELOAD deployment feeds.
-  std::map<ThreadId, std::vector<pmu::Sample>> Trace;
-  pmu::SimPmu Pmu(Config.Profiler.Pmu);
-  Pmu.setHandler(
-      [&Trace](const pmu::Sample &Sample) { Trace[Sample.Tid].push_back(Sample); });
-  sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
-  if (Config.Profiler.Topology.multiNode())
-    Sim.setTopology(&Config.Profiler.Topology);
-  Sim.addObserver(&Pmu);
-  sim::SimulationResult Capture = Sim.run(Program);
+  // Acquire the trace through the backend seam. Simulator backend: run the
+  // workload once with a TraceSource recorder teeing the simulated PMU's
+  // stream (to disk too, when --record-trace asks). Trace backend: parse
+  // the recorded file, skipping simulation entirely. The profiler is *not*
+  // the capture sink — all its traffic arrives through the interpose
+  // replay below, the same path a real LD_PRELOAD deployment feeds.
+  std::unique_ptr<pmu::TraceSource> Trace =
+      driver::makeCaptureSource(Config);
+  pmu::SourceStatus Status = Trace->start();
+  if (!Status.Available) {
+    std::fprintf(stderr, "error: %s\n", Status.Reason.c_str());
+    return 1;
+  }
+  if (Config.Backend == driver::SampleBackend::Simulator) {
+    sim::Simulator Sim(Config.Profiler.Geometry, Config.Latency);
+    if (Config.Profiler.Topology.multiNode())
+      Sim.setTopology(&Config.Profiler.Topology);
+    Sim.addObserver(Trace->simObserver());
+    sim::SimulationResult Capture = Sim.run(Program);
+    Trace->setRunCycles(Capture.TotalCycles);
+    pmu::SourceStatus Stopped = Trace->stop();
+    if (!Stopped.Available) {
+      std::fprintf(stderr, "error: %s\n", Stopped.Reason.c_str());
+      return 1;
+    }
+  }
+
+  // One partition pass over the recorded stream: per-thread sample
+  // vectors for the replay threads.
+  PartitionSink Partition;
+  Trace->replayInto(Partition);
 
   std::vector<ThreadId> ChildTids;
   size_t CapturedSamples = 0;
   ThreadId MaxTid = 0;
-  for (const auto &Entry : Trace) {
+  for (const auto &Entry : Partition.PerThread) {
     CapturedSamples += Entry.second.size();
     if (Entry.first != 0)
       ChildTids.push_back(Entry.first);
@@ -174,8 +215,8 @@ int main(int Argc, char **Argv) {
   std::fprintf(stderr,
                "cheetah-daemon: captured %zu samples over %zu threads "
                "(%llu cycles); replaying %lld epochs\n",
-               CapturedSamples, Trace.size(),
-               static_cast<unsigned long long>(Capture.TotalCycles),
+               CapturedSamples, Partition.PerThread.size(),
+               static_cast<unsigned long long>(Trace->runCycles()),
                static_cast<long long>(Epochs));
 
   // Resume an existing store so restarted daemons keep appending.
@@ -198,8 +239,8 @@ int main(int Argc, char **Argv) {
     // Serial phase: the main thread replays its own captured samples
     // before any child attaches (re-establishing the no-false-sharing
     // latency baseline each epoch, like the real serial prologue would).
-    auto MainIt = Trace.find(0);
-    if (MainIt != Trace.end()) {
+    auto MainIt = Partition.PerThread.find(0);
+    if (MainIt != Partition.PerThread.end()) {
       for (const pmu::Sample &Sample : MainIt->second)
         interpose::recordSample(Sample);
       interpose::flushThreadSamples();
@@ -214,7 +255,7 @@ int main(int Argc, char **Argv) {
       Bridge.attachThread(static_cast<ThreadId>(Epoch) * Stride + Tid);
     for (ThreadId Tid : ChildTids) {
       ThreadId EpochTid = static_cast<ThreadId>(Epoch) * Stride + Tid;
-      const std::vector<pmu::Sample> &Samples = Trace[Tid];
+      const std::vector<pmu::Sample> &Samples = Partition.PerThread[Tid];
       Replayers.emplace_back([EpochTid, &Samples] {
         interpose::threadAttach();
         for (pmu::Sample Sample : Samples) {

@@ -144,8 +144,11 @@ int main(int Argc, char **Argv) {
     Sink = std::make_unique<core::TextReportSink>(ReportText, Options);
   }
 
-  driver::SessionResult Result =
-      driver::runWorkload(*Workload, Config, Sink.get());
+  driver::SessionResult Result;
+  if (!driver::runSession(*Workload, Config, Sink.get(), Result, Error)) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
   const core::ProfileResult &Profile = Result.Profile;
 
   std::fprintf(Aux,
@@ -222,6 +225,12 @@ int main(int Argc, char **Argv) {
   if (Flags.getBool("native")) {
     driver::SessionConfig Native = Config;
     Native.EnableProfiler = false;
+    // Comparison reruns always simulate: a replayed trace has no native
+    // baseline to measure, and re-recording the rerun would clobber the
+    // main run's trace.
+    Native.Backend = driver::SampleBackend::Simulator;
+    Native.ReplayTracePath.clear();
+    Native.RecordTracePath.clear();
     driver::SessionResult NativeRun = driver::runWorkload(*Workload, Native);
     double Overhead = static_cast<double>(Result.Run.TotalCycles) /
                           static_cast<double>(NativeRun.Run.TotalCycles) -
@@ -236,6 +245,9 @@ int main(int Argc, char **Argv) {
     driver::SessionConfig Fixed = Config;
     Fixed.Workload.FixFalseSharing = true;
     Fixed.EnableProfiler = false;
+    Fixed.Backend = driver::SampleBackend::Simulator;
+    Fixed.ReplayTracePath.clear();
+    Fixed.RecordTracePath.clear();
     driver::SessionResult FixedRun = driver::runWorkload(*Workload, Fixed);
     double Real = static_cast<double>(Profile.AppRuntime) /
                   static_cast<double>(FixedRun.Run.TotalCycles);
